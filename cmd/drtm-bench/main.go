@@ -1,0 +1,66 @@
+// Command drtm-bench regenerates the tables and figures of the paper's
+// evaluation (Sections 5.4 and 7), plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	drtm-bench -list                 # list experiment IDs
+//	drtm-bench -exp fig12            # run one experiment
+//	drtm-bench -exp all              # run everything
+//	drtm-bench -exp table4 -quick    # smoke-scale run
+//
+// Reported throughput and latency come from the calibrated virtual-time
+// cost model (see DESIGN.md): correctness phenomena (conflicts, aborts,
+// retries, recovery) happen for real between goroutine workers, while the
+// paper's cluster parallelism is accounted, not wall-clocked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drtm/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run, or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "run at smoke-test scale")
+		seed  = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		res := e.Run(opts)
+		res.Print(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(e)
+}

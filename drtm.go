@@ -1,0 +1,250 @@
+// Package drtm is a faithful Go reproduction of DrTM — "Fast In-memory
+// Transaction Processing using RDMA and HTM" (Wei et al., SOSP 2015) — as a
+// library: strictly serializable distributed transactions whose local part
+// runs in an (emulated) HTM region and whose cross-machine coordination
+// uses one-sided RDMA verbs, leases for shared locks, an HTM/RDMA-friendly
+// key-value store with a location-based cache, read-only transactions,
+// transaction chopping, and durability with cooperative recovery.
+//
+// The hardware the paper requires (Intel RTM, InfiniBand RDMA, a multi-node
+// cluster) is simulated in-process with the semantics the protocol depends
+// on preserved — see DESIGN.md for the substitution table. The library runs
+// a whole logical cluster inside one process:
+//
+//	db := drtm.Open(drtm.Options{Nodes: 2, WorkersPerNode: 2},
+//		func(table int, key uint64) int { return int(key) % 2 })
+//	defer db.Close()
+//
+//	const accounts = 1
+//	db.CreateHashTable(accounts, 1024, 1)
+//	db.Load(accounts, 1, []uint64{100})
+//	db.Load(accounts, 2, []uint64{100})
+//
+//	e := db.Executor(0, 0) // worker 0 on node 0
+//	err := e.Exec(func(t *drtm.Tx) error {
+//		if err := t.W(accounts, 1); err != nil { // local
+//			return err
+//		}
+//		if err := t.W(accounts, 2); err != nil { // remote: RDMA-locked
+//			return err
+//		}
+//		return t.Execute(func(lc *drtm.Local) error {
+//			a, _ := lc.Read(accounts, 1)
+//			b, _ := lc.Read(accounts, 2)
+//			if err := lc.Write(accounts, 1, []uint64{a[0] - 10}); err != nil {
+//				return err
+//			}
+//			return lc.Write(accounts, 2, []uint64{b[0] + 10})
+//		})
+//	})
+//
+// See examples/ for runnable programs and cmd/drtm-bench for the harness
+// that regenerates the paper's evaluation.
+package drtm
+
+import (
+	"time"
+
+	"drtm/internal/cluster"
+	"drtm/internal/rdma"
+	"drtm/internal/tx"
+)
+
+// Re-exported transaction-layer types: these are the user-facing API.
+type (
+	// Tx is a read-write (possibly distributed) transaction context.
+	Tx = tx.Tx
+	// Local is the transaction body's view inside the HTM region.
+	Local = tx.Local
+	// RO is a lease-based read-only transaction.
+	RO = tx.RO
+	// Executor runs transactions on behalf of one worker thread.
+	Executor = tx.Executor
+	// PartitionFunc maps records to their home node; return -1 for
+	// replicated (always-local) tables.
+	PartitionFunc = tx.Partitioner
+	// RecoveryReport summarizes crash recovery.
+	RecoveryReport = tx.RecoveryReport
+)
+
+// Common errors, re-exported.
+var (
+	ErrRetry     = tx.ErrRetry
+	ErrUserAbort = tx.ErrUserAbort
+	ErrNotFound  = tx.ErrNotFound
+	ErrNodeDown  = tx.ErrNodeDown
+)
+
+// Options configures a DrTM deployment.
+type Options struct {
+	// Nodes is the number of logical machines; WorkersPerNode the worker
+	// threads per machine (the paper's setup: 6 nodes x 8 workers).
+	Nodes          int
+	WorkersPerNode int
+
+	// Durability enables NVRAM logging and crash recovery (Section 4.6).
+	Durability bool
+
+	// LeaseMicros / ROLeaseMicros are the shared-lock lease durations. The
+	// defaults (5 ms / 10 ms) are scaled up from the paper's 0.4/1.0 ms
+	// because lease expiry runs on real time while the simulation host may
+	// interleave dozens of workers on few cores; see DESIGN.md.
+	LeaseMicros   uint64
+	ROLeaseMicros uint64
+
+	// GlobalAtomics selects IBV_ATOMIC_GLOB-style NICs, letting protocol
+	// paths lock local records with CPU CAS (Section 6.3).
+	GlobalAtomics bool
+
+	// HTMWriteLines/HTMReadLines bound the emulated HTM working set in
+	// 64-byte cache lines (defaults: 512 / 4096, Haswell-class).
+	HTMWriteLines int
+	HTMReadLines  int
+}
+
+// DB is an open DrTM deployment: a simulated cluster plus the transaction
+// runtime.
+type DB struct {
+	C  *cluster.Cluster
+	RT *tx.Runtime
+}
+
+// Open builds and starts a deployment.
+func Open(o Options, part PartitionFunc) *DB {
+	if o.Nodes <= 0 {
+		o.Nodes = 1
+	}
+	if o.WorkersPerNode <= 0 {
+		o.WorkersPerNode = 1
+	}
+	cfg := cluster.DefaultConfig(o.Nodes, o.WorkersPerNode)
+	cfg.Durability = o.Durability
+	if o.LeaseMicros > 0 {
+		cfg.LeaseMicros = o.LeaseMicros
+	} else {
+		cfg.LeaseMicros = 5_000
+	}
+	if o.ROLeaseMicros > 0 {
+		cfg.ROLeaseMicros = o.ROLeaseMicros
+	} else {
+		cfg.ROLeaseMicros = 10_000
+	}
+	if o.GlobalAtomics {
+		cfg.Atomicity = rdma.AtomicGLOB
+	}
+	if o.HTMWriteLines > 0 {
+		cfg.HTM.WriteLines = o.HTMWriteLines
+	}
+	if o.HTMReadLines > 0 {
+		cfg.HTM.ReadLines = o.HTMReadLines
+	}
+	c := cluster.New(cfg)
+	c.Start()
+	return &DB{C: c, RT: tx.NewRuntime(c, part)}
+}
+
+// Close stops the deployment's background threads.
+func (db *DB) Close() { db.C.Stop() }
+
+// CreateHashTable defines an unordered (DrTM-KV cluster-chaining hash)
+// table sharded across all nodes; capacity and valueWords are per node.
+// Unordered tables have a one-sided RDMA path for remote access.
+func (db *DB) CreateHashTable(id, capacity, valueWords int) {
+	buckets := capacity / 4
+	if buckets < 16 {
+		buckets = 16
+	}
+	db.RT.DefineUnordered(id, buckets, buckets, capacity, valueWords)
+}
+
+// CreateOrderedTable defines an ordered (B+ tree) table sharded across all
+// nodes. Remote access ships to the host over verbs, per the paper.
+func (db *DB) CreateOrderedTable(id, capacity, valueWords int) {
+	db.RT.DefineOrdered(id, capacity, valueWords)
+}
+
+// Executor returns worker w of node n's transaction executor. Executors
+// are single-goroutine objects: create one per worker goroutine.
+func (db *DB) Executor(node, worker int) *Executor { return db.RT.Executor(node, worker) }
+
+// Load inserts a record directly on its home node (bulk population outside
+// transactions).
+func (db *DB) Load(table int, key uint64, val []uint64) error {
+	node := db.RT.Part(table, key)
+	if node < 0 {
+		// Replicated table: load on every node.
+		for n := 0; n < db.C.Nodes(); n++ {
+			if err := db.loadOn(n, table, key, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return db.loadOn(node, table, key, val)
+}
+
+func (db *DB) loadOn(node, table int, key uint64, val []uint64) error {
+	if db.RT.Meta(table).Kind == tx.Ordered {
+		return db.C.Node(node).Ordered(table).Insert(key, val)
+	}
+	return db.C.Node(node).Unordered(table).Insert(key, val)
+}
+
+// Get reads a record's current value directly (outside any transaction);
+// intended for verification and tooling.
+func (db *DB) Get(table int, key uint64) ([]uint64, bool) {
+	node := db.RT.Part(table, key)
+	if node < 0 {
+		node = 0
+	}
+	if db.RT.Meta(table).Kind == tx.Ordered {
+		return db.C.Node(node).Ordered(table).Get(key)
+	}
+	return db.C.Node(node).Unordered(table).Get(key)
+}
+
+// Crash fail-stops a node (its memory and NVRAM logs stay readable, per
+// the flush-on-failure model).
+func (db *DB) Crash(node int) { db.C.Crash(node) }
+
+// Recover replays the crashed node's NVRAM logs: redo for committed
+// transactions, lock release for uncommitted ones (Figure 7).
+func (db *DB) Recover(node int) RecoveryReport { return db.RT.Recover(node) }
+
+// Revive marks a recovered node alive.
+func (db *DB) Revive(node int) { db.C.Revive(node) }
+
+// Stats is a snapshot of runtime-wide transaction counters.
+type Stats struct {
+	Commits, Retries, HTMAborts, CapacityAborts int64
+	LeaseFails, Fallbacks, ROCommits, RORetries int64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	s := &db.RT.Stats
+	return Stats{
+		Commits: s.Commits.Load(), Retries: s.Retries.Load(),
+		HTMAborts: s.HTMAborts.Load(), CapacityAborts: s.CapacityAborts.Load(),
+		LeaseFails: s.LeaseFails.Load(), Fallbacks: s.Fallbacks.Load(),
+		ROCommits: s.ROCommits.Load(), RORetries: s.RORetries.Load(),
+	}
+}
+
+// WorkerVirtualTime returns a worker's accumulated modeled execution time,
+// the basis for throughput reporting (see DESIGN.md).
+func (db *DB) WorkerVirtualTime(node, worker int) time.Duration {
+	return db.C.Worker(node, worker).VClock.Now()
+}
+
+// RemoteOpCounts reports cluster-wide one-sided RDMA operation totals.
+func (db *DB) RemoteOpCounts() (reads, writes, cas int64) {
+	t := &db.C.Fabric.Totals
+	return t.Reads.Load(), t.Writes.Load(), t.CASes.Load()
+}
+
+// LocationCacheStats aggregates location-cache hit/miss/invalidation
+// counts across the cluster (Section 5.3).
+func (db *DB) LocationCacheStats() (hits, misses, invals int64) {
+	return db.RT.CacheStats()
+}

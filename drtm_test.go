@@ -1,0 +1,224 @@
+package drtm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+const tblAcct = 1
+
+func openTestDB(t testing.TB, nodes, workers int, durable bool) *DB {
+	t.Helper()
+	db := Open(Options{Nodes: nodes, WorkersPerNode: workers, Durability: durable},
+		func(table int, key uint64) int { return int(key) % nodes })
+	db.CreateHashTable(tblAcct, 1024, 1)
+	for k := uint64(1); k <= 20; k++ {
+		if err := db.Load(tblAcct, k, []uint64{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db := Open(Options{}, func(table int, key uint64) int { return 0 })
+	defer db.Close()
+	if db.C.Nodes() != 1 {
+		t.Fatal("default Nodes != 1")
+	}
+}
+
+func TestQuickstartTransfer(t *testing.T) {
+	db := openTestDB(t, 2, 1, false)
+	defer db.Close()
+	e := db.Executor(0, 0)
+	err := e.Exec(func(tx *Tx) error {
+		if err := tx.W(tblAcct, 1); err != nil { // node 1: remote
+			return err
+		}
+		if err := tx.W(tblAcct, 2); err != nil { // node 0: local
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			a, _ := lc.Read(tblAcct, 1)
+			b, _ := lc.Read(tblAcct, 2)
+			if err := lc.Write(tblAcct, 1, []uint64{a[0] - 10}); err != nil {
+				return err
+			}
+			return lc.Write(tblAcct, 2, []uint64{b[0] + 10})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := db.Get(tblAcct, 1)
+	v2, _ := db.Get(tblAcct, 2)
+	if v1[0] != 90 || v2[0] != 110 {
+		t.Fatalf("balances = %d, %d", v1[0], v2[0])
+	}
+	if db.Stats().Commits != 1 {
+		t.Fatal("stats commit missing")
+	}
+	if db.WorkerVirtualTime(0, 0) == 0 {
+		t.Fatal("virtual time not charged")
+	}
+	r, w, c := db.RemoteOpCounts()
+	if r == 0 || w == 0 || c == 0 {
+		t.Fatalf("remote op counts = %d/%d/%d, want all nonzero", r, w, c)
+	}
+}
+
+func TestReadOnlySnapshot(t *testing.T) {
+	db := openTestDB(t, 2, 1, false)
+	defer db.Close()
+	e := db.Executor(1, 0)
+	var total uint64
+	err := e.ExecRO(func(ro *RO) error {
+		total = 0
+		for k := uint64(1); k <= 20; k++ {
+			v, err := ro.Read(tblAcct, k)
+			if err != nil {
+				return err
+			}
+			total += v[0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestUserAbortSurfacesCleanly(t *testing.T) {
+	db := openTestDB(t, 1, 1, false)
+	defer db.Close()
+	e := db.Executor(0, 0)
+	err := e.Exec(func(tx *Tx) error {
+		return tx.Execute(func(lc *Local) error { return ErrUserAbort })
+	})
+	if !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOrderedTableThroughFacade(t *testing.T) {
+	db := Open(Options{Nodes: 1, WorkersPerNode: 1},
+		func(table int, key uint64) int { return 0 })
+	defer db.Close()
+	const tbl = 2
+	db.CreateOrderedTable(tbl, 64, 1)
+	for k := uint64(10); k <= 30; k += 10 {
+		if err := db.Load(tbl, k, []uint64{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok := db.Get(tbl, 20)
+	if !ok || v[0] != 20 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+}
+
+func TestReplicatedTableLoad(t *testing.T) {
+	db := Open(Options{Nodes: 2, WorkersPerNode: 1},
+		func(table int, key uint64) int {
+			if table == 9 {
+				return -1
+			}
+			return int(key) % 2
+		})
+	defer db.Close()
+	db.CreateHashTable(9, 64, 1)
+	if err := db.Load(9, 5, []uint64{55}); err != nil {
+		t.Fatal(err)
+	}
+	// Both nodes hold a copy.
+	for n := 0; n < 2; n++ {
+		if v, ok := db.C.Node(n).Unordered(9).Get(5); !ok || v[0] != 55 {
+			t.Fatalf("node %d replica = %v,%v", n, v, ok)
+		}
+	}
+}
+
+func TestCrashRecoverThroughFacade(t *testing.T) {
+	db := openTestDB(t, 2, 1, true)
+	defer db.Close()
+	e := db.Executor(0, 0)
+	// Commit a durable distributed transaction.
+	err := e.Exec(func(tx *Tx) error {
+		if err := tx.W(tblAcct, 1); err != nil {
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			return lc.Write(tblAcct, 1, []uint64{42})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Crash(0)
+	rep := db.Recover(0)
+	db.Revive(0)
+	_ = rep
+	v, _ := db.Get(tblAcct, 1)
+	if v[0] != 42 {
+		t.Fatalf("value after recovery = %d", v[0])
+	}
+}
+
+func TestConcurrentFacadeUse(t *testing.T) {
+	db := openTestDB(t, 2, 2, false)
+	defer db.Close()
+	var wg sync.WaitGroup
+	for n := 0; n < 2; n++ {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(n, w int) {
+				defer wg.Done()
+				e := db.Executor(n, w)
+				for i := 0; i < 50; i++ {
+					from := uint64((n*7+w*3+i)%20) + 1
+					to := uint64((n*11+w*5+i*3)%20) + 1
+					if from == to {
+						continue
+					}
+					err := e.Exec(func(tx *Tx) error {
+						if err := tx.W(tblAcct, from); err != nil {
+							return err
+						}
+						if err := tx.W(tblAcct, to); err != nil {
+							return err
+						}
+						return tx.Execute(func(lc *Local) error {
+							f, _ := lc.Read(tblAcct, from)
+							g, _ := lc.Read(tblAcct, to)
+							if f[0] < 1 {
+								return nil
+							}
+							if err := lc.Write(tblAcct, from, []uint64{f[0] - 1}); err != nil {
+								return err
+							}
+							return lc.Write(tblAcct, to, []uint64{g[0] + 1})
+						})
+					})
+					if err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				}
+			}(n, w)
+		}
+	}
+	wg.Wait()
+	var total uint64
+	for k := uint64(1); k <= 20; k++ {
+		v, _ := db.Get(tblAcct, k)
+		total += v[0]
+	}
+	if total != 2000 {
+		t.Fatalf("conservation broken: %d", total)
+	}
+}

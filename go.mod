@@ -1,0 +1,3 @@
+module drtm
+
+go 1.22

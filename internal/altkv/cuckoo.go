@@ -1,0 +1,254 @@
+// Package altkv implements simplified versions of the two state-of-the-art
+// RDMA-friendly hash tables DrTM-KV is compared against in Section 5.4:
+//
+//   - Cuckoo hashing as in Pilaf: 3 orthogonal hash functions, one slot per
+//     32-byte self-verifying bucket (two CRC-64 checksums detect races
+//     between one-sided readers and host writers).
+//
+//   - Hopscotch hashing as in FaRM-KV: neighborhood of 8, one READ fetches
+//     the whole neighborhood; values either inline in the slot (FaRM-KV/I)
+//     or behind an offset (FaRM-KV/O).
+//
+// As in the paper (footnote 6), these are simplified reimplementations used
+// as comparison baselines: GETs use one-sided RDMA READs only; inserts are
+// executed on the host.
+package altkv
+
+import (
+	"errors"
+	"hash/crc64"
+	"math/rand"
+	"sync"
+
+	"drtm/internal/memory"
+	"drtm/internal/rdma"
+)
+
+// Store is the read path shared by the comparison tables and the benchmark
+// harness. LookupRemote performs only the bucket probes (the metric of
+// Table 4); GetRemote additionally fetches the value where it lives
+// out-of-line.
+type Store interface {
+	Name() string
+	Insert(key uint64, val []uint64) error
+	LookupRemote(qp *rdma.QP, key uint64) bool
+	GetRemote(qp *rdma.QP, key uint64) ([]uint64, bool)
+}
+
+// ErrFull is returned when an insert cannot find a home.
+var ErrFull = errors.New("altkv: table full")
+
+var crcTab = crc64.MakeTable(crc64.ECMA)
+
+func mix(x, seed uint64) uint64 {
+	x ^= seed
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// --- Pilaf-style cuckoo hashing ---------------------------------------
+
+// Cuckoo bucket layout (4 words = 32 bytes, the paper's fixed bucket size):
+//
+//	word 0: key (0 = empty; the benchmark key space starts at 1)
+//	word 1: entry offset
+//	word 2: CRC-64 of (key, offset)   — self-verifying bucket
+//	word 3: CRC-64 of the entry value — detects read/write races on data
+//
+// Entry layout: value words only (key is validated via the bucket CRCs).
+type Cuckoo struct {
+	node, region int
+	arena        *memory.Arena
+	buckets      uint64
+	valueWords   int
+	entryWords   int
+	entryBase    memory.Offset
+
+	mu        sync.Mutex
+	freeEntry []memory.Offset
+	rng       *rand.Rand
+	size      int
+}
+
+const cuckooBucketWords = 4
+
+var cuckooSeeds = [3]uint64{0xA5A5A5A5, 0x5EED5EED, 0xC0FFEE}
+
+// NewCuckoo builds a cuckoo table with the given bucket count (rounded to a
+// power of two) and capacity.
+func NewCuckoo(node, region int, buckets, capacity, valueWords int) *Cuckoo {
+	nb := uint64(1)
+	for nb < uint64(buckets) {
+		nb *= 2
+	}
+	ew := valueWords
+	if rem := ew % memory.WordsPerLine; rem != 0 {
+		ew += memory.WordsPerLine - rem
+	}
+	if ew == 0 {
+		ew = memory.WordsPerLine
+	}
+	c := &Cuckoo{
+		node: node, region: region,
+		buckets:    nb,
+		valueWords: valueWords,
+		entryWords: ew,
+		entryBase:  memory.Offset(nb * cuckooBucketWords),
+		rng:        rand.New(rand.NewSource(42)),
+	}
+	total := int(c.entryBase) + capacity*ew
+	c.arena = memory.NewArena(region, total)
+	for i := capacity - 1; i >= 0; i-- {
+		c.freeEntry = append(c.freeEntry, c.entryBase+memory.Offset(i*ew))
+	}
+	return c
+}
+
+// Name implements Store.
+func (c *Cuckoo) Name() string { return "Pilaf/Cuckoo" }
+
+// Arena returns the backing arena for fabric registration.
+func (c *Cuckoo) Arena() *memory.Arena { return c.arena }
+
+// Len returns the number of stored keys.
+func (c *Cuckoo) Len() int { c.mu.Lock(); defer c.mu.Unlock(); return c.size }
+
+func (c *Cuckoo) bucketOff(h int, key uint64) memory.Offset {
+	return memory.Offset((mix(key, cuckooSeeds[h]) % c.buckets) * cuckooBucketWords)
+}
+
+func bucketCRC(key uint64, off memory.Offset) uint64 {
+	var b [16]byte
+	putU64(b[0:], key)
+	putU64(b[8:], uint64(off))
+	return crc64.Checksum(b[:], crcTab)
+}
+
+func valueCRC(val []uint64) uint64 {
+	b := make([]byte, len(val)*8)
+	for i, w := range val {
+		putU64(b[i*8:], w)
+	}
+	return crc64.Checksum(b, crcTab)
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Insert places key on the host, using random-walk cuckoo displacement.
+func (c *Cuckoo) Insert(key uint64, val []uint64) error {
+	if key == 0 {
+		return errors.New("altkv: key 0 reserved as empty marker")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.freeEntry) == 0 {
+		return ErrFull
+	}
+	entry := c.freeEntry[len(c.freeEntry)-1]
+	c.freeEntry = c.freeEntry[:len(c.freeEntry)-1]
+	c.arena.Write(entry, val)
+
+	// Classic cuckoo displacement: place the incoming key at its first
+	// hash, evicting any occupant to the occupant's next alternative hash.
+	// Under high occupancy this progressively pushes resident keys toward
+	// their second and third hashes, which is what drives the rising
+	// READs-per-lookup trend of Table 4.
+	insKey, insOff, insVal := key, entry, valueCRC(val)
+	insHash := 0
+	const maxKicks = 1000
+	for kick := 0; kick < maxKicks; kick++ {
+		bo := c.bucketOff(insHash, insKey)
+		oldKey := c.arena.LoadWord(bo)
+		if oldKey == 0 {
+			c.writeBucket(bo, insKey, insOff, insVal)
+			c.size++
+			return nil
+		}
+		oldOff := memory.Offset(c.arena.LoadWord(bo + 1))
+		oldVCRC := c.arena.LoadWord(bo + 3)
+		c.writeBucket(bo, insKey, insOff, insVal)
+		// The displaced key moves to the hash after the one that maps it to
+		// this bucket.
+		next := 0
+		for h := 0; h < 3; h++ {
+			if c.bucketOff(h, oldKey) == bo {
+				next = (h + 1) % 3
+				break
+			}
+		}
+		insKey, insOff, insVal, insHash = oldKey, oldOff, oldVCRC, next
+	}
+	return ErrFull
+}
+
+func (c *Cuckoo) writeBucket(bo memory.Offset, key uint64, off memory.Offset, vcrc uint64) {
+	c.arena.Write(bo, []uint64{key, uint64(off), bucketCRC(key, off), vcrc})
+}
+
+// LookupRemote probes the candidate buckets with one-sided READs until the
+// key (with a valid checksum) is found. Each probe costs one 32-byte READ.
+func (c *Cuckoo) LookupRemote(qp *rdma.QP, key uint64) bool {
+	_, _, ok := c.probe(qp, key)
+	return ok
+}
+
+func (c *Cuckoo) probe(qp *rdma.QP, key uint64) (memory.Offset, uint64, bool) {
+	var buf [cuckooBucketWords]uint64
+	for h := 0; h < 3; h++ {
+		bo := c.bucketOff(h, key)
+		for retry := 0; retry < 4; retry++ {
+			qp.Read(c.node, c.region, bo, buf[:])
+			if buf[0] != key {
+				break // not here; next hash
+			}
+			if bucketCRC(buf[0], memory.Offset(buf[1])) == buf[2] {
+				return memory.Offset(buf[1]), buf[3], true
+			}
+			// Torn bucket (concurrent displacement): retry this probe.
+		}
+	}
+	return 0, 0, false
+}
+
+// GetRemote locates key and fetches its value with one more READ, verifying
+// the value checksum against the bucket's copy (Pilaf's race detection).
+func (c *Cuckoo) GetRemote(qp *rdma.QP, key uint64) ([]uint64, bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		off, vcrc, ok := c.probe(qp, key)
+		if !ok {
+			return nil, false
+		}
+		val := make([]uint64, c.valueWords)
+		qp.Read(c.node, c.region, off, val)
+		if valueCRC(val) == vcrc {
+			return val, true
+		}
+		// CRC mismatch: raced with a host write; retry from the probe.
+	}
+	return nil, false
+}
+
+// Put overwrites an existing key's value on the host.
+func (c *Cuckoo) Put(key uint64, val []uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var buf [cuckooBucketWords]uint64
+	for h := 0; h < 3; h++ {
+		bo := c.bucketOff(h, key)
+		c.arena.Read(buf[:], bo)
+		if buf[0] == key {
+			off := memory.Offset(buf[1])
+			c.arena.Write(off, val)
+			c.writeBucket(bo, key, off, valueCRC(val))
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package altkv
+
+import "testing"
+
+// TestCuckooPlacementDeepensWithOccupancy verifies the mechanism behind
+// Table 4's rising READs-per-lookup: at higher occupancy, displacement
+// pushes more keys to their second and third hashes.
+func TestCuckooPlacementDeepensWithOccupancy(t *testing.T) {
+	avgDepth := func(occ float64) float64 {
+		const n = 20000
+		buckets := int(float64(n) / occ)
+		c := NewCuckoo(0, 0, buckets, n+64, 1)
+		for k := 1; k <= n; k++ {
+			if err := c.Insert(uint64(k), []uint64{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sum, found int
+		for k := 1; k <= n; k++ {
+			for h := 0; h < 3; h++ {
+				bo := c.bucketOff(h, uint64(k))
+				if c.arena.LoadWord(bo) == uint64(k) {
+					sum += h + 1
+					found++
+					break
+				}
+			}
+		}
+		if found != n {
+			t.Fatalf("lost %d keys", n-found)
+		}
+		return float64(sum) / float64(n)
+	}
+	lo, hi := avgDepth(0.5), avgDepth(0.9)
+	if hi <= lo+0.1 {
+		t.Fatalf("placement depth did not deepen: %.3f -> %.3f", lo, hi)
+	}
+}

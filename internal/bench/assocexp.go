@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drtm/internal/kvs"
+	"drtm/internal/rdma"
+	"drtm/internal/vtime"
+)
+
+// runAblateAssoc implements the paper's named future work (Section 5.4):
+// "How to improve the cache through heuristic structure (e.g.,
+// associativity) and replacement mechanisms (e.g., LRU) will be our future
+// work." It reruns the Figure 10(d) worst case — uniform workload with a
+// cache far below the full location set — comparing the paper's
+// direct-mapped cache against a 4-way LRU set-associative one.
+func runAblateAssoc(o Options) *Result {
+	s := kvScaleFor(o)
+	res := &Result{
+		ID:      "ablate-assoc",
+		Title:   "Location-cache structure: direct-mapped vs 4-way LRU (Section 5.4 future work)",
+		Headers: []string{"cache", "budget", "READs/GET", "hit rate", "40-client tput"},
+	}
+	m := vtime.DefaultModel()
+	fullBytes := (s.keys / kvs.SlotsPerBucket) * kvs.BucketBytes * 4 / 3
+
+	for _, frac := range []int{16, 4, 1} {
+		budget := fullBytes / frac
+		for _, assoc := range []bool{false, true} {
+			clus, f := buildCluster(s.keys, 0.75, 8)
+			if err := fillStore(s.keys, 8, clus.Insert); err != nil {
+				panic(err)
+			}
+			var cache kvs.Cache
+			name := "direct"
+			if assoc {
+				cache = kvs.NewAssocCache(budget, 4)
+				name = "4-way LRU"
+			} else {
+				cache = kvs.NewLocationCache(budget)
+			}
+			r := rand.New(rand.NewSource(o.Seed))
+			gen := keyGen(r, s.keys, false) // uniform: the worst case
+			n := s.lookups / 4
+			// Warm pass, then measured pass.
+			warm := f.NewQP(1, nil)
+			for i := 0; i < n; i++ {
+				clus.GetRemote(warm, cache, gen())
+			}
+			p := profileGets(f, n, gen, func(qp *rdma.QP, k uint64) bool {
+				_, ok := clus.GetRemote(qp, cache, k)
+				return ok
+			})
+			hits, misses, _ := cache.Stats()
+			tput, _ := closedLoop(&m, p, 40)
+			res.AddRow(name, fmt.Sprintf("%dKB", budget/1024),
+				fmt.Sprintf("%.3f", p.opsPerGet),
+				fmt.Sprintf("%.2f", float64(hits)/float64(hits+misses)),
+				fmtMops(tput))
+		}
+	}
+	res.Note("uniform keys over %d entries; full location set ~%dKB", s.keys, fullBytes/1024)
+	return res
+}
+
+func init() {
+	Register(Experiment{ID: "ablate-assoc", Title: "Cache associativity ablation", Run: runAblateAssoc})
+}

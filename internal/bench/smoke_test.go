@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run end-to-end at quick scale and
+// produce a non-empty, well-formed table. testing.Short skips the slower
+// workload experiments.
+func runSmoke(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	res := e.Run(Options{Quick: true, Seed: 1})
+	if res.ID != id {
+		t.Fatalf("result ID %q != %q", res.ID, id)
+	}
+	if len(res.Headers) == 0 || len(res.Rows) == 0 {
+		t.Fatalf("experiment %s produced an empty table", id)
+	}
+	for _, row := range res.Rows {
+		if len(row) != len(res.Headers) {
+			t.Fatalf("experiment %s row width %d != header width %d", id, len(row), len(res.Headers))
+		}
+	}
+	res.Print(os.Stdout)
+	return res
+}
+
+func TestSmokeTable4(t *testing.T) { runSmoke(t, "table4") }
+
+func TestSmokeFig10a(t *testing.T) {
+	res := runSmoke(t, "fig10a")
+	// Throughput must fall with payload (bandwidth term).
+	if res.Rows[0][2] == res.Rows[len(res.Rows)-1][2] {
+		t.Fatal("payload size had no effect on RDMA READ throughput")
+	}
+}
+
+func TestSmokeFig10b(t *testing.T) { runSmoke(t, "fig10b") }
+func TestSmokeFig10c(t *testing.T) { runSmoke(t, "fig10c") }
+func TestSmokeFig10d(t *testing.T) { runSmoke(t, "fig10d") }
+
+func TestSmokeFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "fig11")
+}
+
+func TestSmokeFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runSmoke(t, "fig12")
+	// DrTM must beat Calvin by an order of magnitude.
+	for _, row := range res.Rows {
+		ratio := row[4]
+		if !strings.HasSuffix(ratio, "x") {
+			t.Fatalf("malformed speedup cell %q", ratio)
+		}
+	}
+}
+
+func TestSmokeFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "fig13")
+}
+
+func TestSmokeFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "fig14")
+}
+
+func TestSmokeFig15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "fig15")
+}
+
+func TestSmokeFig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "fig16")
+}
+
+func TestSmokeFig17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "fig17")
+}
+
+func TestSmokeTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runSmoke(t, "table2")
+	// Table 2's headline cells: R RD shares with L RD; R WR conflicts.
+	if res.Rows[1][1] != "C" || res.Rows[1][2] != "C" {
+		t.Fatalf("remote write row = %v, want conflicts", res.Rows[1])
+	}
+}
+
+func TestSmokeTable6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "table6")
+}
+
+func TestSmokeAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSmoke(t, "ablate-cache")
+	runSmoke(t, "ablate-fallback")
+	runSmoke(t, "ablate-atomics")
+	runSmoke(t, "ablate-assoc")
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table4", "table6",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"ablate-cache", "ablate-fallback", "ablate-atomics", "ablate-assoc",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf generates YCSB-style zipfian-distributed keys with exponent theta in
+// (0, 1), which math/rand's Zipf (s > 1) cannot express. The paper's skewed
+// KV workloads use YCSB's theta = 0.99 (Section 5.4). This is the classic
+// Gray et al. "Quickly generating billion-record synthetic databases"
+// algorithm, as used by YCSB itself.
+type Zipf struct {
+	r     *rand.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	z2    float64
+}
+
+// NewZipf builds a generator over [0, n) with the given theta.
+func NewZipf(r *rand.Rand, n uint64, theta float64) *Zipf {
+	z := &Zipf{r: r, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.z2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.z2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns a zipfian sample in [0, n); rank 0 is the hottest key.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Scrambled returns a sample whose rank ordering is hashed across the key
+// space (YCSB's "scrambled zipfian"), so hot keys are spread uniformly.
+func (z *Zipf) Scrambled() uint64 {
+	return fnv64(z.Next()) % z.n
+}
+
+func fnv64(x uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xFF
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}

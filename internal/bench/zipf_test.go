@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1000, 0.99)
+	for i := 0; i < 10_000; i++ {
+		if v := z.Next(); v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if v := z.Scrambled(); v >= 1000 {
+			t.Fatalf("scrambled sample %d out of range", v)
+		}
+	}
+}
+
+// TestZipfSkew: with theta=0.99, the hottest ~1% of ranks should receive a
+// large fraction of samples (YCSB-like skew).
+func TestZipfSkew(t *testing.T) {
+	const n, samples = 10_000, 200_000
+	z := NewZipf(rand.New(rand.NewSource(2)), n, 0.99)
+	hot := 0
+	for i := 0; i < samples; i++ {
+		if z.Next() < n/100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / samples
+	if frac < 0.4 {
+		t.Fatalf("top 1%% of ranks got only %.1f%% of samples; not zipfian", frac*100)
+	}
+}
+
+// TestZipfScrambledSpreads: scrambling must move the hot ranks away from
+// the low end of the keyspace while preserving skew.
+func TestZipfScrambledSpreads(t *testing.T) {
+	const n, samples = 10_000, 100_000
+	z := NewZipf(rand.New(rand.NewSource(3)), n, 0.99)
+	counts := make(map[uint64]int)
+	for i := 0; i < samples; i++ {
+		counts[z.Scrambled()]++
+	}
+	// The hottest key should NOT be key 0 with overwhelming probability,
+	// and the max count must still show heavy skew.
+	var maxKey uint64
+	maxCount := 0
+	for k, c := range counts {
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if maxCount < samples/100 {
+		t.Fatalf("scrambled distribution lost its skew: max count %d", maxCount)
+	}
+	t.Logf("hottest scrambled key %d with %d samples", maxKey, maxCount)
+}
+
+func TestZipfLowTheta(t *testing.T) {
+	// theta -> 0 approaches uniform; the hottest 1% should get ~1%.
+	const n, samples = 10_000, 100_000
+	z := NewZipf(rand.New(rand.NewSource(4)), n, 0.01)
+	hot := 0
+	for i := 0; i < samples; i++ {
+		if z.Next() < n/100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / samples
+	if frac > 0.05 {
+		t.Fatalf("theta=0.01 still skewed: %.2f%%", frac*100)
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1<<20, 0.99)
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}

@@ -1,0 +1,302 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty found something")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty found something")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty found something")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty succeeded")
+	}
+}
+
+func TestInsertGetOverwrite(t *testing.T) {
+	tr := New()
+	if !tr.Insert(10, 100) {
+		t.Fatal("first insert not new")
+	}
+	if tr.Insert(10, 200) {
+		t.Fatal("overwrite reported as new")
+	}
+	v, ok := tr.Get(10)
+	if !ok || v != 200 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyInsertsSortedScan(t *testing.T) {
+	tr := New()
+	const n = 10_000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(uint64(k)+1, uint64(k)*7)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	var got []uint64
+	tr.Ascend(0, ^uint64(0), func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("scan visited %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	for _, k := range perm {
+		v, ok := tr.Get(uint64(k) + 1)
+		if !ok || v != uint64(k)*7 {
+			t.Fatalf("Get(%d) = %d,%v", k+1, v, ok)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := New()
+	for k := uint64(10); k <= 100; k += 10 {
+		tr.Insert(k, k)
+	}
+	var got []uint64
+	tr.Ascend(25, 75, func(k, v uint64) bool { got = append(got, k); return true })
+	want := []uint64{30, 40, 50, 60, 70}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for k := uint64(1); k <= 100; k++ {
+		tr.Insert(k, k)
+	}
+	count := 0
+	tr.Ascend(1, 100, func(k, v uint64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := New()
+	for k := uint64(1); k <= 50; k++ {
+		tr.Insert(k, k)
+	}
+	var got []uint64
+	tr.Descend(10, 20, func(k, v uint64) bool { got = append(got, k); return true })
+	if len(got) != 11 || got[0] != 20 || got[10] != 10 {
+		t.Fatalf("descend = %v", got)
+	}
+	// Early stop: latest 3.
+	got = got[:0]
+	tr.Descend(0, ^uint64(0), func(k, v uint64) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 50 || got[2] != 48 {
+		t.Fatalf("latest-3 = %v", got)
+	}
+}
+
+func TestDeleteLazy(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		tr.Insert(k, k)
+	}
+	for k := uint64(1); k <= n; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got int
+	tr.Ascend(0, ^uint64(0), func(k, v uint64) bool {
+		if k%2 != 0 {
+			t.Fatalf("deleted key %d visible in scan", k)
+		}
+		got++
+		return true
+	})
+	if got != n/2 {
+		t.Fatalf("scan after deletes visited %d", got)
+	}
+	// Delete everything; Min/Max must cope with empty leaves.
+	for k := uint64(2); k <= n; k += 2 {
+		tr.Delete(k)
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min found key in emptied tree")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range []uint64{500, 3, 999, 42} {
+		tr.Insert(k, k*2)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 3 || v != 6 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != 999 || v != 1998 {
+		t.Fatalf("Max = %d,%d,%v", k, v, ok)
+	}
+	tr.Delete(3)
+	if k, _, ok := tr.Min(); !ok || k != 42 {
+		t.Fatalf("Min after delete = %d,%v", k, ok)
+	}
+}
+
+// TestQuickAgainstMapModel randomizes operations against a map+sort model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	f := func(ops []uint32) bool {
+		tr := New()
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op%512) + 1
+			switch (op >> 16) % 3 {
+			case 0:
+				tr.Insert(k, uint64(op))
+				model[k] = uint64(op)
+			case 1:
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			default:
+				v, ok := tr.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		var keys []uint64
+		tr.Ascend(0, ^uint64(0), func(k, v uint64) bool {
+			keys = append(keys, k)
+			return v == model[k]
+		})
+		return len(keys) == len(model) &&
+			sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				k := base*1000 + i + 1
+				tr.Insert(k, k)
+				if v, ok := tr.Get(k); !ok || v != k {
+					t.Errorf("lost key %d", k)
+				}
+				if i%3 == 0 {
+					tr.Delete(k)
+				}
+			}
+		}(uint64(g))
+	}
+	// Concurrent scanners must never see disorder.
+	stop := make(chan struct{})
+	var scanWG sync.WaitGroup
+	scanWG.Add(1)
+	go func() {
+		defer scanWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			prev := uint64(0)
+			tr.Ascend(0, ^uint64(0), func(k, v uint64) bool {
+				if k <= prev {
+					t.Errorf("scan disorder: %d after %d", k, prev)
+					return false
+				}
+				prev = k
+				return true
+			})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scanWG.Wait()
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i)+1, uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(uint64(i)+1, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i%100_000) + 1)
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Insert(uint64(i)+1, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i%99_000) + 1
+		n := 0
+		tr.Ascend(lo, lo+99, func(k, v uint64) bool { n++; return true })
+	}
+}

@@ -1,0 +1,160 @@
+package calvin
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drtm/internal/cluster"
+)
+
+const tbl = 1
+
+func newSys(t testing.TB, nodes, workers, keys int) (*System, *cluster.Cluster) {
+	t.Helper()
+	c := cluster.New(cluster.DefaultConfig(nodes, workers))
+	c.RegisterUnordered(tbl, 256, 256, keys+16, 1)
+	for k := 1; k <= keys; k++ {
+		if err := c.Node(k%nodes).Unordered(tbl).Insert(uint64(k), []uint64{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(c, DefaultConfig(), func(table int, key uint64) int { return int(key) % nodes })
+	return s, c
+}
+
+func transfer(from, to uint64, amt uint64) *Txn {
+	return &Txn{
+		ReadSet:  []Ref{{tbl, from}, {tbl, to}},
+		WriteSet: []Ref{{tbl, from}, {tbl, to}},
+		Logic: func(ctx *Ctx) error {
+			f, _ := ctx.Read(tbl, from)
+			g, _ := ctx.Read(tbl, to)
+			if f[0] < amt {
+				return nil
+			}
+			ctx.Write(tbl, from, []uint64{f[0] - amt})
+			ctx.Write(tbl, to, []uint64{g[0] + amt})
+			return nil
+		},
+	}
+}
+
+func TestSingleTransaction(t *testing.T) {
+	s, c := newSys(t, 2, 1, 4)
+	defer c.Stop()
+	w := c.Worker(0, 0)
+	if err := s.Execute(w, transfer(1, 2, 30)); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := c.Node(1).Unordered(tbl).Get(1)
+	v2, _ := c.Node(0).Unordered(tbl).Get(2)
+	if v1[0] != 70 || v2[0] != 130 {
+		t.Fatalf("balances = %d, %d", v1[0], v2[0])
+	}
+	if s.Committed.Load() != 1 {
+		t.Fatal("commit not counted")
+	}
+}
+
+func TestLatencyIncludesEpochWait(t *testing.T) {
+	s, c := newSys(t, 2, 1, 4)
+	defer c.Stop()
+	w := c.Worker(0, 0)
+	_ = s.Execute(w, transfer(1, 2, 1))
+	if w.Hist.Percentile(50) < 5*time.Millisecond {
+		t.Fatalf("latency %v should include the 5ms average epoch wait",
+			w.Hist.Percentile(50))
+	}
+}
+
+func TestLockManagerAccumulates(t *testing.T) {
+	s, c := newSys(t, 2, 1, 4)
+	defer c.Stop()
+	w := c.Worker(0, 0)
+	_ = s.Execute(w, transfer(1, 2, 1))
+	// Two locks: key 1 -> node 1, key 2 -> node 0.
+	if s.LockMgrTime(0) == 0 || s.LockMgrTime(1) == 0 {
+		t.Fatal("lock manager time not tracked per home node")
+	}
+}
+
+func TestUndeclaredWriteRejected(t *testing.T) {
+	s, c := newSys(t, 1, 1, 4)
+	defer c.Stop()
+	w := c.Worker(0, 0)
+	err := s.Execute(w, &Txn{
+		ReadSet: []Ref{{tbl, 1}},
+		Logic: func(ctx *Ctx) error {
+			ctx.Write(tbl, 1, []uint64{0})
+			return nil
+		},
+	})
+	if err != ErrUndeclaredWrite {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestConservationConcurrent: concurrent transfers across nodes conserve
+// the total (deterministic locking admits no lost updates or deadlock).
+func TestConservationConcurrent(t *testing.T) {
+	const nodes, workers, keys = 3, 2, 24
+	s, c := newSys(t, nodes, workers, keys)
+	defer c.Stop()
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(n, w int) {
+				defer wg.Done()
+				wk := c.Worker(n, w)
+				for i := 0; i < 150; i++ {
+					from := uint64((n*31+w*17+i)%keys) + 1
+					to := uint64((n*7+w*3+i*5)%keys) + 1
+					if from == to {
+						continue
+					}
+					if err := s.Execute(wk, transfer(from, to, uint64(i%5))); err != nil {
+						t.Errorf("execute: %v", err)
+						return
+					}
+				}
+			}(n, w)
+		}
+	}
+	wg.Wait()
+	var total uint64
+	for k := 1; k <= keys; k++ {
+		v, ok := c.Node(k % nodes).Unordered(tbl).Get(uint64(k))
+		if !ok {
+			t.Fatalf("key %d lost", k)
+		}
+		total += v[0]
+	}
+	if total != keys*100 {
+		t.Fatalf("total = %d, want %d", total, keys*100)
+	}
+}
+
+func TestDistributedCostsCharged(t *testing.T) {
+	s, c := newSys(t, 2, 2, 4)
+	defer c.Stop()
+	wLocal := c.Worker(0, 0)
+	wDist := c.Worker(0, 1)
+	// Local-only txn for worker 0 (keys 2 and 4 live on node 0).
+	if err := s.Execute(wLocal, transfer(2, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Distributed txn for worker 1 (keys 1 and 2: nodes 1 and 0).
+	if err := s.Execute(wDist, transfer(1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if wDist.VClock.Now() <= wLocal.VClock.Now() {
+		t.Fatalf("distributed txn (%v) should cost more than local (%v)",
+			wDist.VClock.Now(), wLocal.VClock.Now())
+	}
+	// And the gap must be IPoIB-scale (> 100us).
+	if wDist.VClock.Now()-wLocal.VClock.Now() < 100*time.Microsecond {
+		t.Fatal("IPoIB messaging cost missing")
+	}
+}

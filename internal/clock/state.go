@@ -1,0 +1,67 @@
+// Package clock provides DrTM's notion of time and the lock-state word.
+//
+// It contains two things:
+//
+//   - The Figure 4 state-word algebra: a 64-bit word per record combining
+//     the exclusive (write) lock — 1 bit locked + 8 bits owner machine ID —
+//     with the lease-based shared (read) lock — 55 bits of lease end time.
+//
+//   - The softtime service of Section 6.1: a per-node timer goroutine that
+//     periodically publishes an approximately synchronized timestamp into a
+//     word of an HTM-tracked arena. Reading softtime inside an HTM region
+//     puts it in the region's read set, so a timer update conflicts with
+//     and aborts in-flight readers — the false-abort phenomenon of
+//     Figure 11, which the reuse-and-confirm strategy mitigates.
+//
+// Timestamps are microseconds since the process-wide epoch, which leaves
+// 55 bits of headroom for >1000 years of lease end times.
+package clock
+
+// State-word layout (Figure 4):
+//
+//	bit  0      write_lock (1 = exclusively locked)
+//	bits 1..8   owner_id   (machine that holds the exclusive lock)
+//	bits 9..63  read_lease (end time of the shared lease, microseconds)
+const (
+	// Init is the unlocked, unleased state of a fresh record.
+	Init uint64 = 0
+
+	writeLockBit = uint64(1)
+	ownerShift   = 1
+	ownerMask    = uint64(0xFF) << ownerShift
+	leaseShift   = 9
+	// MaxOwner is the largest encodable machine ID.
+	MaxOwner = 0xFF
+)
+
+// WLocked returns the state word for an exclusive lock held by owner.
+func WLocked(owner uint8) uint64 {
+	return writeLockBit | uint64(owner)<<ownerShift
+}
+
+// IsWriteLocked reports whether the state is exclusively locked.
+func IsWriteLocked(s uint64) bool { return s&writeLockBit != 0 }
+
+// Owner returns the machine ID holding the exclusive lock.
+func Owner(s uint64) uint8 { return uint8((s & ownerMask) >> ownerShift) }
+
+// LeaseEnd extracts the shared-lease end time (microseconds) from a state.
+func LeaseEnd(s uint64) uint64 { return s >> leaseShift }
+
+// Shared returns the state word for a shared lease ending at end (us).
+func Shared(endMicros uint64) uint64 { return endMicros << leaseShift }
+
+// Expired reports whether a lease ending at end has certainly expired at
+// time now, given clock uncertainty delta (all microseconds). Per Figure 4:
+// EXPIRED(end) := now > end + DELTA.
+func Expired(endMicros, nowMicros, deltaMicros uint64) bool {
+	return nowMicros > endMicros+deltaMicros
+}
+
+// Valid reports whether a lease ending at end is certainly still valid at
+// now given uncertainty delta. Per Figure 4: VALID(end) := now < end - DELTA.
+// Note Valid and Expired are not complements: between them lies an
+// uncertainty window in which a cautious reader must re-acquire.
+func Valid(endMicros, nowMicros, deltaMicros uint64) bool {
+	return endMicros >= deltaMicros && nowMicros < endMicros-deltaMicros
+}

@@ -1,0 +1,314 @@
+// Package cluster assembles the DrTM runtime: N logical nodes in one
+// process, each with its own HTM engine, softtime clock, memory-store
+// shards, NVRAM logs and worker contexts, connected by the simulated RDMA
+// fabric. This mirrors the paper's deployment (and its own scale-out
+// emulation, which runs multiple logical nodes per machine, Section 7.2).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drtm/internal/clock"
+	"drtm/internal/htm"
+	"drtm/internal/kvs"
+	"drtm/internal/nvram"
+	"drtm/internal/rdma"
+	"drtm/internal/vtime"
+)
+
+// Config describes a cluster.
+type Config struct {
+	Nodes          int
+	WorkersPerNode int
+
+	HTM       htm.Config
+	Model     vtime.Model
+	Atomicity rdma.AtomicityLevel
+
+	// Lease durations (Section 4.2): the paper fixes 0.4 ms for read-write
+	// transactions and 1.0 ms for read-only transactions.
+	LeaseMicros   uint64
+	ROLeaseMicros uint64
+
+	// Softtime deployment (Section 6.1).
+	SofttimeInterval time.Duration
+	SkewBound        time.Duration
+	Strategy         clock.Strategy
+
+	// Durability (Section 4.6): when true, transactions write chopping,
+	// lock-ahead and write-ahead logs to emulated NVRAM.
+	Durability bool
+
+	// LogWords sizes each worker's NVRAM logs.
+	LogWords int
+}
+
+// DefaultConfig mirrors the paper's settings on a cluster of n nodes with
+// w workers each.
+func DefaultConfig(n, w int) Config {
+	return Config{
+		Nodes:            n,
+		WorkersPerNode:   w,
+		HTM:              htm.DefaultConfig(),
+		Model:            vtime.DefaultModel(),
+		Atomicity:        rdma.AtomicHCA,
+		LeaseMicros:      400,
+		ROLeaseMicros:    1000,
+		SofttimeInterval: 200 * time.Microsecond,
+		SkewBound:        50 * time.Microsecond,
+		Strategy:         clock.StrategyReuseConfirm,
+		LogWords:         1 << 20,
+	}
+}
+
+// Cluster is the assembled system.
+type Cluster struct {
+	cfg    Config
+	Fabric *rdma.Fabric
+	nodes  []*Node
+
+	mu       sync.Mutex
+	watchers []func(crashed int)
+}
+
+// Node is one logical machine.
+type Node struct {
+	ID      int
+	Engine  *htm.Engine
+	Clock   *clock.SoftClock
+	cluster *Cluster
+
+	unordered map[int]*kvs.Table
+	ordered   map[int]*kvs.Ordered
+
+	handlers map[int]rdma.Handler
+
+	workers []*Worker
+	alive   atomic.Bool
+}
+
+// Worker is a worker thread's context: its queue pair, virtual clock,
+// latency histogram and NVRAM logs. Each worker executes one transaction
+// at a time, as in the paper.
+type Worker struct {
+	Node   *Node
+	ID     int // node-local worker index
+	QP     *rdma.QP
+	VClock *vtime.Clock
+	Hist   *vtime.Histogram
+
+	// Per-worker NVRAM logs (Section 4.6).
+	ChoppingLog   *nvram.Log
+	LockAheadLog  *nvram.Log
+	WriteAheadLog *nvram.Log
+}
+
+// Delta returns the cluster's lease clock-uncertainty bound in microseconds.
+func (c *Cluster) Delta() uint64 {
+	return clock.Delta(c.cfg.SofttimeInterval, c.cfg.SkewBound)
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// New builds a cluster. Per-node softtime skew is spread deterministically
+// across [-SkewBound, +SkewBound].
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 || cfg.WorkersPerNode <= 0 {
+		panic("cluster: need at least one node and one worker")
+	}
+	if cfg.LogWords <= 0 {
+		cfg.LogWords = 1 << 20
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		Fabric: rdma.NewFabric(cfg.Nodes, cfg.Model, cfg.Atomicity),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		skew := time.Duration(0)
+		if cfg.Nodes > 1 {
+			frac := float64(i)/float64(cfg.Nodes-1)*2 - 1 // -1 .. +1
+			skew = time.Duration(frac * float64(cfg.SkewBound))
+		}
+		n := &Node{
+			ID:        i,
+			Engine:    htm.NewEngine(cfg.HTM),
+			Clock:     clock.NewSoftClock(1000+i, cfg.SofttimeInterval, skew),
+			cluster:   c,
+			unordered: make(map[int]*kvs.Table),
+			ordered:   make(map[int]*kvs.Ordered),
+			handlers:  make(map[int]rdma.Handler),
+		}
+		n.alive.Store(true)
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			vc := &vtime.Clock{}
+			wk := &Worker{
+				Node:   n,
+				ID:     w,
+				QP:     c.Fabric.NewQP(i, vc),
+				VClock: vc,
+				Hist:   vtime.NewHistogram(),
+			}
+			if cfg.Durability {
+				wk.ChoppingLog = nvram.NewLog(i*1000+w*3+0, cfg.LogWords)
+				wk.LockAheadLog = nvram.NewLog(i*1000+w*3+1, cfg.LogWords)
+				wk.WriteAheadLog = nvram.NewLog(i*1000+w*3+2, cfg.LogWords)
+			}
+			n.workers = append(n.workers, wk)
+		}
+		c.nodes = append(c.nodes, n)
+		c.Fabric.Serve(i, n.dispatch)
+	}
+	return c
+}
+
+// Start launches every node's softtime timer thread.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n.Clock.Start()
+	}
+}
+
+// Stop terminates timer threads.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Clock.Stop()
+	}
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Workers returns all workers across alive nodes.
+func (c *Cluster) Workers() []*Worker {
+	var out []*Worker
+	for _, n := range c.nodes {
+		if n.alive.Load() {
+			out = append(out, n.workers...)
+		}
+	}
+	return out
+}
+
+// Worker returns worker w of node n.
+func (c *Cluster) Worker(n, w int) *Worker { return c.nodes[n].workers[w] }
+
+// RegisterUnordered creates one shard of an unordered (hash) table on every
+// node and registers the arenas on the fabric under region ID = table ID.
+func (c *Cluster) RegisterUnordered(tableID, mainBuckets, indirectBuckets, capacity, valueWords int) {
+	for _, n := range c.nodes {
+		t := kvs.New(kvs.Config{
+			Node: n.ID, RegionID: tableID,
+			MainBuckets: mainBuckets, IndirectBuckets: indirectBuckets,
+			Capacity: capacity, ValueWords: valueWords,
+		}, n.Engine)
+		n.unordered[tableID] = t
+		c.Fabric.Register(n.ID, tableID, t.Arena())
+	}
+}
+
+// RegisterOrdered creates one shard of an ordered (B+ tree) table on every
+// node. Remote data access to ordered tables goes through verbs, as in the
+// paper — but the record arenas are still fabric-registered because the
+// protocol locks *local* ordered records with loopback RDMA CAS under
+// HCA-level atomicity (Section 6.3: read-only transactions and the
+// fallback handler).
+func (c *Cluster) RegisterOrdered(tableID, capacity, valueWords int) {
+	for _, n := range c.nodes {
+		o := kvs.NewOrdered(kvs.OrderedConfig{
+			Node: n.ID, RegionID: tableID,
+			Capacity: capacity, ValueWords: valueWords,
+		}, n.Engine)
+		n.ordered[tableID] = o
+		c.Fabric.Register(n.ID, tableID, o.Arena())
+	}
+}
+
+// Unordered returns node n's shard of hash table tableID.
+func (n *Node) Unordered(tableID int) *kvs.Table {
+	t, ok := n.unordered[tableID]
+	if !ok {
+		panic(fmt.Sprintf("cluster: node %d has no unordered table %d", n.ID, tableID))
+	}
+	return t
+}
+
+// Ordered returns node n's shard of ordered table tableID.
+func (n *Node) Ordered(tableID int) *kvs.Ordered {
+	o, ok := n.ordered[tableID]
+	if !ok {
+		panic(fmt.Sprintf("cluster: node %d has no ordered table %d", n.ID, tableID))
+	}
+	return o
+}
+
+// HasOrdered reports whether the node hosts ordered table tableID.
+func (n *Node) HasOrdered(tableID int) bool {
+	_, ok := n.ordered[tableID]
+	return ok
+}
+
+// Handle registers a verbs message handler for a message type on this node.
+// Must be called before traffic starts.
+func (n *Node) Handle(msgType int, h rdma.Handler) { n.handlers[msgType] = h }
+
+// Msg is the envelope for two-sided verbs messages.
+type Msg struct {
+	Type int
+	Body any
+}
+
+func (n *Node) dispatch(from int, req any) any {
+	m, ok := req.(Msg)
+	if !ok {
+		panic(fmt.Sprintf("cluster: node %d got non-Msg request %T", n.ID, req))
+	}
+	h, ok := n.handlers[m.Type]
+	if !ok {
+		panic(fmt.Sprintf("cluster: node %d has no handler for msg type %d", n.ID, m.Type))
+	}
+	return h(from, m.Body)
+}
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Watch registers a callback invoked (synchronously, from Crash) when a
+// node fails — the Zookeeper-notification stand-in that triggers
+// cooperative recovery on survivors.
+func (c *Cluster) Watch(cb func(crashed int)) {
+	c.mu.Lock()
+	c.watchers = append(c.watchers, cb)
+	c.mu.Unlock()
+}
+
+// Crash fail-stops a node: its workers must observe Alive() == false and
+// stop issuing work; its memory and NVRAM logs remain readable (the
+// flush-on-failure model). Watchers are then notified to assist recovery.
+func (c *Cluster) Crash(node int) {
+	n := c.nodes[node]
+	if !n.alive.CompareAndSwap(true, false) {
+		return
+	}
+	n.Clock.Stop()
+	c.mu.Lock()
+	ws := append([]func(int){}, c.watchers...)
+	c.mu.Unlock()
+	for _, cb := range ws {
+		cb(node)
+	}
+}
+
+// Revive marks a crashed node alive again (after recovery completes).
+func (c *Cluster) Revive(node int) {
+	c.nodes[node].alive.Store(true)
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+
+	"drtm/internal/memory"
+)
+
+func TestNewClusterShape(t *testing.T) {
+	c := New(DefaultConfig(3, 4))
+	defer c.Stop()
+	if c.Nodes() != 3 {
+		t.Fatalf("Nodes = %d", c.Nodes())
+	}
+	if len(c.Workers()) != 12 {
+		t.Fatalf("Workers = %d", len(c.Workers()))
+	}
+	w := c.Worker(1, 2)
+	if w.Node.ID != 1 || w.ID != 2 {
+		t.Fatalf("worker identity = %d/%d", w.Node.ID, w.ID)
+	}
+	if w.QP.Local() != 1 {
+		t.Fatal("QP bound to wrong node")
+	}
+}
+
+func TestRegisterTables(t *testing.T) {
+	c := New(DefaultConfig(2, 1))
+	defer c.Stop()
+	c.RegisterUnordered(1, 64, 64, 128, 2)
+	c.RegisterOrdered(2, 128, 2)
+
+	t0 := c.Node(0).Unordered(1)
+	if err := t0.Insert(5, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Remote node can read it one-sided.
+	qp := c.Worker(1, 0).QP
+	e, ok := t0.GetRemote(qp, nil, 5)
+	if !ok || e.Value[0] != 1 {
+		t.Fatalf("remote get = %+v,%v", e, ok)
+	}
+
+	o1 := c.Node(1).Ordered(2)
+	if err := o1.Insert(9, []uint64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := o1.Get(9); !ok || v[0] != 3 {
+		t.Fatal("ordered get failed")
+	}
+	if !c.Node(0).HasOrdered(2) || c.Node(0).HasOrdered(99) {
+		t.Fatal("HasOrdered wrong")
+	}
+}
+
+func TestVerbsDispatch(t *testing.T) {
+	c := New(DefaultConfig(2, 1))
+	defer c.Stop()
+	c.Node(1).Handle(7, func(from int, body any) any {
+		return body.(string) + " handled by node 1"
+	})
+	resp := c.Worker(0, 0).QP.Call(1, Msg{Type: 7, Body: "hello"}, 16, 16)
+	if resp.(string) != "hello handled by node 1" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestCrashNotifiesWatchersOnce(t *testing.T) {
+	c := New(DefaultConfig(3, 1))
+	defer c.Stop()
+	var crashed []int
+	c.Watch(func(n int) { crashed = append(crashed, n) })
+	c.Crash(2)
+	c.Crash(2) // idempotent
+	if len(crashed) != 1 || crashed[0] != 2 {
+		t.Fatalf("watch calls = %v", crashed)
+	}
+	if c.Node(2).Alive() {
+		t.Fatal("crashed node still alive")
+	}
+	if len(c.Workers()) != 2 {
+		t.Fatalf("workers after crash = %d", len(c.Workers()))
+	}
+	c.Revive(2)
+	if !c.Node(2).Alive() {
+		t.Fatal("revive failed")
+	}
+}
+
+func TestDurabilityLogsAllocated(t *testing.T) {
+	cfg := DefaultConfig(1, 2)
+	cfg.Durability = true
+	cfg.LogWords = 1024
+	c := New(cfg)
+	defer c.Stop()
+	w := c.Worker(0, 1)
+	if w.WriteAheadLog == nil || w.LockAheadLog == nil || w.ChoppingLog == nil {
+		t.Fatal("durability logs missing")
+	}
+	w.LockAheadLog.Append([]uint64{1})
+	if w.LockAheadLog.Len() != 1 {
+		t.Fatal("log append failed")
+	}
+	// Logs are per-worker: the other worker's logs are untouched.
+	if c.Worker(0, 0).LockAheadLog.Len() != 0 {
+		t.Fatal("logs shared between workers")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(6, 8)
+	if cfg.LeaseMicros != 400 || cfg.ROLeaseMicros != 1000 {
+		t.Fatal("lease durations diverge from Section 4.2")
+	}
+	c := New(cfg)
+	defer c.Stop()
+	if c.Delta() == 0 {
+		t.Fatal("Delta must be positive")
+	}
+	// Node skews stay within the bound: softtime readable everywhere.
+	for i := 0; i < c.Nodes(); i++ {
+		_ = c.Node(i).Clock.Read()
+	}
+}
+
+func TestSofttimeSkewOrdering(t *testing.T) {
+	c := New(DefaultConfig(5, 1))
+	defer c.Stop()
+	// Node 0 has -SkewBound, node 4 has +SkewBound.
+	lo := c.Node(0).Clock.Read()
+	hi := c.Node(4).Clock.Read()
+	if hi <= lo {
+		t.Fatalf("skew spread wrong: node0=%d node4=%d", lo, hi)
+	}
+}
+
+func TestCrossNodeCoherence(t *testing.T) {
+	c := New(DefaultConfig(2, 1))
+	defer c.Stop()
+	c.RegisterUnordered(1, 16, 16, 32, 1)
+	host := c.Node(0).Unordered(1)
+	_ = host.Insert(1, []uint64{10})
+	off, _ := host.LookupLocal(1)
+
+	// Remote CAS on the state word, then local HTM read sees it.
+	qp := c.Worker(1, 0).QP
+	prev, ok := qp.CAS(0, 1, memory.Offset(off)+2, 0, 0xABC)
+	if !ok || prev != 0 {
+		t.Fatalf("remote CAS = %d,%v", prev, ok)
+	}
+	if host.Arena().LoadWord(off+2) != 0xABC {
+		t.Fatal("remote CAS not coherent with local view")
+	}
+}

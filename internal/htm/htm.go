@@ -1,0 +1,366 @@
+// Package htm emulates Intel Restricted Transactional Memory (RTM) in
+// software over the word arenas of package memory.
+//
+// The emulation preserves every RTM property the DrTM protocol depends on:
+//
+//   - All-or-nothing commit: writes are buffered privately and published
+//     atomically (under per-line seqlocks) at XEND.
+//   - Strong atomicity: a non-transactional store (e.g. a simulated one-sided
+//     RDMA WRITE or CAS from another machine) bumps the affected line
+//     versions, so any in-flight transaction that read those lines fails
+//     validation and aborts — exactly as a remote coherence invalidation
+//     aborts a real RTM transaction.
+//   - Capacity aborts: the write set is bounded (L1-sized by default, 512
+//     cache lines = 32 KB) and the read set by a larger bound; exceeding
+//     either aborts with AbortCapacity. This is what makes transaction
+//     chopping observable in the simulator.
+//   - No progress guarantee: conflicting transactions use try-locks and
+//     abort rather than block, so livelock is possible and a software
+//     fallback path is required, as with real RTM.
+//   - Abort codes: conflict, capacity, and explicit (XABORT imm8) are
+//     distinguished, mirroring the EAX abort status of RTM.
+//
+// The one intentional deviation is abort *timing*: real RTM aborts a doomed
+// transaction the instant a conflicting coherence message arrives, while
+// this engine detects the conflict at the transaction's next access to the
+// line or at commit (opacity is still guaranteed — a transaction never acts
+// on inconsistent data). Published state is identical in both designs.
+package htm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"drtm/internal/memory"
+)
+
+// AbortCode classifies transaction aborts, mirroring RTM's abort status.
+type AbortCode int
+
+const (
+	// AbortConflict corresponds to _XABORT_CONFLICT: another agent touched
+	// a line in the transaction's working set.
+	AbortConflict AbortCode = iota
+	// AbortCapacity corresponds to _XABORT_CAPACITY: the working set
+	// exceeded the hardware tracking capacity.
+	AbortCapacity
+	// AbortExplicit corresponds to _XABORT_EXPLICIT: the transaction
+	// executed XABORT with a user code (e.g. DrTM's lock-state checks).
+	AbortExplicit
+)
+
+func (c AbortCode) String() string {
+	switch c {
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("AbortCode(%d)", int(c))
+	}
+}
+
+// AbortError is returned by Engine.Run when the transaction aborted.
+type AbortError struct {
+	Code AbortCode
+	// User carries the XABORT imm8 code for explicit aborts.
+	User uint8
+}
+
+func (e *AbortError) Error() string {
+	if e.Code == AbortExplicit {
+		return fmt.Sprintf("htm: aborted (explicit, code %d)", e.User)
+	}
+	return "htm: aborted (" + e.Code.String() + ")"
+}
+
+// IsAbort reports whether err is an HTM abort and returns it if so.
+func IsAbort(err error) (*AbortError, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// Config bounds the emulated hardware working set.
+type Config struct {
+	// WriteLines is the maximum number of distinct cache lines in the write
+	// set (RTM tracks writes in L1: 32 KB / 64 B = 512 lines).
+	WriteLines int
+	// ReadLines is the maximum number of distinct cache lines in the read
+	// set (RTM tracks reads in an implementation-specific, larger structure).
+	ReadLines int
+}
+
+// DefaultConfig matches the Haswell-class hardware in the paper.
+func DefaultConfig() Config { return Config{WriteLines: 512, ReadLines: 4096} }
+
+// Stats aggregates transaction outcomes for an Engine. All fields are
+// updated atomically and may be read concurrently.
+type Stats struct {
+	Commits        atomic.Int64
+	Aborts         atomic.Int64
+	ConflictAborts atomic.Int64
+	CapacityAborts atomic.Int64
+	ExplicitAborts atomic.Int64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() (commits, aborts, conflict, capacity, explicit int64) {
+	return s.Commits.Load(), s.Aborts.Load(), s.ConflictAborts.Load(),
+		s.CapacityAborts.Load(), s.ExplicitAborts.Load()
+}
+
+// Engine executes transactions against arenas. An Engine is typically
+// per-node; it is safe for concurrent use by multiple worker goroutines.
+type Engine struct {
+	cfg   Config
+	Stats Stats
+}
+
+// NewEngine returns an engine with the given capacity configuration.
+// Zero bounds fall back to DefaultConfig values.
+func NewEngine(cfg Config) *Engine {
+	def := DefaultConfig()
+	if cfg.WriteLines <= 0 {
+		cfg.WriteLines = def.WriteLines
+	}
+	if cfg.ReadLines <= 0 {
+		cfg.ReadLines = def.ReadLines
+	}
+	return &Engine{cfg: cfg}
+}
+
+// lineKey identifies a cache line across arenas.
+type lineKey struct {
+	a *memory.Arena
+	l memory.Line
+}
+
+// wordKey identifies a single word across arenas.
+type wordKey struct {
+	a   *memory.Arena
+	off memory.Offset
+}
+
+// Txn is an in-flight hardware transaction. It must only be used by the
+// goroutine that began it, and only between XBEGIN and the return of the
+// region function — exactly like a real RTM context.
+type Txn struct {
+	eng    *Engine
+	reads  map[lineKey]uint64 // line -> observed version
+	writes map[wordKey]uint64 // word -> buffered value
+	wlines map[lineKey]struct{}
+}
+
+// abortPanic carries an abort out of user code; Engine.Run recovers it.
+type abortPanic struct{ err *AbortError }
+
+func (t *Txn) abort(code AbortCode, user uint8) {
+	panic(abortPanic{&AbortError{Code: code, User: user}})
+}
+
+// Abort explicitly aborts the transaction with a user code (XABORT imm8).
+// It does not return.
+func (t *Txn) Abort(user uint8) { t.abort(AbortExplicit, user) }
+
+// Read transactionally loads one word, adding its line to the read set.
+func (t *Txn) Read(a *memory.Arena, off memory.Offset) uint64 {
+	if v, ok := t.writes[wordKey{a, off}]; ok {
+		return v
+	}
+	lk := lineKey{a, memory.LineOf(off)}
+	const retries = 64
+	for i := 0; ; i++ {
+		v1 := a.LineVersion(lk.l)
+		if v1&1 != 0 {
+			if i >= retries {
+				t.abort(AbortConflict, 0)
+			}
+			yield()
+			continue
+		}
+		val := a.LoadWord(off)
+		if a.LineVersion(lk.l) != v1 {
+			if i >= retries {
+				t.abort(AbortConflict, 0)
+			}
+			yield()
+			continue
+		}
+		if prev, ok := t.reads[lk]; ok {
+			if prev != v1 {
+				// The line changed after we first read it: the transaction
+				// is doomed (this is where real RTM would already have
+				// aborted us asynchronously).
+				t.abort(AbortConflict, 0)
+			}
+			return val
+		}
+		if len(t.reads) >= t.eng.cfg.ReadLines {
+			t.abort(AbortCapacity, 0)
+		}
+		t.reads[lk] = v1
+		return val
+	}
+}
+
+// ReadN transactionally loads n=len(dst) consecutive words.
+func (t *Txn) ReadN(a *memory.Arena, off memory.Offset, dst []uint64) {
+	for i := range dst {
+		dst[i] = t.Read(a, off+memory.Offset(i))
+	}
+}
+
+// Write buffers a transactional store of one word.
+func (t *Txn) Write(a *memory.Arena, off memory.Offset, v uint64) {
+	lk := lineKey{a, memory.LineOf(off)}
+	if _, ok := t.wlines[lk]; !ok {
+		if len(t.wlines) >= t.eng.cfg.WriteLines {
+			t.abort(AbortCapacity, 0)
+		}
+		t.wlines[lk] = struct{}{}
+	}
+	t.writes[wordKey{a, off}] = v
+}
+
+// WriteN buffers transactional stores of consecutive words.
+func (t *Txn) WriteN(a *memory.Arena, off memory.Offset, src []uint64) {
+	for i, v := range src {
+		t.Write(a, off+memory.Offset(i), v)
+	}
+}
+
+// ReadSetLines and WriteSetLines report current working-set sizes in cache
+// lines; useful for chopping heuristics and tests.
+func (t *Txn) ReadSetLines() int  { return len(t.reads) }
+func (t *Txn) WriteSetLines() int { return len(t.wlines) }
+
+// Run executes fn as a single hardware transaction attempt (XBEGIN ... XEND).
+// It returns nil on commit, an *AbortError on abort, or fn's error verbatim
+// (in which case the transaction's buffered writes are discarded, i.e. the
+// region is rolled back). Retry policy is the caller's responsibility, as
+// with real RTM.
+func (e *Engine) Run(fn func(*Txn) error) (err error) {
+	t := &Txn{
+		eng:    e,
+		reads:  make(map[lineKey]uint64, 16),
+		writes: make(map[wordKey]uint64, 16),
+		wlines: make(map[lineKey]struct{}, 8),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ap, ok := r.(abortPanic)
+			if !ok {
+				panic(r)
+			}
+			err = ap.err
+			e.recordAbort(ap.err)
+		}
+	}()
+	if err := fn(t); err != nil {
+		// A user error rolls the region back without committing; this is
+		// the moral equivalent of XABORT followed by not retrying.
+		e.recordAbort(&AbortError{Code: AbortExplicit})
+		return err
+	}
+	if err := t.commit(); err != nil {
+		ae, _ := IsAbort(err)
+		e.recordAbort(ae)
+		return err
+	}
+	e.Stats.Commits.Add(1)
+	return nil
+}
+
+func (e *Engine) recordAbort(ae *AbortError) {
+	e.Stats.Aborts.Add(1)
+	if ae == nil {
+		return
+	}
+	switch ae.Code {
+	case AbortConflict:
+		e.Stats.ConflictAborts.Add(1)
+	case AbortCapacity:
+		e.Stats.CapacityAborts.Add(1)
+	case AbortExplicit:
+		e.Stats.ExplicitAborts.Add(1)
+	}
+}
+
+// commit validates the read set and publishes buffered writes atomically.
+func (t *Txn) commit() error {
+	if len(t.writes) == 0 {
+		// Read-only transactions just validate.
+		for lk, ver := range t.reads {
+			if lk.a.LineVersion(lk.l) != ver {
+				return &AbortError{Code: AbortConflict}
+			}
+		}
+		return nil
+	}
+
+	// Acquire write-line locks in a deterministic global order. Real RTM
+	// resolves write-write races through the coherence protocol; sorting
+	// here avoids emulation-level deadlock while try-lock keeps the
+	// "no progress guarantee" property (we abort rather than wait).
+	locks := make([]lineKey, 0, len(t.wlines))
+	for lk := range t.wlines {
+		locks = append(locks, lk)
+	}
+	sort.Slice(locks, func(i, j int) bool {
+		if locks[i].a != locks[j].a {
+			return locks[i].a.ID < locks[j].a.ID
+		}
+		return locks[i].l < locks[j].l
+	})
+
+	type held struct {
+		lk   lineKey
+		prev uint64
+	}
+	acquired := make([]held, 0, len(locks))
+	release := func(dirty bool) {
+		for i := len(acquired) - 1; i >= 0; i-- {
+			h := acquired[i]
+			h.lk.a.UnlockLineForHTM(h.lk.l, h.prev, dirty)
+		}
+	}
+
+	for _, lk := range locks {
+		prev, ok := lk.a.TryLockLineForHTM(lk.l)
+		if !ok {
+			release(false)
+			return &AbortError{Code: AbortConflict}
+		}
+		if rv, inReadSet := t.reads[lk]; inReadSet && rv != prev {
+			lk.a.UnlockLineForHTM(lk.l, prev, false)
+			release(false)
+			return &AbortError{Code: AbortConflict}
+		}
+		acquired = append(acquired, held{lk, prev})
+	}
+
+	// Validate read-only lines while holding all write locks.
+	for lk, ver := range t.reads {
+		if _, isWrite := t.wlines[lk]; isWrite {
+			continue // validated at lock time
+		}
+		if lk.a.LineVersion(lk.l) != ver {
+			release(false)
+			return &AbortError{Code: AbortConflict}
+		}
+	}
+
+	// Publish.
+	for wk, v := range t.writes {
+		wk.a.PublishWord(wk.off, v)
+	}
+	release(true)
+	return nil
+}

@@ -1,0 +1,365 @@
+package htm
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"drtm/internal/memory"
+)
+
+func newEngine() *Engine { return NewEngine(Config{}) }
+
+func TestCommitPublishesWrites(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 64)
+	err := e.Run(func(tx *Txn) error {
+		tx.Write(a, 1, 10)
+		tx.Write(a, 9, 20) // different line
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.LoadWord(1) != 10 || a.LoadWord(9) != 20 {
+		t.Fatal("committed writes not visible")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 64)
+	err := e.Run(func(tx *Txn) error {
+		tx.Write(a, 0, 7)
+		if got := tx.Read(a, 0); got != 7 {
+			t.Errorf("read-own-write = %d, want 7", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWritesInvisibleBeforeCommit(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	inRegion := make(chan struct{})
+	done := make(chan struct{})
+	var observed uint64
+	go func() {
+		<-inRegion
+		observed = a.LoadWord(0)
+		close(done)
+	}()
+	err := e.Run(func(tx *Txn) error {
+		tx.Write(a, 0, 42)
+		close(inRegion)
+		<-done
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if observed != 0 {
+		t.Fatalf("non-transactional reader saw buffered write: %d", observed)
+	}
+	if a.LoadWord(0) != 42 {
+		t.Fatal("write lost after commit")
+	}
+}
+
+func TestUserErrorRollsBack(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	sentinel := errors.New("boom")
+	err := e.Run(func(tx *Txn) error {
+		tx.Write(a, 0, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if a.LoadWord(0) != 0 {
+		t.Fatal("rolled-back write became visible")
+	}
+}
+
+func TestExplicitAbort(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	err := e.Run(func(tx *Txn) error {
+		tx.Write(a, 0, 1)
+		tx.Abort(0xAB)
+		t.Error("unreachable after Abort")
+		return nil
+	})
+	ae, ok := IsAbort(err)
+	if !ok || ae.Code != AbortExplicit || ae.User != 0xAB {
+		t.Fatalf("err = %v, want explicit abort 0xAB", err)
+	}
+	if a.LoadWord(0) != 0 {
+		t.Fatal("aborted write became visible")
+	}
+	if e.Stats.ExplicitAborts.Load() != 1 {
+		t.Fatal("explicit abort not counted")
+	}
+}
+
+func TestCapacityAbortWrites(t *testing.T) {
+	e := NewEngine(Config{WriteLines: 4, ReadLines: 1024})
+	a := memory.NewArena(0, 1024)
+	err := e.Run(func(tx *Txn) error {
+		for i := 0; i < 5; i++ {
+			tx.Write(a, memory.Offset(i*memory.WordsPerLine), 1)
+		}
+		return nil
+	})
+	ae, ok := IsAbort(err)
+	if !ok || ae.Code != AbortCapacity {
+		t.Fatalf("err = %v, want capacity abort", err)
+	}
+}
+
+func TestCapacityAbortReads(t *testing.T) {
+	e := NewEngine(Config{WriteLines: 512, ReadLines: 4})
+	a := memory.NewArena(0, 1024)
+	err := e.Run(func(tx *Txn) error {
+		for i := 0; i < 5; i++ {
+			tx.Read(a, memory.Offset(i*memory.WordsPerLine))
+		}
+		return nil
+	})
+	ae, ok := IsAbort(err)
+	if !ok || ae.Code != AbortCapacity {
+		t.Fatalf("err = %v, want capacity abort", err)
+	}
+}
+
+// TestStrongAtomicityRemoteWriteAbortsReader reproduces Figure 2(b)/(c):
+// a non-transactional store (simulating a one-sided RDMA op) to a line in an
+// HTM transaction's read set aborts that transaction at commit.
+func TestStrongAtomicityRemoteWriteAbortsReader(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	err := e.Run(func(tx *Txn) error {
+		_ = tx.Read(a, 0)
+		a.StoreWord(0, 5) // "RDMA" write from elsewhere
+		return nil
+	})
+	ae, ok := IsAbort(err)
+	if !ok || ae.Code != AbortConflict {
+		t.Fatalf("err = %v, want conflict abort", err)
+	}
+}
+
+// TestStrongAtomicityCASAbortsWriter: a remote CAS on a line in the write
+// set dooms the transaction (write-write conflict detected at publication).
+func TestStrongAtomicityCASAbortsWriter(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	err := e.Run(func(tx *Txn) error {
+		_ = tx.Read(a, 0) // record the version: DrTM's local ops read state first
+		tx.Write(a, 0, 1)
+		a.CAS(0, 0, 77)
+		return nil
+	})
+	ae, ok := IsAbort(err)
+	if !ok || ae.Code != AbortConflict {
+		t.Fatalf("err = %v, want conflict abort", err)
+	}
+	if a.LoadWord(0) != 77 {
+		t.Fatal("remote CAS result lost")
+	}
+}
+
+// TestDoomedReadAbortsEagerly: re-reading a line whose version changed
+// mid-transaction aborts immediately (opacity).
+func TestDoomedReadAbortsEagerly(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	err := e.Run(func(tx *Txn) error {
+		_ = tx.Read(a, 0)
+		a.StoreWord(1, 9) // same line, non-transactional
+		_ = tx.Read(a, 0) // must abort here, not at commit
+		t.Error("unreachable: doomed read did not abort")
+		return nil
+	})
+	if ae, ok := IsAbort(err); !ok || ae.Code != AbortConflict {
+		t.Fatalf("err = %v, want conflict abort", err)
+	}
+}
+
+func TestConflictingCommitsOneWins(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	const goroutines, iters = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					err := e.Run(func(tx *Txn) error {
+						v := tx.Read(a, 0)
+						tx.Write(a, 0, v+1)
+						return nil
+					})
+					if err == nil {
+						break
+					}
+					if _, ok := IsAbort(err); !ok {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.LoadWord(0); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates!)", got, goroutines*iters)
+	}
+}
+
+// TestSerializabilityRandomTransfers is the core property test: concurrent
+// random transfers between accounts must conserve the total balance, and no
+// committed transaction may have observed a non-integral snapshot.
+func TestSerializabilityRandomTransfers(t *testing.T) {
+	e := newEngine()
+	const accounts = 16
+	a := memory.NewArena(0, accounts*memory.WordsPerLine) // one account per line
+	for i := 0; i < accounts; i++ {
+		a.UnsafeInit(memory.Offset(i*memory.WordsPerLine), []uint64{1000})
+	}
+	const total = accounts * 1000
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				fi, ti := r.Intn(accounts), r.Intn(accounts)
+				if fi == ti {
+					continue
+				}
+				from := memory.Offset(fi * memory.WordsPerLine)
+				to := memory.Offset(ti * memory.WordsPerLine)
+				amt := uint64(r.Intn(10))
+				for {
+					err := e.Run(func(tx *Txn) error {
+						f := tx.Read(a, from)
+						tVal := tx.Read(a, to)
+						if f < amt {
+							return nil // insufficient funds; commit read-only
+						}
+						tx.Write(a, from, f-amt)
+						tx.Write(a, to, tVal+amt)
+						return nil
+					})
+					if err == nil {
+						break
+					}
+				}
+			}
+		}(int64(g))
+	}
+
+	// A concurrent auditor transaction repeatedly checks conservation.
+	auditDone := make(chan struct{})
+	var audited, auditAborts int
+	go func() {
+		defer close(auditDone)
+		for i := 0; i < 100; i++ {
+			err := e.Run(func(tx *Txn) error {
+				var sum uint64
+				for j := 0; j < accounts; j++ {
+					sum += tx.Read(a, memory.Offset(j*memory.WordsPerLine))
+				}
+				if sum != total {
+					t.Errorf("auditor saw total %d, want %d", sum, total)
+				}
+				return nil
+			})
+			if err == nil {
+				audited++
+			} else {
+				auditAborts++
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-auditDone
+
+	var sum uint64
+	for j := 0; j < accounts; j++ {
+		sum += a.LoadWord(memory.Offset(j * memory.WordsPerLine))
+	}
+	if sum != total {
+		t.Fatalf("final total = %d, want %d", sum, total)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 8)
+	_ = e.Run(func(tx *Txn) error { tx.Write(a, 0, 1); return nil })
+	_ = e.Run(func(tx *Txn) error { tx.Abort(1); return nil })
+	commits, aborts, _, _, explicit := e.Stats.Snapshot()
+	if commits != 1 || aborts != 1 || explicit != 1 {
+		t.Fatalf("stats = (%d,%d,..,%d), want (1,1,..,1)", commits, aborts, explicit)
+	}
+}
+
+func TestWorkingSetReporting(t *testing.T) {
+	e := newEngine()
+	a := memory.NewArena(0, 256)
+	_ = e.Run(func(tx *Txn) error {
+		tx.Read(a, 0)
+		tx.Read(a, 1) // same line
+		tx.Read(a, 8) // second line
+		tx.Write(a, 64, 1)
+		if tx.ReadSetLines() != 2 {
+			t.Errorf("ReadSetLines = %d, want 2", tx.ReadSetLines())
+		}
+		if tx.WriteSetLines() != 1 {
+			t.Errorf("WriteSetLines = %d, want 1", tx.WriteSetLines())
+		}
+		return nil
+	})
+}
+
+func BenchmarkHTMCommit4Lines(b *testing.B) {
+	e := newEngine()
+	a := memory.NewArena(0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Run(func(tx *Txn) error {
+			for j := 0; j < 4; j++ {
+				off := memory.Offset(j * memory.WordsPerLine)
+				v := tx.Read(a, off)
+				tx.Write(a, off, v+1)
+			}
+			return nil
+		})
+	}
+}
+
+func BenchmarkHTMReadOnly16Lines(b *testing.B) {
+	e := newEngine()
+	a := memory.NewArena(0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Run(func(tx *Txn) error {
+			for j := 0; j < 16; j++ {
+				tx.Read(a, memory.Offset(j*memory.WordsPerLine))
+			}
+			return nil
+		})
+	}
+}

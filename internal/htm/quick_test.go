@@ -1,0 +1,106 @@
+package htm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drtm/internal/memory"
+)
+
+// TestQuickSequentialEquivalence: running a random batch of transactions
+// one at a time through the engine must produce exactly the state of
+// applying them directly — the engine adds isolation, not semantics.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	type op struct {
+		Read bool
+		Cell uint8
+		Val  uint16
+	}
+	f := func(txns [][]op) bool {
+		const cells = 8
+		e := NewEngine(Config{})
+		a := memory.NewArena(0, cells*memory.WordsPerLine)
+		model := make([]uint64, cells)
+
+		for _, ops := range txns {
+			if len(ops) > 12 {
+				ops = ops[:12]
+			}
+			shadow := append([]uint64(nil), model...)
+			err := e.Run(func(tx *Txn) error {
+				for _, o := range ops {
+					c := int(o.Cell) % cells
+					off := memory.Offset(c * memory.WordsPerLine)
+					if o.Read {
+						if got := tx.Read(a, off); got != shadow[c] {
+							t.Errorf("read cell %d = %d, shadow %d", c, got, shadow[c])
+						}
+					} else {
+						tx.Write(a, off, uint64(o.Val))
+						shadow[c] = uint64(o.Val)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false // no concurrency: aborts must not happen
+			}
+			model = shadow
+		}
+		for c := 0; c < cells; c++ {
+			if a.LoadWord(memory.Offset(c*memory.WordsPerLine)) != model[c] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAtomicityUnderConcurrency: pairs of transactions writing sealed
+// patterns (all cells equal) never publish a mixed pattern.
+func TestQuickAtomicityUnderConcurrency(t *testing.T) {
+	const cells = 4
+	e := NewEngine(Config{})
+	a := memory.NewArena(0, cells*memory.WordsPerLine)
+
+	done := make(chan bool, 2)
+	writer := func(val uint64, n int) {
+		ok := true
+		for i := 0; i < n; i++ {
+			err := e.Run(func(tx *Txn) error {
+				for c := 0; c < cells; c++ {
+					tx.Write(a, memory.Offset(c*memory.WordsPerLine), val)
+				}
+				return nil
+			})
+			_ = err // aborts fine; atomicity is what matters
+		}
+		done <- ok
+	}
+	go writer(1111, 300)
+	go writer(2222, 300)
+
+	for i := 0; i < 2000; i++ {
+		v0 := a.LoadWord(0)
+		sealed := true
+		err := e.Run(func(tx *Txn) error {
+			first := tx.Read(a, 0)
+			for c := 1; c < cells; c++ {
+				if tx.Read(a, memory.Offset(c*memory.WordsPerLine)) != first {
+					sealed = false
+				}
+			}
+			return nil
+		})
+		if err == nil && !sealed {
+			t.Fatalf("observed torn transactional state (around %d)", v0)
+		}
+	}
+	<-done
+	<-done
+}

@@ -1,0 +1,7 @@
+package htm
+
+import "runtime"
+
+// yield parks a spinning reader so the writer it waits on can run; essential
+// when GOMAXPROCS is small.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,103 @@
+// Package kvs implements DrTM-KV, the HTM/RDMA-friendly cluster-chaining
+// hash table of Section 5, plus its location-based host-transparent cache.
+//
+// Memory layout (Figure 9), all inside one word arena per table so that
+// every structure is reachable by one-sided RDMA:
+//
+//	[ main header buckets | indirect header bucket pool | entry pool ]
+//
+// A bucket holds 8 header slots of 16 bytes (2 words):
+//
+//	word 0: type(2) | lossy incarnation(14) | offset(48)
+//	word 1: key(64)
+//
+// An entry (line-aligned) is:
+//
+//	word 0: key
+//	word 1: incarnation(32) | version(32)
+//	word 2: state          (the Figure 4 lock/lease word)
+//	word 3…: value         (fixed number of words per table)
+//
+// Local operations (READ/WRITE/INSERT/DELETE) run inside HTM transactions,
+// which is what lets the design drop Pilaf's checksums and FaRM's
+// per-cacheline versions: any racing access simply aborts the HTM region.
+// Remote GET walks buckets with one-sided READs; remote PUT writes the
+// entry with one-sided WRITEs under the entry's state lock; INSERT/DELETE
+// are shipped to the host with SEND/RECV verbs and executed there inside an
+// HTM region (footnote 5 of the paper).
+package kvs
+
+import "drtm/internal/memory"
+
+// Slot type codes.
+const (
+	TypeFree   uint64 = 0 // slot unused
+	TypeEntry  uint64 = 1 // offset points at a key-value entry
+	TypeHeader uint64 = 2 // offset points at an indirect header bucket
+	TypeCached uint64 = 3 // (cache only) offset is a local cache index
+)
+
+// Bucket geometry.
+const (
+	SlotsPerBucket = 8
+	SlotWords      = 2
+	BucketWords    = SlotsPerBucket * SlotWords // 16 words = 128 B
+)
+
+// Entry word indices relative to the entry offset.
+const (
+	EntryKeyWord    = 0
+	EntryIncVerWord = 1
+	EntryStateWord  = 2
+	EntryValueWord  = 3
+)
+
+// slot word 0 packing: type in bits 63..62, lossy incarnation in bits
+// 61..48, offset in bits 47..0.
+const (
+	slotTypeShift  = 62
+	slotLossyShift = 48
+	slotLossyMask  = (uint64(1) << 14) - 1
+	slotOffsetMask = (uint64(1) << 48) - 1
+	// LossyBits is how many incarnation bits a header slot can carry.
+	LossyBits = 14
+)
+
+// PackSlot builds a header-slot word 0.
+func PackSlot(typ uint64, lossyInc uint64, off memory.Offset) uint64 {
+	return typ<<slotTypeShift | (lossyInc&slotLossyMask)<<slotLossyShift |
+		uint64(off)&slotOffsetMask
+}
+
+// SlotType extracts the slot type.
+func SlotType(w0 uint64) uint64 { return w0 >> slotTypeShift }
+
+// SlotLossyInc extracts the 14-bit lossy incarnation.
+func SlotLossyInc(w0 uint64) uint64 { return (w0 >> slotLossyShift) & slotLossyMask }
+
+// SlotOffset extracts the 48-bit word offset.
+func SlotOffset(w0 uint64) memory.Offset {
+	return memory.Offset(w0 & slotOffsetMask)
+}
+
+// PackIncVer combines the 32-bit incarnation and version fields.
+func PackIncVer(inc, ver uint32) uint64 { return uint64(inc)<<32 | uint64(ver) }
+
+// Incarnation extracts the 32-bit full incarnation. Odd means live:
+// INSERT and DELETE each increment it, starting from zero.
+func Incarnation(w uint64) uint32 { return uint32(w >> 32) }
+
+// Version extracts the 32-bit write version (bumped by every WRITE; used to
+// order updates during recovery).
+func Version(w uint64) uint32 { return uint32(w) }
+
+// Live reports whether an incarnation value denotes a live entry.
+func Live(inc uint32) bool { return inc%2 == 1 }
+
+// mix64 is a splitmix64 finalizer used as the bucket hash.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

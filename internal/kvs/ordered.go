@@ -1,0 +1,199 @@
+package kvs
+
+import (
+	"fmt"
+	"sync"
+
+	"drtm/internal/btree"
+	"drtm/internal/htm"
+	"drtm/internal/memory"
+)
+
+// Ordered is DrTM's ordered store: a B+ tree index over records that live
+// in the same arena-based, HTM/2PL-protected entry format as the hash
+// table's. The tree maps key -> entry offset; record bodies (state word,
+// version, value) are read and written transactionally exactly like
+// unordered records, so the concurrency-control protocol does not care
+// which store a record came from. Only the *index* structure itself uses
+// latches instead of HTM (see DESIGN.md).
+//
+// As in the paper, ordered stores have no one-sided RDMA path: remote
+// accesses ship the operation to the host via SEND/RECV verbs
+// (Section 6.5), which the cluster layer wires up.
+type OrderedConfig struct {
+	Node       int
+	RegionID   int
+	Capacity   int
+	ValueWords int
+}
+
+// Ordered is one node's shard of an ordered table.
+type Ordered struct {
+	cfg        OrderedConfig
+	arena      *memory.Arena
+	eng        *htm.Engine
+	tree       *btree.Tree
+	entryWords int
+
+	mu       sync.Mutex
+	freeList []memory.Offset
+}
+
+// NewOrdered builds an empty ordered table.
+func NewOrdered(cfg OrderedConfig, eng *htm.Engine) *Ordered {
+	if cfg.Capacity <= 0 || cfg.ValueWords < 0 {
+		panic("kvs: invalid ordered config")
+	}
+	ew := EntryValueWord + cfg.ValueWords
+	if rem := ew % memory.WordsPerLine; rem != 0 {
+		ew += memory.WordsPerLine - rem
+	}
+	o := &Ordered{
+		cfg:        cfg,
+		eng:        eng,
+		tree:       btree.New(),
+		entryWords: ew,
+	}
+	o.arena = memory.NewArena(cfg.RegionID, cfg.Capacity*ew)
+	o.freeList = make([]memory.Offset, 0, cfg.Capacity)
+	for i := cfg.Capacity - 1; i >= 0; i-- {
+		o.freeList = append(o.freeList, memory.Offset(i*ew))
+	}
+	return o
+}
+
+// Arena returns the record arena (for fabric registration; remote verbs
+// handlers on the host still operate through this store's methods).
+func (o *Ordered) Arena() *memory.Arena { return o.arena }
+
+// Node returns the owner machine ID.
+func (o *Ordered) Node() int { return o.cfg.Node }
+
+// RegionID returns the RDMA region ID.
+func (o *Ordered) RegionID() int { return o.cfg.RegionID }
+
+// ValueWords returns the fixed value length.
+func (o *Ordered) ValueWords() int { return o.cfg.ValueWords }
+
+// Engine returns the owner's HTM engine.
+func (o *Ordered) Engine() *htm.Engine { return o.eng }
+
+// Len returns the number of live records.
+func (o *Ordered) Len() int { return o.tree.Len() }
+
+// Lookup resolves key to its entry offset via the index.
+func (o *Ordered) Lookup(key uint64) (memory.Offset, bool) {
+	v, ok := o.tree.Get(key)
+	return memory.Offset(v), ok
+}
+
+// Insert creates a record. The body is initialized while the entry is still
+// private (unreachable from the index), then the index insert publishes it.
+func (o *Ordered) Insert(key uint64, val []uint64) error {
+	if len(val) != o.cfg.ValueWords {
+		return fmt.Errorf("kvs: value length %d, want %d", len(val), o.cfg.ValueWords)
+	}
+	o.mu.Lock()
+	if len(o.freeList) == 0 {
+		o.mu.Unlock()
+		return ErrFull
+	}
+	off := o.freeList[len(o.freeList)-1]
+	o.freeList = o.freeList[:len(o.freeList)-1]
+	o.mu.Unlock()
+
+	inc := Incarnation(o.arena.LoadWord(off + EntryIncVerWord))
+	o.arena.Write(off+EntryKeyWord, []uint64{key})
+	o.arena.Write(off+EntryIncVerWord, []uint64{PackIncVer(inc+1, 0)})
+	o.arena.Write(off+EntryStateWord, []uint64{0})
+	o.arena.Write(off+EntryValueWord, val)
+
+	if !o.tree.InsertIfAbsent(key, uint64(off)) {
+		// Key already existed: kill and recycle the prepared entry.
+		o.arena.Write(off+EntryIncVerWord, []uint64{PackIncVer(inc+2, 0)})
+		o.mu.Lock()
+		o.freeList = append(o.freeList, off)
+		o.mu.Unlock()
+		return ErrExists
+	}
+	return nil
+}
+
+// Delete removes key. The record dies (even incarnation) before the entry
+// is recycled.
+func (o *Ordered) Delete(key uint64) bool {
+	off, ok := o.Lookup(key)
+	if !ok {
+		return false
+	}
+	if !o.tree.Delete(key) {
+		return false
+	}
+	incver := o.arena.LoadWord(off + EntryIncVerWord)
+	o.arena.Write(off+EntryIncVerWord,
+		[]uint64{PackIncVer(Incarnation(incver)+1, Version(incver))})
+	o.mu.Lock()
+	o.freeList = append(o.freeList, off)
+	o.mu.Unlock()
+	return true
+}
+
+// ReadTx copies key's value transactionally.
+func (o *Ordered) ReadTx(tx *htm.Txn, key uint64) ([]uint64, bool) {
+	off, ok := o.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	val := make([]uint64, o.cfg.ValueWords)
+	tx.ReadN(o.arena, off+EntryValueWord, val)
+	return val, true
+}
+
+// WriteTx transactionally overwrites key's value, bumping its version.
+func (o *Ordered) WriteTx(tx *htm.Txn, key uint64, val []uint64) bool {
+	off, ok := o.Lookup(key)
+	if !ok {
+		return false
+	}
+	incver := tx.Read(o.arena, off+EntryIncVerWord)
+	tx.Write(o.arena, off+EntryIncVerWord,
+		PackIncVer(Incarnation(incver), Version(incver)+1))
+	tx.WriteN(o.arena, off+EntryValueWord, val)
+	return true
+}
+
+// Scan visits entry offsets for keys in [lo, hi] ascending.
+func (o *Ordered) Scan(lo, hi uint64, fn func(key uint64, off memory.Offset) bool) {
+	o.tree.Ascend(lo, hi, func(k, v uint64) bool { return fn(k, memory.Offset(v)) })
+}
+
+// ScanDesc visits entry offsets for keys in [lo, hi] descending.
+func (o *Ordered) ScanDesc(lo, hi uint64, fn func(key uint64, off memory.Offset) bool) {
+	o.tree.Descend(lo, hi, func(k, v uint64) bool { return fn(k, memory.Offset(v)) })
+}
+
+// Min returns the smallest key and its offset.
+func (o *Ordered) Min() (uint64, memory.Offset, bool) {
+	k, v, ok := o.tree.Min()
+	return k, memory.Offset(v), ok
+}
+
+// Get runs a read in its own HTM transaction (convenience API).
+func (o *Ordered) Get(key uint64) ([]uint64, bool) {
+	var val []uint64
+	var ok bool
+	const attempts = 10_000
+	for i := 0; i < attempts; i++ {
+		err := o.eng.Run(func(tx *htm.Txn) error {
+			val, ok = o.ReadTx(tx, key)
+			return nil
+		})
+		if err == nil {
+			return val, ok
+		}
+		if _, isAbort := htm.IsAbort(err); !isAbort {
+			return nil, false
+		}
+	}
+	return nil, false
+}

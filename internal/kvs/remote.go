@@ -1,0 +1,131 @@
+package kvs
+
+import (
+	"drtm/internal/memory"
+	"drtm/internal/rdma"
+)
+
+// Entry is a decoded key-value entry as fetched by a remote reader.
+type Entry struct {
+	Key         uint64
+	Incarnation uint32
+	Version     uint32
+	State       uint64
+	Value       []uint64
+}
+
+// Loc is a remotely usable record location: the entry offset inside the
+// owner's table arena plus the lossy incarnation the locator observed, for
+// incarnation checking on the subsequent data read.
+type Loc struct {
+	Off   memory.Offset
+	Lossy uint64
+}
+
+// LookupRemote walks key's bucket chain with one-sided RDMA READs (one READ
+// fetches a whole 8-slot bucket, Section 5.2) and returns the entry
+// location. It never touches the host CPU. If cache is non-nil the walk
+// consults and fills the location cache, which turns repeat lookups into
+// zero-RDMA operations (Section 5.3).
+func (t *Table) LookupRemote(qp *rdma.QP, cache Cache, key uint64) (Loc, bool) {
+	idx := t.bucketOf(key)
+	off := t.MainBucketOffset(idx)
+	tag := mainTag(idx)
+	var buf [BucketWords]uint64
+
+	for depth := 0; depth < maxChain; depth++ {
+		var words []uint64
+		if cache != nil {
+			if cached, ok := cache.get(tag); ok {
+				words = cached
+			}
+		}
+		if words == nil {
+			qp.Read(t.cfg.Node, t.cfg.RegionID, off, buf[:])
+			words = buf[:]
+			if cache != nil {
+				cache.put(tag, words)
+			}
+		}
+
+		var next memory.Offset
+		for s := 0; s < SlotsPerBucket; s++ {
+			w0 := words[s*SlotWords]
+			switch SlotType(w0) {
+			case TypeEntry:
+				if words[s*SlotWords+1] == key {
+					return Loc{Off: SlotOffset(w0), Lossy: SlotLossyInc(w0)}, true
+				}
+			case TypeHeader:
+				next = SlotOffset(w0)
+			}
+		}
+		if next == 0 {
+			return Loc{}, false
+		}
+		off = next
+		tag = indirTag(uint64(next))
+	}
+	return Loc{}, false
+}
+
+// maxChain bounds bucket-chain walks against corrupted links.
+const maxChain = 64
+
+// ReadEntryRemote fetches and decodes the entry at loc with one one-sided
+// READ. ok is false when incarnation checking fails — the entry died or was
+// reused since the location was cached — in which case the caller should
+// invalidate and re-look-up through the host structures.
+func (t *Table) ReadEntryRemote(qp *rdma.QP, key uint64, loc Loc) (Entry, bool) {
+	words := make([]uint64, EntryValueWord+t.cfg.ValueWords)
+	qp.Read(t.cfg.Node, t.cfg.RegionID, loc.Off, words)
+	e := Entry{
+		Key:         words[EntryKeyWord],
+		Incarnation: Incarnation(words[EntryIncVerWord]),
+		Version:     Version(words[EntryIncVerWord]),
+		State:       words[EntryStateWord],
+		Value:       words[EntryValueWord:],
+	}
+	if !Live(e.Incarnation) || e.Key != key ||
+		uint64(e.Incarnation)&slotLossyMask != loc.Lossy {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// GetRemote is the full remote GET: locate (through the cache when given)
+// then read, with incarnation-check retry. It is the operation measured in
+// Figure 10(b)/(c).
+func (t *Table) GetRemote(qp *rdma.QP, cache Cache, key uint64) (Entry, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		loc, ok := t.LookupRemote(qp, cache, key)
+		if !ok {
+			// A cached chain may be stale (e.g. the key moved into a new
+			// indirect bucket): drop it and retry uncached once.
+			if cache != nil {
+				cacheInvalidateChain(cache, t, key)
+				cache = nil
+				continue
+			}
+			return Entry{}, false
+		}
+		e, ok := t.ReadEntryRemote(qp, key, loc)
+		if ok {
+			return e, true
+		}
+		if cache != nil {
+			cacheInvalidateChain(cache, t, key)
+		}
+	}
+	return Entry{}, false
+}
+
+// StateOffset returns the arena offset of the Figure 4 state word of the
+// entry at off — the word remote transactions CAS to lock/lease the record.
+func StateOffset(off memory.Offset) memory.Offset { return off + EntryStateWord }
+
+// IncVerOffset returns the arena offset of the incarnation|version word.
+func IncVerOffset(off memory.Offset) memory.Offset { return off + EntryIncVerWord }
+
+// ValueOffset returns the arena offset of the first value word.
+func ValueOffset(off memory.Offset) memory.Offset { return off + EntryValueWord }

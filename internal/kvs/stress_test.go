@@ -1,0 +1,110 @@
+package kvs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"drtm/internal/htm"
+	"drtm/internal/rdma"
+	"drtm/internal/vtime"
+)
+
+// TestConcurrentDeleteReinsertVsRemoteReads hammers the incarnation-checking
+// path: a host thread churns delete/reinsert cycles while remote readers
+// (with a shared location cache) read concurrently. Readers must never
+// observe a value that does not belong to the key they asked for.
+func TestConcurrentDeleteReinsertVsRemoteReads(t *testing.T) {
+	tb := New(Config{MainBuckets: 32, IndirectBuckets: 64, Capacity: 128, ValueWords: 2},
+		htm.NewEngine(htm.Config{}))
+	f := rdma.NewFabric(2, vtime.DefaultModel(), rdma.AtomicHCA)
+	f.Register(0, 0, tb.Arena())
+
+	// Keys 1..64; value[0] always key*10+generation parity tag, value[1]=key.
+	for k := uint64(1); k <= 64; k++ {
+		if err := tb.Insert(k, []uint64{k * 10, k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+
+	// Remote readers with a shared cache.
+	cache := NewLocationCache(1 << 16)
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed uint64) {
+			defer readers.Done()
+			qp := f.NewQP(1, nil)
+			for i := uint64(0); !stop.Load(); i++ {
+				k := (seed+i)%64 + 1
+				e, ok := tb.GetRemote(qp, cache, k)
+				if !ok {
+					continue // momentarily deleted: fine
+				}
+				if e.Value[1] != k || e.Value[0] != k*10 {
+					t.Errorf("reader got foreign value %v for key %d", e.Value, k)
+					return
+				}
+			}
+		}(uint64(r * 17))
+	}
+
+	// Churner: delete and reinsert keys (entry memory gets reused).
+	for i := 0; i < 1500; i++ {
+		k := uint64(i%64) + 1
+		if tb.Delete(k) {
+			if err := tb.Insert(k, []uint64{k * 10, k}); err != nil {
+				t.Fatalf("reinsert %d: %v", k, err)
+			}
+		}
+	}
+	stop.Store(true)
+	readers.Wait()
+
+	// Final state: all 64 keys present with correct values.
+	for k := uint64(1); k <= 64; k++ {
+		v, ok := tb.Get(k)
+		if !ok || v[0] != k*10 {
+			t.Fatalf("final key %d = %v,%v", k, v, ok)
+		}
+	}
+}
+
+// TestHTMInsertVsRemoteLookupChain: remote lookups walking a chain that is
+// concurrently being extended by inserts either find their key or miss
+// transiently, but never crash or return a wrong entry.
+func TestHTMInsertVsRemoteLookupChain(t *testing.T) {
+	tb := New(Config{MainBuckets: 1, IndirectBuckets: 64, Capacity: 256, ValueWords: 1},
+		htm.NewEngine(htm.Config{}))
+	f := rdma.NewFabric(2, vtime.DefaultModel(), rdma.AtomicHCA)
+	f.Register(0, 0, tb.Arena())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(1); k <= 150; k++ {
+			if err := tb.Insert(k, []uint64{k}); err != nil {
+				t.Errorf("insert %d: %v", k, err)
+				return
+			}
+		}
+	}()
+
+	qp := f.NewQP(1, nil)
+	for pass := 0; pass < 60; pass++ {
+		for k := uint64(1); k <= 150; k++ {
+			if e, ok := tb.GetRemote(qp, nil, k); ok && e.Value[0] != k {
+				t.Fatalf("remote read of %d returned %d", k, e.Value[0])
+			}
+		}
+	}
+	wg.Wait()
+	for k := uint64(1); k <= 150; k++ {
+		if e, ok := tb.GetRemote(qp, nil, k); !ok || e.Value[0] != k {
+			t.Fatalf("final remote read of %d = %+v,%v", k, e, ok)
+		}
+	}
+}

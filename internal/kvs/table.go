@@ -1,0 +1,431 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"drtm/internal/htm"
+	"drtm/internal/memory"
+)
+
+// Config sizes a table. All tables store fixed 8-byte keys and fixed-length
+// values (ValueWords 64-bit words), as in the paper's evaluation.
+type Config struct {
+	Node            int // owner machine ID
+	RegionID        int // RDMA region the arena is registered under
+	MainBuckets     int // number of main header buckets; rounded to 2^k
+	IndirectBuckets int // pool of shared indirect header buckets
+	Capacity        int // maximum number of entries
+	ValueWords      int // value length in words
+}
+
+// Table is one node's shard of a DrTM-KV table. Local mutating operations
+// run inside HTM transactions on the owner's engine; remote access goes
+// through the methods in remote.go using one-sided verbs only.
+type Table struct {
+	cfg        Config
+	arena      *memory.Arena
+	eng        *htm.Engine
+	mask       uint64
+	entryWords int
+	indirBase  memory.Offset
+	entryBase  memory.Offset
+
+	mu          sync.Mutex
+	freeEntries []memory.Offset
+	freeBuckets []memory.Offset
+	liveCount   int
+}
+
+// Common errors.
+var (
+	ErrExists = errors.New("kvs: key already exists")
+	ErrFull   = errors.New("kvs: table full")
+	ErrNoSlot = errors.New("kvs: bucket chain full and no indirect buckets left")
+)
+
+// New builds an empty table and its backing arena.
+func New(cfg Config, eng *htm.Engine) *Table {
+	if cfg.MainBuckets <= 0 || cfg.Capacity <= 0 || cfg.ValueWords < 0 {
+		panic("kvs: invalid config")
+	}
+	mb := 1
+	for mb < cfg.MainBuckets {
+		mb *= 2
+	}
+	cfg.MainBuckets = mb
+
+	ew := EntryValueWord + cfg.ValueWords
+	if rem := ew % memory.WordsPerLine; rem != 0 {
+		ew += memory.WordsPerLine - rem
+	}
+	t := &Table{
+		cfg:        cfg,
+		eng:        eng,
+		mask:       uint64(mb - 1),
+		entryWords: ew,
+		indirBase:  memory.Offset(mb * BucketWords),
+	}
+	t.entryBase = t.indirBase + memory.Offset(cfg.IndirectBuckets*BucketWords)
+	total := int(t.entryBase) + cfg.Capacity*ew
+	t.arena = memory.NewArena(cfg.RegionID, total)
+
+	t.freeEntries = make([]memory.Offset, 0, cfg.Capacity)
+	for i := cfg.Capacity - 1; i >= 0; i-- {
+		t.freeEntries = append(t.freeEntries, t.entryBase+memory.Offset(i*ew))
+	}
+	t.freeBuckets = make([]memory.Offset, 0, cfg.IndirectBuckets)
+	for i := cfg.IndirectBuckets - 1; i >= 0; i-- {
+		t.freeBuckets = append(t.freeBuckets, t.indirBase+memory.Offset(i*BucketWords))
+	}
+	return t
+}
+
+// Arena returns the backing arena (register it on the RDMA fabric).
+func (t *Table) Arena() *memory.Arena { return t.arena }
+
+// Node returns the owner machine ID.
+func (t *Table) Node() int { return t.cfg.Node }
+
+// RegionID returns the RDMA region ID the arena should be registered under.
+func (t *Table) RegionID() int { return t.cfg.RegionID }
+
+// ValueWords returns the fixed value length.
+func (t *Table) ValueWords() int { return t.cfg.ValueWords }
+
+// EntryWords returns the line-aligned entry footprint.
+func (t *Table) EntryWords() int { return t.entryWords }
+
+// Engine returns the owner's HTM engine.
+func (t *Table) Engine() *htm.Engine { return t.eng }
+
+// Len returns the number of live entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.liveCount
+}
+
+// MainBuckets returns the main header bucket count.
+func (t *Table) MainBuckets() int { return t.cfg.MainBuckets }
+
+// bucketOf returns the main bucket index for a key.
+func (t *Table) bucketOf(key uint64) uint64 { return mix64(key) & t.mask }
+
+// MainBucketOffset returns the arena offset of main bucket i.
+func (t *Table) MainBucketOffset(i uint64) memory.Offset {
+	return memory.Offset(i * BucketWords)
+}
+
+func (t *Table) allocEntry() (memory.Offset, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.freeEntries) == 0 {
+		return 0, false
+	}
+	off := t.freeEntries[len(t.freeEntries)-1]
+	t.freeEntries = t.freeEntries[:len(t.freeEntries)-1]
+	return off, true
+}
+
+func (t *Table) freeEntry(off memory.Offset) {
+	t.mu.Lock()
+	t.freeEntries = append(t.freeEntries, off)
+	t.mu.Unlock()
+}
+
+func (t *Table) allocBucket() (memory.Offset, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.freeBuckets) == 0 {
+		return 0, false
+	}
+	off := t.freeBuckets[len(t.freeBuckets)-1]
+	t.freeBuckets = t.freeBuckets[:len(t.freeBuckets)-1]
+	return off, true
+}
+
+func (t *Table) freeBucket(off memory.Offset) {
+	t.mu.Lock()
+	t.freeBuckets = append(t.freeBuckets, off)
+	t.mu.Unlock()
+}
+
+// LookupTx finds key transactionally, returning the entry offset. The
+// bucket lines join tx's read set, so a concurrent INSERT/DELETE of this
+// chain aborts tx — the HTM-based race detection the design leans on.
+func (t *Table) LookupTx(tx *htm.Txn, key uint64) (memory.Offset, bool) {
+	off := t.MainBucketOffset(t.bucketOf(key))
+	for {
+		var next memory.Offset
+		for s := 0; s < SlotsPerBucket; s++ {
+			w0 := tx.Read(t.arena, off+memory.Offset(s*SlotWords))
+			switch SlotType(w0) {
+			case TypeEntry:
+				w1 := tx.Read(t.arena, off+memory.Offset(s*SlotWords+1))
+				if w1 == key {
+					return SlotOffset(w0), true
+				}
+			case TypeHeader:
+				next = SlotOffset(w0)
+			}
+		}
+		if next == 0 {
+			return 0, false
+		}
+		off = next
+	}
+}
+
+// LookupLocal finds key with plain seqlock reads (no HTM tracking). It is
+// for bootstrap, verbs-served host operations that do their own locking,
+// and tests.
+func (t *Table) LookupLocal(key uint64) (memory.Offset, bool) {
+	var buf [BucketWords]uint64
+	off := t.MainBucketOffset(t.bucketOf(key))
+	for {
+		t.arena.Read(buf[:], off)
+		var next memory.Offset
+		for s := 0; s < SlotsPerBucket; s++ {
+			w0 := buf[s*SlotWords]
+			switch SlotType(w0) {
+			case TypeEntry:
+				if buf[s*SlotWords+1] == key {
+					return SlotOffset(w0), true
+				}
+			case TypeHeader:
+				next = SlotOffset(w0)
+			}
+		}
+		if next == 0 {
+			return 0, false
+		}
+		off = next
+	}
+}
+
+// runLocal retries an HTM region until commit, with a bounded number of
+// attempts; the store's own operations are small (a few lines) so conflicts
+// resolve quickly.
+func (t *Table) runLocal(fn func(tx *htm.Txn) error) error {
+	const attempts = 10_000
+	var last error
+	for i := 0; i < attempts; i++ {
+		err := t.eng.Run(fn)
+		if err == nil {
+			return nil
+		}
+		if _, ok := htm.IsAbort(err); !ok {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("kvs: htm retry budget exhausted: %w", last)
+}
+
+// Insert adds a key-value pair on the owner node. The entry body is
+// prepared dead (even incarnation) outside the HTM region — a freed entry
+// is observable by stale remote readers, so initialization uses seqlocked
+// writes — and the slot publication plus the liveness-granting incarnation
+// bump happen inside one HTM transaction.
+func (t *Table) Insert(key uint64, val []uint64) error {
+	if len(val) != t.cfg.ValueWords {
+		return fmt.Errorf("kvs: value length %d, want %d", len(val), t.cfg.ValueWords)
+	}
+	entry, ok := t.allocEntry()
+	if !ok {
+		return ErrFull
+	}
+
+	// Prepare the body: key, value, state=Init; incarnation stays even.
+	oldIncVer := t.arena.LoadWord(entry + EntryIncVerWord)
+	inc := Incarnation(oldIncVer) // even (0 for fresh entries)
+	t.arena.Write(entry+EntryKeyWord, []uint64{key})
+	t.arena.Write(entry+EntryStateWord, []uint64{0})
+	t.arena.Write(entry+EntryValueWord, val)
+
+	newIncVer := PackIncVer(inc+1, 0)
+	lossy := uint64(inc+1) & slotLossyMask
+
+	// Indirect buckets allocated during an attempt that aborts are returned
+	// to the pool before the retry (transactional writes to them were
+	// discarded, so they are still pristine).
+	var pending []memory.Offset
+	err := t.runLocal(func(tx *htm.Txn) error {
+		for _, b := range pending {
+			t.freeBucket(b)
+		}
+		pending = pending[:0]
+		if _, exists := t.LookupTx(tx, key); exists {
+			return ErrExists
+		}
+		slotOff, err := t.findInsertSlot(tx, key, &pending)
+		if err != nil {
+			return err
+		}
+		tx.Write(t.arena, slotOff, PackSlot(TypeEntry, lossy, entry))
+		tx.Write(t.arena, slotOff+1, key)
+		tx.Write(t.arena, entry+EntryIncVerWord, newIncVer)
+		return nil
+	})
+	if err != nil {
+		for _, b := range pending {
+			t.freeBucket(b)
+		}
+		t.freeEntry(entry)
+		return err
+	}
+	t.mu.Lock()
+	t.liveCount++
+	t.mu.Unlock()
+	return nil
+}
+
+// findInsertSlot locates a free slot in key's bucket chain, converting the
+// last slot of a full bucket into an indirect-header link when necessary
+// (Section 5.2). Must run inside the caller's HTM transaction; any indirect
+// buckets it allocates are appended to *pending for abort cleanup.
+func (t *Table) findInsertSlot(tx *htm.Txn, key uint64, pending *[]memory.Offset) (memory.Offset, error) {
+	off := t.MainBucketOffset(t.bucketOf(key))
+	for {
+		var next memory.Offset
+		free := memory.Offset(0)
+		haveFree := false
+		for s := 0; s < SlotsPerBucket; s++ {
+			so := off + memory.Offset(s*SlotWords)
+			w0 := tx.Read(t.arena, so)
+			switch SlotType(w0) {
+			case TypeFree:
+				if !haveFree {
+					free, haveFree = so, true
+				}
+			case TypeHeader:
+				next = SlotOffset(w0)
+			}
+		}
+		if haveFree {
+			return free, nil
+		}
+		if next != 0 {
+			off = next
+			continue
+		}
+		// Chain exhausted: convert the last slot into an indirect header.
+		nb, ok := t.allocBucket()
+		if !ok {
+			return 0, ErrNoSlot
+		}
+		*pending = append(*pending, nb)
+		last := off + memory.Offset((SlotsPerBucket-1)*SlotWords)
+		w0 := tx.Read(t.arena, last)
+		w1 := tx.Read(t.arena, last+1)
+		// Move the displaced resident into the new bucket's slot 0; the new
+		// key-value pair will land in slot 1 (returned as the free slot).
+		tx.Write(t.arena, nb, w0)
+		tx.Write(t.arena, nb+1, w1)
+		for s := 2; s < SlotsPerBucket; s++ {
+			tx.Write(t.arena, nb+memory.Offset(s*SlotWords), 0)
+			tx.Write(t.arena, nb+memory.Offset(s*SlotWords)+1, 0)
+		}
+		tx.Write(t.arena, last, PackSlot(TypeHeader, 0, nb))
+		tx.Write(t.arena, last+1, 0)
+		return nb + SlotWords, nil
+	}
+}
+
+// Delete removes key on the owner node. The deletion is logical: the
+// entry's incarnation becomes even inside the HTM region, so remote readers
+// holding a stale cached location detect it by incarnation checking.
+func (t *Table) Delete(key uint64) bool {
+	var victim memory.Offset
+	err := t.runLocal(func(tx *htm.Txn) error {
+		victim = 0
+		off := t.MainBucketOffset(t.bucketOf(key))
+		for {
+			var next memory.Offset
+			for s := 0; s < SlotsPerBucket; s++ {
+				so := off + memory.Offset(s*SlotWords)
+				w0 := tx.Read(t.arena, so)
+				switch SlotType(w0) {
+				case TypeEntry:
+					if tx.Read(t.arena, so+1) == key {
+						e := SlotOffset(w0)
+						incver := tx.Read(t.arena, e+EntryIncVerWord)
+						tx.Write(t.arena, e+EntryIncVerWord,
+							PackIncVer(Incarnation(incver)+1, Version(incver)))
+						tx.Write(t.arena, so, 0)
+						tx.Write(t.arena, so+1, 0)
+						victim = e
+						return nil
+					}
+				case TypeHeader:
+					next = SlotOffset(w0)
+				}
+			}
+			if next == 0 {
+				return nil // not found
+			}
+			off = next
+		}
+	})
+	if err != nil || victim == 0 {
+		return false
+	}
+	t.freeEntry(victim)
+	t.mu.Lock()
+	t.liveCount--
+	t.mu.Unlock()
+	return true
+}
+
+// ReadTx copies key's value transactionally into a fresh slice.
+func (t *Table) ReadTx(tx *htm.Txn, key uint64) ([]uint64, bool) {
+	off, ok := t.LookupTx(tx, key)
+	if !ok {
+		return nil, false
+	}
+	val := make([]uint64, t.cfg.ValueWords)
+	tx.ReadN(t.arena, off+EntryValueWord, val)
+	return val, true
+}
+
+// WriteTx transactionally overwrites key's value and bumps its version.
+func (t *Table) WriteTx(tx *htm.Txn, key uint64, val []uint64) bool {
+	if len(val) != t.cfg.ValueWords {
+		return false
+	}
+	off, ok := t.LookupTx(tx, key)
+	if !ok {
+		return false
+	}
+	incver := tx.Read(t.arena, off+EntryIncVerWord)
+	tx.Write(t.arena, off+EntryIncVerWord,
+		PackIncVer(Incarnation(incver), Version(incver)+1))
+	tx.WriteN(t.arena, off+EntryValueWord, val)
+	return true
+}
+
+// Get runs a read in its own HTM transaction (convenience API).
+func (t *Table) Get(key uint64) ([]uint64, bool) {
+	var val []uint64
+	var ok bool
+	err := t.runLocal(func(tx *htm.Txn) error {
+		val, ok = t.ReadTx(tx, key)
+		return nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return val, ok
+}
+
+// Put runs an update in its own HTM transaction (convenience API).
+func (t *Table) Put(key uint64, val []uint64) bool {
+	var ok bool
+	err := t.runLocal(func(tx *htm.Txn) error {
+		ok = t.WriteTx(tx, key, val)
+		return nil
+	})
+	return err == nil && ok
+}

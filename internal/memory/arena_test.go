@@ -1,0 +1,233 @@
+package memory
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArenaRoundsToLine(t *testing.T) {
+	a := NewArena(0, 9)
+	if a.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", a.Len())
+	}
+	if a.Lines() != 2 {
+		t.Fatalf("Lines = %d, want 2", a.Lines())
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		off  Offset
+		want Line
+	}{{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {1023, 127}}
+	for _, c := range cases {
+		if got := LineOf(c.off); got != c.want {
+			t.Errorf("LineOf(%d) = %d, want %d", c.off, got, c.want)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	a := NewArena(0, 64)
+	src := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	a.Write(3, src) // deliberately straddles a line boundary
+	dst := make([]uint64, len(src))
+	a.Read(dst, 3)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestWriteBumpsVersionPerAffectedLine(t *testing.T) {
+	a := NewArena(0, 32)
+	v0, v1, v2 := a.LineVersion(0), a.LineVersion(1), a.LineVersion(2)
+	a.Write(6, make([]uint64, 4)) // lines 0 and 1
+	if a.LineVersion(0) == v0 || a.LineVersion(1) == v1 {
+		t.Fatal("affected line versions did not advance")
+	}
+	if a.LineVersion(2) != v2 {
+		t.Fatal("unaffected line version advanced")
+	}
+}
+
+func TestCAS(t *testing.T) {
+	a := NewArena(0, 8)
+	a.UnsafeInit(2, []uint64{41})
+
+	prev, ok := a.CAS(2, 41, 42)
+	if !ok || prev != 41 {
+		t.Fatalf("CAS(41->42) = (%d,%v), want (41,true)", prev, ok)
+	}
+	if got := a.LoadWord(2); got != 42 {
+		t.Fatalf("word = %d, want 42", got)
+	}
+
+	v := a.LineVersion(0)
+	prev, ok = a.CAS(2, 41, 99)
+	if ok || prev != 42 {
+		t.Fatalf("failed CAS = (%d,%v), want (42,false)", prev, ok)
+	}
+	if a.LineVersion(0) != v {
+		t.Fatal("failed CAS bumped the line version")
+	}
+}
+
+func TestFAA(t *testing.T) {
+	a := NewArena(0, 8)
+	if prev := a.FAA(0, 5); prev != 0 {
+		t.Fatalf("FAA prev = %d, want 0", prev)
+	}
+	if prev := a.FAA(0, 3); prev != 5 {
+		t.Fatalf("FAA prev = %d, want 5", prev)
+	}
+	if got := a.LoadWord(0); got != 8 {
+		t.Fatalf("word = %d, want 8", got)
+	}
+}
+
+func TestStoreWordBumpsVersion(t *testing.T) {
+	a := NewArena(0, 8)
+	v := a.LineVersion(0)
+	a.StoreWord(1, 7)
+	if a.LineVersion(0) == v {
+		t.Fatal("StoreWord did not advance line version")
+	}
+	if a.LoadWord(1) != 7 {
+		t.Fatal("StoreWord lost the value")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	a := NewArena(0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds access")
+		}
+	}()
+	a.LoadWord(8)
+}
+
+// TestNoTornLineReads hammers a single line with writers that always write
+// a "sealed" pattern (all words equal) while readers verify they only ever
+// observe sealed lines. This is the core seqlock guarantee both HTM and the
+// RDMA fabric depend on.
+func TestNoTornLineReads(t *testing.T) {
+	a := NewArena(0, WordsPerLine)
+	const writers, iters = 4, 400
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			r := rand.New(rand.NewSource(seed))
+			buf := make([]uint64, WordsPerLine)
+			for i := 0; i < iters; i++ {
+				v := r.Uint64()
+				for j := range buf {
+					buf[j] = v
+				}
+				a.Write(0, buf)
+			}
+		}(int64(w))
+	}
+
+	stop := make(chan struct{})
+	torn := make(chan struct{}, 1)
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		dst := make([]uint64, WordsPerLine)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a.Read(dst, 0)
+			for j := 1; j < len(dst); j++ {
+				if dst[j] != dst[0] {
+					torn <- struct{}{}
+					return
+				}
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	select {
+	case <-torn:
+		t.Fatal("observed a torn line read")
+	default:
+	}
+}
+
+// TestQuickReadWrite is a property test: for random offsets and payloads,
+// a Write followed by a Read observes exactly the payload.
+func TestQuickReadWrite(t *testing.T) {
+	a := NewArena(0, 1024)
+	f := func(off uint16, payload []uint64) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		o := Offset(int(off) % (a.Len() - len(payload)))
+		a.Write(o, payload)
+		dst := make([]uint64, len(payload))
+		a.Read(dst, o)
+		for i := range payload {
+			if dst[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCASLinearizable checks that concurrent FAAs never lose updates.
+func TestQuickCASLinearizable(t *testing.T) {
+	a := NewArena(0, 8)
+	const gs, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.FAA(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.LoadWord(0); got != gs*per {
+		t.Fatalf("lost updates: %d, want %d", got, gs*per)
+	}
+}
+
+func BenchmarkArenaRead64B(b *testing.B) {
+	a := NewArena(0, 1<<16)
+	dst := make([]uint64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Read(dst, Offset((i*8)%(1<<15)))
+	}
+}
+
+func BenchmarkArenaCAS(b *testing.B) {
+	a := NewArena(0, 8)
+	for i := 0; i < b.N; i++ {
+		a.CAS(0, uint64(i), uint64(i+1))
+	}
+}

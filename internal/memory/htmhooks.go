@@ -1,0 +1,23 @@
+package memory
+
+// The hooks below exist for the HTM engine's commit protocol, which needs to
+// hold line seqlocks across read-set validation and publication. They are
+// thin exported wrappers over the internal seqlock primitives.
+
+// TryLockLineForHTM attempts one acquisition of the line's seqlock on behalf
+// of an HTM commit. On success it returns the displaced even version.
+func (a *Arena) TryLockLineForHTM(l Line) (uint64, bool) { return a.tryLockLine(l) }
+
+// UnlockLineForHTM releases a line locked via TryLockLineForHTM. If dirty,
+// the version advances (dooming concurrent readers); otherwise the original
+// version is restored.
+func (a *Arena) UnlockLineForHTM(l Line, prev uint64, dirty bool) {
+	a.unlockLine(l, prev, dirty)
+}
+
+// PublishWord stores a word on behalf of an HTM commit that already holds
+// the containing line's seqlock.
+func (a *Arena) PublishWord(off Offset, v uint64) {
+	a.boundsCheck(off, 1)
+	a.storeWord(off, v)
+}

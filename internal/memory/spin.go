@@ -1,0 +1,9 @@
+package memory
+
+import "runtime"
+
+// spinYield backs off a spinning reader/writer. On the single-core machines
+// this simulator typically runs on, yielding to the scheduler (rather than a
+// PAUSE-style busy loop) is essential: the writer we are waiting on is a
+// goroutine that needs our timeslice to make progress.
+func spinYield() { runtime.Gosched() }

@@ -1,0 +1,128 @@
+package nvram
+
+import (
+	"errors"
+	"testing"
+
+	"drtm/internal/htm"
+)
+
+func TestAppendAndScan(t *testing.T) {
+	l := NewLog(0, 1024)
+	if !l.Append([]uint64{1, 2, 3}) {
+		t.Fatal("append failed")
+	}
+	if !l.Append([]uint64{9}) {
+		t.Fatal("append failed")
+	}
+	got := l.Entries()
+	if len(got) != 2 || len(got[0]) != 3 || got[0][2] != 3 || got[1][0] != 9 {
+		t.Fatalf("entries = %v", got)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.BytesUsed() != (4+2)*8 {
+		t.Fatalf("BytesUsed = %d", l.BytesUsed())
+	}
+}
+
+func TestAppendFull(t *testing.T) {
+	l := NewLog(0, 4)
+	if !l.Append([]uint64{1, 2, 3}) {
+		t.Fatal("first append should fit")
+	}
+	if l.Append([]uint64{1}) {
+		t.Fatal("overfull append succeeded")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := NewLog(0, 64)
+	l.Append([]uint64{1})
+	l.Truncate()
+	if l.Len() != 0 {
+		t.Fatal("Truncate left records")
+	}
+	if !l.Append([]uint64{2}) {
+		t.Fatal("append after truncate failed")
+	}
+	if l.Entries()[0][0] != 2 {
+		t.Fatal("wrong record after truncate")
+	}
+}
+
+// TestAppendTxCommitDurable: a transactional append is visible after commit.
+func TestAppendTxCommitDurable(t *testing.T) {
+	l := NewLog(0, 1024)
+	eng := htm.NewEngine(htm.Config{})
+	err := eng.Run(func(tx *htm.Txn) error {
+		if !l.AppendTx(tx, []uint64{7, 8}) {
+			t.Error("AppendTx failed")
+		}
+		// Before commit, the record must be invisible.
+		if l.Len() != 0 {
+			t.Error("uncommitted log record visible")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.Entries()
+	if len(got) != 1 || got[0][0] != 7 {
+		t.Fatalf("entries after commit = %v", got)
+	}
+}
+
+// TestAppendTxAbortDiscarded is the paper's key durability property: a
+// crash (or abort) before XEND leaves no write-ahead log record.
+func TestAppendTxAbortDiscarded(t *testing.T) {
+	l := NewLog(0, 1024)
+	eng := htm.NewEngine(htm.Config{})
+	boom := errors.New("simulated abort before XEND")
+	err := eng.Run(func(tx *htm.Txn) error {
+		l.AppendTx(tx, []uint64{13})
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if l.Len() != 0 {
+		t.Fatal("aborted transactional append is durable")
+	}
+	// The log must still accept appends afterwards at the original head.
+	l.Append([]uint64{1})
+	if l.Len() != 1 {
+		t.Fatal("log corrupt after aborted append")
+	}
+}
+
+func TestAppendTxFull(t *testing.T) {
+	l := NewLog(0, 2)
+	eng := htm.NewEngine(htm.Config{})
+	_ = eng.Run(func(tx *htm.Txn) error {
+		if l.AppendTx(tx, []uint64{1, 2, 3}) {
+			t.Error("overfull AppendTx succeeded")
+		}
+		return nil
+	})
+}
+
+func TestInterleavedTxAndImmediate(t *testing.T) {
+	l := NewLog(0, 1024)
+	eng := htm.NewEngine(htm.Config{})
+	l.Append([]uint64{1})
+	err := eng.Run(func(tx *htm.Txn) error {
+		l.AppendTx(tx, []uint64{2})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]uint64{3})
+	got := l.Entries()
+	if len(got) != 3 || got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Fatalf("entries = %v", got)
+	}
+}

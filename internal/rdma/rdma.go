@@ -1,0 +1,265 @@
+// Package rdma simulates an InfiniBand RDMA fabric between the logical
+// nodes of a DrTM cluster.
+//
+// Each node owns an Endpoint with registered memory regions (word arenas).
+// One-sided operations (READ, WRITE, CAS, FAA) act directly on the target
+// arena without involving the target node's workers — and because arenas
+// carry per-cache-line versions, every one-sided mutation is visible to the
+// target's HTM engine as a conflicting non-transactional access. This is the
+// simulated analogue of the cache coherence between a real RDMA NIC's DMA
+// and the CPU's transactional tracking, which is the property DrTM's hybrid
+// protocol is built on.
+//
+// Two-sided SEND/RECV verbs are modeled as a registered request handler per
+// endpoint invoked synchronously with both message directions charged to the
+// caller's virtual clock (user-space polling verbs: ~3 us one way). An IPoIB
+// transport with socket-stack costs (~55 us one way) is provided for the
+// Calvin baseline, which predates RDMA-native design.
+//
+// Atomicity levels (Section 4.2/6.3): the fabric models IBV_ATOMIC_HCA by
+// default — RDMA CAS is atomic against other RDMA CAS but costs 14.5 us;
+// local CPU CAS is a different, cheap path. With IBV_ATOMIC_GLOB the two
+// are mutually atomic and implementations may use the cheap local CAS for
+// local records (the paper's suggested NIC upgrade); the transaction layer
+// consults this level when locking local records in fallback handlers and
+// read-only transactions.
+package rdma
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"drtm/internal/memory"
+	"drtm/internal/vtime"
+)
+
+// AtomicityLevel mirrors the ibv atomic capability levels.
+type AtomicityLevel int
+
+const (
+	// AtomicHCA: RDMA atomics are atomic only against other RDMA atomics
+	// (the paper's ConnectX-3). Lock words must then be manipulated by RDMA
+	// CAS even for local records on protocol paths that race with remote
+	// lockers.
+	AtomicHCA AtomicityLevel = iota
+	// AtomicGLOB: RDMA atomics are atomic against CPU atomics (e.g. QLogic
+	// QLE); local records can be locked with cheap local CAS.
+	AtomicGLOB
+)
+
+func (l AtomicityLevel) String() string {
+	if l == AtomicGLOB {
+		return "IBV_ATOMIC_GLOB"
+	}
+	return "IBV_ATOMIC_HCA"
+}
+
+// Counters tallies one-sided operations. All fields are atomic.
+type Counters struct {
+	Reads     atomic.Int64
+	Writes    atomic.Int64
+	CASes     atomic.Int64
+	FAAs      atomic.Int64
+	ReadBytes atomic.Int64
+	WriteByts atomic.Int64
+	Msgs      atomic.Int64
+}
+
+// Add folds src into c (used to aggregate per-QP counters).
+func (c *Counters) Add(src *Counters) {
+	c.Reads.Add(src.Reads.Load())
+	c.Writes.Add(src.Writes.Load())
+	c.CASes.Add(src.CASes.Load())
+	c.FAAs.Add(src.FAAs.Load())
+	c.ReadBytes.Add(src.ReadBytes.Load())
+	c.WriteByts.Add(src.WriteByts.Load())
+	c.Msgs.Add(src.Msgs.Load())
+}
+
+// Handler serves two-sided verbs requests on an endpoint.
+type Handler func(from int, req any) any
+
+// Endpoint is a node's attachment to the fabric.
+type Endpoint struct {
+	id      int
+	regions map[int]*memory.Arena
+	handler atomic.Pointer[Handler]
+}
+
+// Fabric connects the endpoints of a cluster.
+type Fabric struct {
+	model     vtime.Model
+	atomicity AtomicityLevel
+	eps       []*Endpoint
+	Totals    Counters
+}
+
+// NewFabric creates a fabric with n endpoints (node IDs 0..n-1).
+func NewFabric(n int, model vtime.Model, atomicity AtomicityLevel) *Fabric {
+	f := &Fabric{model: model, atomicity: atomicity}
+	for i := 0; i < n; i++ {
+		f.eps = append(f.eps, &Endpoint{id: i, regions: make(map[int]*memory.Arena)})
+	}
+	return f
+}
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *vtime.Model { return &f.model }
+
+// Atomicity returns the configured atomicity level.
+func (f *Fabric) Atomicity() AtomicityLevel { return f.atomicity }
+
+// Nodes returns the endpoint count.
+func (f *Fabric) Nodes() int { return len(f.eps) }
+
+// Endpoint returns node's endpoint.
+func (f *Fabric) Endpoint(node int) *Endpoint {
+	return f.eps[node]
+}
+
+// Register exposes an arena as a remotely accessible region of a node.
+func (f *Fabric) Register(node, regionID int, a *memory.Arena) {
+	f.eps[node].regions[regionID] = a
+}
+
+// Serve installs the two-sided verbs handler for a node.
+func (f *Fabric) Serve(node int, h Handler) {
+	f.eps[node].handler.Store(&h)
+}
+
+func (f *Fabric) region(node, regionID int) *memory.Arena {
+	a, ok := f.eps[node].regions[regionID]
+	if !ok {
+		panic(fmt.Sprintf("rdma: node %d has no region %d", node, regionID))
+	}
+	return a
+}
+
+// QP is a queue pair: a worker-private handle for issuing verbs. Costs are
+// charged to the clock bound at creation (nil clock charges nothing, for
+// unit tests).
+type QP struct {
+	fabric *Fabric
+	local  int
+	clock  *vtime.Clock
+	Stats  Counters
+}
+
+// NewQP creates a queue pair for a worker on node local.
+func (f *Fabric) NewQP(local int, clock *vtime.Clock) *QP {
+	return &QP{fabric: f, local: local, clock: clock}
+}
+
+// Local returns the node this QP belongs to.
+func (q *QP) Local() int { return q.local }
+
+func (q *QP) charge(d int64) {
+	if q.clock != nil {
+		q.clock.ChargeNS(d)
+	}
+}
+
+// netYield marks a network round trip: yield so other workers' execution
+// genuinely overlaps it. Without this, a single-core simulation host would
+// let each transaction run to completion within one scheduler slice,
+// hiding the lock-hold/lease contention windows the protocol is designed
+// around. Local CPU operations (LocalCAS) must NOT yield — they are
+// nanoseconds on real hardware and inflating them distorts read-only
+// transactions with large local read sets.
+func netYield() { runtime.Gosched() }
+
+// Read performs a one-sided RDMA READ of len(dst) words from (node, region,
+// off) into dst. Per-cache-line consistency only, as on real hardware.
+func (q *QP) Read(node, region int, off memory.Offset, dst []uint64) {
+	a := q.fabric.region(node, region)
+	a.Read(dst, off)
+	n := int64(len(dst) * 8)
+	q.Stats.Reads.Add(1)
+	q.Stats.ReadBytes.Add(n)
+	q.fabric.Totals.Reads.Add(1)
+	q.fabric.Totals.ReadBytes.Add(n)
+	q.charge(int64(q.fabric.model.RDMARead(int(n))))
+	netYield()
+}
+
+// Write performs a one-sided RDMA WRITE of src to (node, region, off).
+func (q *QP) Write(node, region int, off memory.Offset, src []uint64) {
+	a := q.fabric.region(node, region)
+	a.Write(off, src)
+	n := int64(len(src) * 8)
+	q.Stats.Writes.Add(1)
+	q.Stats.WriteByts.Add(n)
+	q.fabric.Totals.Writes.Add(1)
+	q.fabric.Totals.WriteByts.Add(n)
+	q.charge(int64(q.fabric.model.RDMAWrite(int(n))))
+	netYield()
+}
+
+// CAS performs a one-sided atomic compare-and-swap on a single word,
+// returning the prior value and whether the swap happened.
+func (q *QP) CAS(node, region int, off memory.Offset, old, new uint64) (uint64, bool) {
+	a := q.fabric.region(node, region)
+	prev, ok := a.CAS(off, old, new)
+	q.Stats.CASes.Add(1)
+	q.fabric.Totals.CASes.Add(1)
+	q.charge(q.fabric.model.RDMACASNS)
+	netYield()
+	return prev, ok
+}
+
+// FAA performs a one-sided atomic fetch-and-add, returning the prior value.
+func (q *QP) FAA(node, region int, off memory.Offset, delta uint64) uint64 {
+	a := q.fabric.region(node, region)
+	prev := a.FAA(off, delta)
+	q.Stats.FAAs.Add(1)
+	q.fabric.Totals.FAAs.Add(1)
+	q.charge(q.fabric.model.RDMACASNS)
+	netYield()
+	return prev
+}
+
+// LocalCAS performs a CPU compare-and-swap on a local region. Only legal
+// when the race partners also use CPU atomics, or under AtomicGLOB; the
+// transaction layer enforces that discipline.
+func (q *QP) LocalCAS(region int, off memory.Offset, old, new uint64) (uint64, bool) {
+	a := q.fabric.region(q.local, region)
+	prev, ok := a.CAS(off, old, new)
+	q.charge(q.fabric.model.LocalCASNS)
+	return prev, ok
+}
+
+// Call sends a two-sided verbs request to node and waits for the reply,
+// charging one message cost each way. reqBytes/respBytes size the messages
+// for the cost model.
+func (q *QP) Call(node int, req any, reqBytes, respBytes int) any {
+	h := q.fabric.eps[node].handler.Load()
+	if h == nil {
+		panic(fmt.Sprintf("rdma: node %d has no verbs handler", node))
+	}
+	q.Stats.Msgs.Add(1)
+	q.fabric.Totals.Msgs.Add(1)
+	q.charge(int64(q.fabric.model.VerbsMsg(reqBytes)))
+	netYield()
+	resp := (*h)(q.local, req)
+	q.charge(int64(q.fabric.model.VerbsMsg(respBytes)))
+	netYield()
+	return resp
+}
+
+// CallIPoIB is Call over the emulated IPoIB socket transport (used by the
+// Calvin baseline, which does not speak RDMA).
+func (q *QP) CallIPoIB(node int, req any, reqBytes, respBytes int) any {
+	h := q.fabric.eps[node].handler.Load()
+	if h == nil {
+		panic(fmt.Sprintf("rdma: node %d has no verbs handler", node))
+	}
+	q.Stats.Msgs.Add(1)
+	q.fabric.Totals.Msgs.Add(1)
+	q.charge(int64(q.fabric.model.IPoIBMsg(reqBytes)))
+	netYield()
+	resp := (*h)(q.local, req)
+	q.charge(int64(q.fabric.model.IPoIBMsg(respBytes)))
+	netYield()
+	return resp
+}

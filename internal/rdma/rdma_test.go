@@ -1,0 +1,207 @@
+package rdma
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drtm/internal/htm"
+	"drtm/internal/memory"
+	"drtm/internal/vtime"
+)
+
+func newTestFabric(nodes int) *Fabric {
+	f := NewFabric(nodes, vtime.DefaultModel(), AtomicHCA)
+	for n := 0; n < nodes; n++ {
+		f.Register(n, 0, memory.NewArena(n, 1024))
+	}
+	return f
+}
+
+func TestOneSidedReadWrite(t *testing.T) {
+	f := newTestFabric(2)
+	qp := f.NewQP(0, nil)
+
+	src := []uint64{1, 2, 3}
+	qp.Write(1, 0, 10, src)
+	dst := make([]uint64, 3)
+	qp.Read(1, 0, 10, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], src[i])
+		}
+	}
+	if qp.Stats.Reads.Load() != 1 || qp.Stats.Writes.Load() != 1 {
+		t.Fatal("op counters wrong")
+	}
+	if qp.Stats.ReadBytes.Load() != 24 {
+		t.Fatalf("ReadBytes = %d, want 24", qp.Stats.ReadBytes.Load())
+	}
+}
+
+func TestOneSidedCAS(t *testing.T) {
+	f := newTestFabric(2)
+	qp := f.NewQP(0, nil)
+	prev, ok := qp.CAS(1, 0, 5, 0, 99)
+	if !ok || prev != 0 {
+		t.Fatalf("CAS = (%d,%v)", prev, ok)
+	}
+	prev, ok = qp.CAS(1, 0, 5, 0, 100)
+	if ok || prev != 99 {
+		t.Fatalf("second CAS = (%d,%v), want (99,false)", prev, ok)
+	}
+}
+
+func TestFAA(t *testing.T) {
+	f := newTestFabric(2)
+	qp := f.NewQP(0, nil)
+	if prev := qp.FAA(1, 0, 0, 7); prev != 0 {
+		t.Fatalf("FAA prev = %d", prev)
+	}
+	dst := make([]uint64, 1)
+	qp.Read(1, 0, 0, dst)
+	if dst[0] != 7 {
+		t.Fatalf("after FAA = %d, want 7", dst[0])
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	f := newTestFabric(2)
+	var clk vtime.Clock
+	qp := f.NewQP(0, &clk)
+	qp.Read(1, 0, 0, make([]uint64, 8))
+	m := f.Model()
+	want := m.RDMARead(64)
+	if got := clk.Now(); got != want {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+	clk.Reset()
+	qp.CAS(1, 0, 0, 0, 1)
+	if got := clk.Now(); got != time.Duration(m.RDMACASNS) {
+		t.Fatalf("CAS charged %v, want %v", got, time.Duration(m.RDMACASNS))
+	}
+}
+
+// TestRDMAAbortsHTM verifies the central coherence property: a one-sided
+// write from another node aborts a conflicting HTM transaction on the host.
+func TestRDMAAbortsHTM(t *testing.T) {
+	f := newTestFabric(2)
+	hostArena := f.Endpoint(1).regions[0]
+	eng := htm.NewEngine(htm.Config{})
+	qp := f.NewQP(0, nil)
+
+	err := eng.Run(func(tx *htm.Txn) error {
+		_ = tx.Read(hostArena, 0)
+		qp.Write(1, 0, 0, []uint64{123}) // remote write lands mid-transaction
+		return nil
+	})
+	if ae, ok := htm.IsAbort(err); !ok || ae.Code != htm.AbortConflict {
+		t.Fatalf("err = %v, want conflict abort", err)
+	}
+}
+
+// TestRDMACASMutualExclusion: concurrent RDMA CAS lockers of one word never
+// both succeed, across nodes.
+func TestRDMACASMutualExclusion(t *testing.T) {
+	f := newTestFabric(3)
+	var acquired, releases int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for n := 0; n < 3; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			qp := f.NewQP(n, nil)
+			for i := 0; i < 200; i++ {
+				if _, ok := qp.CAS(0, 0, 0, 0, uint64(n+1)); ok {
+					mu.Lock()
+					acquired++
+					if acquired-releases != 1 {
+						t.Errorf("two lock holders at once")
+					}
+					releases++
+					mu.Unlock()
+					qp.Write(0, 0, 0, []uint64{0}) // unlock
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	if acquired == 0 {
+		t.Fatal("no one ever acquired the lock")
+	}
+}
+
+func TestVerbsCall(t *testing.T) {
+	f := newTestFabric(2)
+	f.Serve(1, func(from int, req any) any {
+		return req.(int) * 2
+	})
+	var clk vtime.Clock
+	qp := f.NewQP(0, &clk)
+	got := qp.Call(1, 21, 8, 8)
+	if got.(int) != 42 {
+		t.Fatalf("Call = %v, want 42", got)
+	}
+	want := 2 * f.Model().VerbsMsg(8)
+	if clk.Now() != want {
+		t.Fatalf("charged %v, want %v", clk.Now(), want)
+	}
+	if qp.Stats.Msgs.Load() != 1 {
+		t.Fatal("msg counter wrong")
+	}
+}
+
+func TestIPoIBCostsDominateVerbs(t *testing.T) {
+	f := newTestFabric(2)
+	f.Serve(1, func(from int, req any) any { return req })
+	var v1, v2 vtime.Clock
+	qpA := f.NewQP(0, &v1)
+	qpB := f.NewQP(0, &v2)
+	qpA.Call(1, 0, 64, 64)
+	qpB.CallIPoIB(1, 0, 64, 64)
+	if v2.Now() <= v1.Now()*5 {
+		t.Fatalf("IPoIB (%v) should be far slower than verbs (%v)", v2.Now(), v1.Now())
+	}
+}
+
+func TestTotalsAggregate(t *testing.T) {
+	f := newTestFabric(2)
+	qa, qb := f.NewQP(0, nil), f.NewQP(1, nil)
+	qa.Read(1, 0, 0, make([]uint64, 1))
+	qb.Read(0, 0, 0, make([]uint64, 1))
+	qa.CAS(1, 0, 0, 0, 1)
+	if f.Totals.Reads.Load() != 2 || f.Totals.CASes.Load() != 1 {
+		t.Fatalf("totals = reads %d cas %d", f.Totals.Reads.Load(), f.Totals.CASes.Load())
+	}
+	var sum Counters
+	sum.Add(&qa.Stats)
+	sum.Add(&qb.Stats)
+	if sum.Reads.Load() != 2 {
+		t.Fatal("Counters.Add lost ops")
+	}
+}
+
+func TestAtomicityLevelString(t *testing.T) {
+	if AtomicHCA.String() != "IBV_ATOMIC_HCA" || AtomicGLOB.String() != "IBV_ATOMIC_GLOB" {
+		t.Fatal("atomicity level strings wrong")
+	}
+}
+
+func BenchmarkRDMARead64B(b *testing.B) {
+	f := newTestFabric(2)
+	qp := f.NewQP(0, nil)
+	dst := make([]uint64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		qp.Read(1, 0, 0, dst)
+	}
+}
+
+func BenchmarkRDMACAS(b *testing.B) {
+	f := newTestFabric(2)
+	qp := f.NewQP(0, nil)
+	for i := 0; i < b.N; i++ {
+		qp.CAS(1, 0, 0, uint64(i), uint64(i+1))
+	}
+}

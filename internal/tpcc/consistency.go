@@ -1,0 +1,129 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"drtm/internal/memory"
+)
+
+// CheckConsistency verifies the TPC-C consistency conditions the schema
+// maintains (a subset of the spec's twelve, covering every table the five
+// transactions mutate):
+//
+//  1. W_YTD = sum(D_YTD) over the warehouse's districts.
+//  2. D_NEXT_O_ID - 1 >= max(O_ID) in ORDER for the district, with every
+//     order ID below D_NEXT_O_ID present.
+//  3. NEW-ORDER rows for a district are exactly the orders in
+//     [D_NEXT_DELIV_O_ID, D_NEXT_O_ID).
+//  4. Every order's order-line count matches its O_OL_CNT.
+//  5. Orders below D_NEXT_DELIV_O_ID have a carrier assigned.
+func (w *Workload) CheckConsistency() error {
+	cfg := w.cfg
+	for n := 0; n < cfg.Nodes; n++ {
+		node := w.rt.C.Node(n)
+		for wi := 0; wi < cfg.WarehousesPerNode; wi++ {
+			wID := n*cfg.WarehousesPerNode + wi + 1
+			wv, ok := node.Unordered(TableWarehouse).Get(WKey(wID))
+			if !ok {
+				return fmt.Errorf("warehouse %d missing", wID)
+			}
+			var dSum uint64
+			for d := 1; d <= cfg.Districts; d++ {
+				dv, ok := node.Unordered(TableDistrict).Get(DKey(wID, d))
+				if !ok {
+					return fmt.Errorf("district %d/%d missing", wID, d)
+				}
+				dSum += dv[DYtd]
+				if err := w.checkDistrict(n, wID, d, dv); err != nil {
+					return err
+				}
+			}
+			if wv[WYtd] != dSum {
+				return fmt.Errorf("w %d: W_YTD %d != sum(D_YTD) %d", wID, wv[WYtd], dSum)
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Workload) checkDistrict(n, wID, d int, dv []uint64) error {
+	node := w.rt.C.Node(n)
+	nextO := int(dv[DNextOID])
+	nextDeliv := int(dv[DNextDeliv])
+	if nextDeliv > nextO {
+		return fmt.Errorf("w %d d %d: next_deliv %d > next_o %d", wID, d, nextDeliv, nextO)
+	}
+
+	// Conditions 2, 4, 5: orders 1..nextO-1 all exist with matching lines.
+	orders := make(map[int][]uint64)
+	node.Ordered(TableOrder).Scan(OKey(wID, d, 0), OKey(wID, d, 1<<31),
+		func(k uint64, off memory.Offset) bool {
+			o := int(k & 0xFFFFFFFF)
+			if v, ok := node.Ordered(TableOrder).Get(k); ok {
+				orders[o] = v
+			}
+			return true
+		})
+	for o := 1; o < nextO; o++ {
+		ov, ok := orders[o]
+		if !ok {
+			return fmt.Errorf("w %d d %d: order %d missing (next_o %d)", wID, d, o, nextO)
+		}
+		olCnt := int(ov[OOlCnt])
+		for ol := 1; ol <= olCnt; ol++ {
+			olv, ok := node.Ordered(TableOrderLine).Get(OLKey(wID, d, o, ol))
+			if !ok {
+				return fmt.Errorf("w %d d %d o %d: order line %d missing", wID, d, o, ol)
+			}
+			if o < nextDeliv && olv[OLDeliveryD] == 0 {
+				return fmt.Errorf("w %d d %d o %d ol %d: delivered order with undelivered line",
+					wID, d, o, ol)
+			}
+		}
+		if o < nextDeliv && ov[OCarrier] == 0 {
+			return fmt.Errorf("w %d d %d: delivered order %d has no carrier", wID, d, o)
+		}
+	}
+	if len(orders) != nextO-1 {
+		return fmt.Errorf("w %d d %d: %d orders, want %d", wID, d, len(orders), nextO-1)
+	}
+
+	// Condition 3: NEW-ORDER matches [nextDeliv, nextO).
+	newOrders := make(map[int]bool)
+	node.Ordered(TableNewOrder).Scan(OKey(wID, d, 0), OKey(wID, d, 1<<31),
+		func(k uint64, off memory.Offset) bool {
+			newOrders[int(k&0xFFFFFFFF)] = true
+			return true
+		})
+	for o := nextDeliv; o < nextO; o++ {
+		if !newOrders[o] {
+			return fmt.Errorf("w %d d %d: undelivered order %d missing from NEW-ORDER", wID, d, o)
+		}
+	}
+	if len(newOrders) != nextO-nextDeliv {
+		return fmt.Errorf("w %d d %d: NEW-ORDER has %d rows, want %d",
+			wID, d, len(newOrders), nextO-nextDeliv)
+	}
+	return nil
+}
+
+// TotalPayments sums customer YTD payments cluster-wide; with history
+// amounts it cross-checks payment accounting in tests.
+func (w *Workload) TotalPayments() uint64 {
+	cfg := w.cfg
+	var total uint64
+	for n := 0; n < cfg.Nodes; n++ {
+		node := w.rt.C.Node(n)
+		for wi := 0; wi < cfg.WarehousesPerNode; wi++ {
+			wID := n*cfg.WarehousesPerNode + wi + 1
+			for d := 1; d <= cfg.Districts; d++ {
+				for c := 1; c <= cfg.CustomersPerDist; c++ {
+					if v, ok := node.Unordered(TableCustomer).Get(CKey(wID, d, c)); ok {
+						total += v[CYtdPayment]
+					}
+				}
+			}
+		}
+	}
+	return total
+}

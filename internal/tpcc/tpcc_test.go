@@ -1,0 +1,289 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"drtm/internal/cluster"
+	"drtm/internal/tx"
+)
+
+func testCfg(nodes, wPerNode int) Config {
+	cfg := DefaultConfig(nodes, wPerNode)
+	cfg.Districts = 3
+	cfg.CustomersPerDist = 30
+	cfg.Items = 100
+	cfg.InitialOrders = 9
+	cfg.ExtraOrdersPerDistrict = 500
+	return cfg
+}
+
+func newTPCC(t testing.TB, nodes, wPerNode, workers int) (*Workload, *tx.Runtime, func()) {
+	t.Helper()
+	ccfg := cluster.DefaultConfig(nodes, workers)
+	ccfg.LeaseMicros = 5_000
+	ccfg.ROLeaseMicros = 10_000
+	c := cluster.New(ccfg)
+	c.Start()
+	cfg := testCfg(nodes, wPerNode)
+	rt := tx.NewRuntime(c, cfg.Partitioner())
+	w, err := Setup(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, rt, c.Stop
+}
+
+func TestKeyEncodings(t *testing.T) {
+	cfg := testCfg(2, 2)
+	cases := []struct {
+		table int
+		key   uint64
+		want  int // warehouse
+	}{
+		{TableWarehouse, WKey(3), 3},
+		{TableDistrict, DKey(3, 7), 3},
+		{TableCustomer, CKey(4, 10, 2999), 4},
+		{TableStock, SKey(4, 99999), 4},
+		{TableOrder, OKey(3, 10, 1<<20), 3},
+		{TableOrderLine, OLKey(3, 10, 1<<20, 15), 3},
+		{TableOrderCust, OCKey(4, 9, 2999, 1<<20), 4},
+		{TableHistory, HKey(2, 1, 7, 123), 2},
+	}
+	for _, c := range cases {
+		if got := warehouseOfKey(c.table, c.key); got != c.want {
+			t.Errorf("warehouseOfKey(%d, %x) = %d, want %d", c.table, c.key, got, c.want)
+		}
+	}
+	if cfg.Partitioner()(TableItem, 5) != -1 {
+		t.Error("ITEM must be replicated (partition -1)")
+	}
+	if cfg.Partitioner()(TableWarehouse, WKey(3)) != 1 {
+		t.Error("warehouse 3 should live on node 1 with 2 per node")
+	}
+}
+
+func TestSetupConsistent(t *testing.T) {
+	w, _, stop := newTPCC(t, 2, 1, 1)
+	defer stop()
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatalf("fresh database inconsistent: %v", err)
+	}
+}
+
+func TestNewOrderBasic(t *testing.T) {
+	w, rt, stop := newTPCC(t, 1, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	lines := []OrderLineInput{{ItemID: 1, SupplyW: 1, Quantity: 3}, {ItemID: 2, SupplyW: 1, Quantity: 1}}
+	oID, err := w.NewOrder(e, 1, 1, 1, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := rt.C.Node(0)
+	ov, ok := node.Ordered(TableOrder).Get(OKey(1, 1, oID))
+	if !ok || ov[OCID] != 1 || ov[OOlCnt] != 2 || ov[OAllLocal] != 1 {
+		t.Fatalf("order = %v,%v", ov, ok)
+	}
+	if _, ok := node.Ordered(TableNewOrder).Get(OKey(1, 1, oID)); !ok {
+		t.Fatal("NEW-ORDER row missing")
+	}
+	olv, ok := node.Ordered(TableOrderLine).Get(OLKey(1, 1, oID, 1))
+	if !ok || olv[OLIID] != 1 || olv[OLQuantity] != 3 {
+		t.Fatalf("order line = %v,%v", olv, ok)
+	}
+	// Stock decremented.
+	sv, _ := node.Unordered(TableStock).Get(SKey(1, 1))
+	if sv[SYtd] != 3 || sv[SOrderCnt] != 1 {
+		t.Fatalf("stock = %v", sv)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderCrossWarehouse(t *testing.T) {
+	w, rt, stop := newTPCC(t, 2, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	// Supply from warehouse 2 (node 1): a distributed transaction.
+	lines := []OrderLineInput{{ItemID: 1, SupplyW: 2, Quantity: 5}}
+	if _, err := w.NewOrder(e, 1, 1, 1, lines); err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := rt.C.Node(1).Unordered(TableStock).Get(SKey(2, 1))
+	if sv[SRemoteCnt] != 1 || sv[SYtd] != 5 {
+		t.Fatalf("remote stock = %v", sv)
+	}
+}
+
+func TestNewOrderInvalidItemRollsBack(t *testing.T) {
+	w, rt, stop := newTPCC(t, 1, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	node := rt.C.Node(0)
+	dBefore, _ := node.Unordered(TableDistrict).Get(DKey(1, 1))
+	lines := []OrderLineInput{
+		{ItemID: 1, SupplyW: 1, Quantity: 1},
+		{ItemID: w.cfg.Items + 1, SupplyW: 1, Quantity: 1}, // unused item
+	}
+	_, err := w.NewOrder(e, 1, 1, 1, lines)
+	if err != tx.ErrUserAbort {
+		t.Fatalf("err = %v, want ErrUserAbort", err)
+	}
+	dAfter, _ := node.Unordered(TableDistrict).Get(DKey(1, 1))
+	if dAfter[DNextOID] != dBefore[DNextOID] {
+		t.Fatal("rolled-back new-order advanced next_o_id")
+	}
+	sv, _ := node.Unordered(TableStock).Get(SKey(1, 1))
+	if sv[SOrderCnt] != 0 {
+		t.Fatal("rolled-back new-order touched stock")
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentLocalAndRemote(t *testing.T) {
+	w, rt, stop := newTPCC(t, 2, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	// Local customer.
+	if err := w.Payment(e, 1, 1, 1, 1, 1, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Remote customer (warehouse 2 lives on node 1).
+	if err := w.Payment(e, 1, 1, 2, 1, 1, 500, 2); err != nil {
+		t.Fatal(err)
+	}
+	wv, _ := rt.C.Node(0).Unordered(TableWarehouse).Get(WKey(1))
+	if wv[WYtd] != 1500 {
+		t.Fatalf("w_ytd = %d", wv[WYtd])
+	}
+	cv, _ := rt.C.Node(1).Unordered(TableCustomer).Get(CKey(2, 1, 1))
+	if u2i(cv[CBalance]) != -500 || cv[CYtdPayment] != 500 || cv[CPaymentCnt] != 1 {
+		t.Fatalf("remote customer = %v", cv)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalPayments() != 1500 {
+		t.Fatalf("TotalPayments = %d", w.TotalPayments())
+	}
+}
+
+func TestOrderStatus(t *testing.T) {
+	w, rt, stop := newTPCC(t, 1, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	// Create an order for customer 5 so the latest is well-defined.
+	oID, err := w.NewOrder(e, 1, 1, 5, []OrderLineInput{{ItemID: 3, SupplyW: 1, Quantity: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.OrderStatus(e, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != oID {
+		t.Fatalf("latest order = %d, want %d", got, oID)
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	w, rt, stop := newTPCC(t, 1, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	node := rt.C.Node(0)
+	undelivered := node.Ordered(TableNewOrder).Len()
+	if undelivered == 0 {
+		t.Fatal("setup produced no undelivered orders")
+	}
+	n, err := w.Delivery(e, 1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != w.cfg.Districts {
+		t.Fatalf("delivered %d, want %d (one per district)", n, w.cfg.Districts)
+	}
+	if node.Ordered(TableNewOrder).Len() != undelivered-n {
+		t.Fatalf("NEW-ORDER rows = %d, want %d",
+			node.Ordered(TableNewOrder).Len(), undelivered-n)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStockLevel(t *testing.T) {
+	w, rt, stop := newTPCC(t, 1, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	low, err := w.StockLevel(e, 1, 1, 200) // threshold above max: all low
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low == 0 {
+		t.Fatal("no items counted; order lines not scanned?")
+	}
+	none, err := w.StockLevel(e, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != 0 {
+		t.Fatalf("threshold 0 counted %d items", none)
+	}
+}
+
+// TestMixedConcurrent runs the full mix on multiple nodes/workers and then
+// checks every consistency condition.
+func TestMixedConcurrent(t *testing.T) {
+	const nodes, wPer, workers = 2, 1, 2
+	w, rt, stop := newTPCC(t, nodes, wPer, workers)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes*workers)
+	for n := 0; n < nodes; n++ {
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(n, k int) {
+				defer wg.Done()
+				home := n*wPer + (k % wPer) + 1
+				cl := w.NewClient(rt.Executor(n, k), home, int64(n*100+k))
+				for i := 0; i < 120; i++ {
+					if _, err := cl.RunOne(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(n, k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("mix: %v", err)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatalf("post-run consistency: %v", err)
+	}
+}
+
+func TestLookupByLastName(t *testing.T) {
+	w, rt, stop := newTPCC(t, 2, 1, 1)
+	defer stop()
+	e := rt.Executor(0, 0)
+	c, ok := w.LookupByLastName(e, 1, 1, 5)
+	if !ok || c%lastNameBuckets != 5 {
+		t.Fatalf("lookup = %d,%v", c, ok)
+	}
+	// Remote lookup charges verbs time.
+	before := e.Worker().VClock.Now()
+	if _, ok := w.LookupByLastName(e, 2, 1, 5); !ok {
+		t.Fatal("remote lookup failed")
+	}
+	if e.Worker().VClock.Now() == before {
+		t.Fatal("remote last-name lookup cost nothing")
+	}
+}

@@ -1,0 +1,51 @@
+package tx
+
+import (
+	"sync"
+
+	"drtm/internal/kvs"
+)
+
+// cacheSet holds a node's location caches, one per (remote node, table),
+// shared by all worker threads of the node (Section 5.3).
+type cacheSet struct {
+	mux sync.RWMutex
+	m   map[cacheKey]kvs.Cache
+}
+
+type cacheKey struct{ node, table int }
+
+func newCacheSet() *cacheSet {
+	return &cacheSet{m: make(map[cacheKey]kvs.Cache)}
+}
+
+// stats sums hit/miss/invalidation counters over all caches in the set.
+func (s *cacheSet) stats() (hits, misses, invals int64) {
+	s.mux.RLock()
+	defer s.mux.RUnlock()
+	for _, c := range s.m {
+		h, m, i := c.Stats()
+		hits += h
+		misses += m
+		invals += i
+	}
+	return
+}
+
+func (s *cacheSet) get(node, table, budgetBytes int, build func(int) kvs.Cache) kvs.Cache {
+	k := cacheKey{node, table}
+	s.mux.RLock()
+	c, ok := s.m[k]
+	s.mux.RUnlock()
+	if ok {
+		return c
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	if c, ok := s.m[k]; ok {
+		return c
+	}
+	c = build(budgetBytes)
+	s.m[k] = c
+	return c
+}

@@ -1,0 +1,352 @@
+package tx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"drtm/internal/clock"
+	"drtm/internal/cluster"
+	"drtm/internal/htm"
+	"drtm/internal/rdma"
+)
+
+// TestWriterAfterLeaseExpiry: the lease write path (Figure 5) replaces an
+// expired lease with an exclusive lock via the CAS-with-current-state retry.
+func TestWriterAfterLeaseExpiry(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 4, func(c *cluster.Config) {
+		c.LeaseMicros = 2_000
+	})
+	defer stop()
+	tr := rt.Executor(0, 0).newTx()
+	if err := tr.stageRemote(tblAccounts, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	// The state word now carries a lease (non-INIT).
+	host := rt.C.Node(1).Unordered(tblAccounts)
+	off, _ := host.LookupLocal(1)
+	if s := host.Arena().LoadWord(off + 2); s == clock.Init || clock.IsWriteLocked(s) {
+		t.Fatalf("state = %x, want a lease", s)
+	}
+	time.Sleep(6 * time.Millisecond) // lease (2ms) + delta comfortably passed
+
+	e := rt.Executor(0, 0)
+	err := e.Exec(func(tx *Tx) error {
+		if err := tx.W(tblAccounts, 1); err != nil {
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			return lc.Write(tblAccounts, 1, []uint64{7, 7})
+		})
+	})
+	if err != nil {
+		t.Fatalf("writer failed after lease expiry: %v", err)
+	}
+	v, _ := host.Get(1)
+	if v[0] != 7 {
+		t.Fatal("write lost")
+	}
+}
+
+// TestLocalWriteClearsExpiredLease: Figure 6's optimization — a local write
+// to a record with an expired lease resets the state word to INIT.
+func TestLocalWriteClearsExpiredLease(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 4, func(c *cluster.Config) {
+		c.LeaseMicros = 2_000
+	})
+	defer stop()
+	// Lease key 2 (homed node 0) from node 1, let it expire.
+	tr := rt.Executor(1, 0).newTx()
+	if err := tr.stageRemote(tblAccounts, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(6 * time.Millisecond)
+
+	e := rt.Executor(0, 0)
+	err := e.Exec(func(tx *Tx) error {
+		if err := tx.W(tblAccounts, 2); err != nil {
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			return lc.Write(tblAccounts, 2, []uint64{9, 9})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := rt.C.Node(0).Unordered(tblAccounts)
+	off, _ := host.LookupLocal(2)
+	if s := host.Arena().LoadWord(off + 2); s != clock.Init {
+		t.Fatalf("expired lease not cleared: %x", s)
+	}
+}
+
+// TestFallbackWithRemoteRecords: the fallback path re-acquires remote locks
+// in global order and commits correctly.
+func TestFallbackWithRemoteRecords(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 32, func(c *cluster.Config) {
+		c.HTM = htm.Config{WriteLines: 2, ReadLines: 4096}
+	})
+	defer stop()
+	e := rt.Executor(0, 0)
+	// 4 local + 2 remote writes exceed the 2-line HTM capacity.
+	keys := []uint64{2, 4, 6, 8, 1, 3} // evens local to node 0, odds on node 1
+	err := e.Exec(func(tx *Tx) error {
+		for _, k := range keys {
+			if err := tx.W(tblAccounts, k); err != nil {
+				return err
+			}
+		}
+		return tx.Execute(func(lc *Local) error {
+			for _, k := range keys {
+				v, err := lc.Read(tblAccounts, k)
+				if err != nil {
+					return err
+				}
+				if err := lc.Write(tblAccounts, k, []uint64{v[0] + 5, v[1]}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.Fallbacks.Load() == 0 {
+		t.Fatal("expected the fallback path")
+	}
+	for _, k := range keys {
+		host := rt.C.Node(int(k) % 2).Unordered(tblAccounts)
+		v, _ := host.Get(k)
+		if v[0] != 1005 {
+			t.Fatalf("key %d = %d, want 1005", k, v[0])
+		}
+		off, _ := host.LookupLocal(k)
+		if s := host.Arena().LoadWord(off + 2); s != clock.Init {
+			t.Fatalf("key %d still locked: %x", k, s)
+		}
+	}
+}
+
+// TestFallbackUserAbortReleasesEverything: a user abort on the fallback
+// path must release all acquired locks without publishing.
+func TestFallbackUserAbort(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 16, func(c *cluster.Config) {
+		c.HTM = htm.Config{WriteLines: 2, ReadLines: 4096}
+	})
+	defer stop()
+	e := rt.Executor(0, 0)
+	keys := []uint64{2, 4, 6, 1}
+	err := e.Exec(func(tx *Tx) error {
+		for _, k := range keys {
+			if err := tx.W(tblAccounts, k); err != nil {
+				return err
+			}
+		}
+		return tx.Execute(func(lc *Local) error {
+			for _, k := range keys {
+				v, err := lc.Read(tblAccounts, k)
+				if err != nil {
+					return err
+				}
+				if err := lc.Write(tblAccounts, k, []uint64{v[0] + 1, v[1]}); err != nil {
+					return err
+				}
+			}
+			return ErrUserAbort
+		})
+	})
+	if !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, k := range keys {
+		host := rt.C.Node(int(k) % 2).Unordered(tblAccounts)
+		v, _ := host.Get(k)
+		if v[0] != 1000 {
+			t.Fatalf("aborted fallback write visible on key %d: %d", k, v[0])
+		}
+		off, _ := host.LookupLocal(k)
+		if s := host.Arena().LoadWord(off + 2); s != clock.Init {
+			t.Fatalf("key %d lock leaked: %x", k, s)
+		}
+	}
+}
+
+// TestGlobalAtomicsUsesLocalCAS: under IBV_ATOMIC_GLOB the fallback path
+// locks local records with cheap CPU CAS (no RDMA CAS counted).
+func TestGlobalAtomicsUsesLocalCAS(t *testing.T) {
+	countCAS := func(level rdma.AtomicityLevel) int64 {
+		rt, stop := newRig(t, 1, 1, 16, func(c *cluster.Config) {
+			c.Atomicity = level
+			c.HTM = htm.Config{WriteLines: 2, ReadLines: 4096}
+		})
+		defer stop()
+		e := rt.Executor(0, 0)
+		err := e.Exec(func(tx *Tx) error {
+			for _, k := range []uint64{1, 2, 3, 4} {
+				if err := tx.W(tblAccounts, k); err != nil {
+					return err
+				}
+			}
+			return tx.Execute(func(lc *Local) error {
+				for _, k := range []uint64{1, 2, 3, 4} {
+					v, err := lc.Read(tblAccounts, k)
+					if err != nil {
+						return err
+					}
+					if err := lc.Write(tblAccounts, k, []uint64{v[0], v[1]}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Stats.Fallbacks.Load() == 0 {
+			t.Fatal("fallback did not trigger")
+		}
+		return rt.C.Fabric.Totals.CASes.Load()
+	}
+	hca := countCAS(rdma.AtomicHCA)
+	glob := countCAS(rdma.AtomicGLOB)
+	if hca == 0 {
+		t.Fatal("HCA fallback should use RDMA CAS for local records")
+	}
+	if glob != 0 {
+		t.Fatalf("GLOB fallback used %d RDMA CAS, want 0 (local CAS)", glob)
+	}
+}
+
+// TestUpgradeReadToWriteRejected: staging a write after a read of the same
+// remote record is a conflict (the protocol requires declaring the stronger
+// intent first).
+func TestUpgradeReadToWriteRejected(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 4, nil)
+	defer stop()
+	tx := rt.Executor(0, 0).newTx()
+	if err := tx.stageRemote(tblAccounts, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.stageRemote(tblAccounts, 1, 1, true); !errors.Is(err, ErrRetry) {
+		t.Fatalf("upgrade = %v, want ErrRetry", err)
+	}
+}
+
+// TestNoReadLeaseTakesExclusive: the Figure 17 ablation switch.
+func TestNoReadLeaseTakesExclusive(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 4, nil)
+	defer stop()
+	rt.NoReadLease = true
+	tx := rt.Executor(0, 0).newTx()
+	if err := tx.R(tblAccounts, 1); err != nil { // remote read
+		t.Fatal(err)
+	}
+	host := rt.C.Node(1).Unordered(tblAccounts)
+	off, _ := host.LookupLocal(1)
+	if s := host.Arena().LoadWord(off + 2); !clock.IsWriteLocked(s) {
+		t.Fatalf("NoReadLease read did not take the exclusive lock: %x", s)
+	}
+	tx.releaseLocks()
+}
+
+// TestConcurrentROAndWriters stress-tests lease/exclusive interplay across
+// three nodes for an extended run.
+func TestConcurrentROAndWriters(t *testing.T) {
+	const nodes, keys = 3, 18
+	rt, stop := newRig(t, nodes, 1, keys, nil)
+	defer stop()
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			e := rt.Executor(n, 0)
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				a := uint64((n*5+i)%keys) + 1
+				b := uint64((n*7+i*3)%keys) + 1
+				if a == b {
+					continue
+				}
+				_ = e.Exec(func(tx *Tx) error {
+					if err := tx.W(tblAccounts, a); err != nil {
+						return err
+					}
+					if err := tx.R(tblAccounts, b); err != nil {
+						return err
+					}
+					return tx.Execute(func(lc *Local) error {
+						v, err := lc.Read(tblAccounts, a)
+						if err != nil {
+							return err
+						}
+						w, err := lc.Read(tblAccounts, b)
+						if err != nil {
+							return err
+						}
+						return lc.Write(tblAccounts, a, []uint64{v[0], w[0]})
+					})
+				})
+			}
+		}(n)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stopCh)
+	wg.Wait()
+	// No locks may remain.
+	for k := uint64(1); k <= keys; k++ {
+		host := rt.C.Node(int(k) % nodes).Unordered(tblAccounts)
+		off, _ := host.LookupLocal(k)
+		if s := host.Arena().LoadWord(off + 2); clock.IsWriteLocked(s) {
+			t.Fatalf("key %d left locked", k)
+		}
+	}
+}
+
+// TestDeferredOrderedInsertShipsRemote: an ordered-table insert whose home
+// is another node goes over verbs to the host (Section 6.5).
+func TestDeferredOrderedInsertShipsRemote(t *testing.T) {
+	const tblOrders = 2
+	rt, stop := newRig(t, 2, 1, 4, nil)
+	defer stop()
+	rt.DefineOrdered(tblOrders, 64, 1)
+	e := rt.Executor(0, 0)
+	msgsBefore := rt.C.Fabric.Totals.Msgs.Load()
+	err := e.Exec(func(tx *Tx) error {
+		return tx.Execute(func(lc *Local) error {
+			lc.Insert(tblOrders, 101, []uint64{7}) // odd key: homed on node 1
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rt.C.Node(1).Ordered(tblOrders).Get(101); !ok || v[0] != 7 {
+		t.Fatalf("shipped ordered insert = %v,%v", v, ok)
+	}
+	if rt.C.Fabric.Totals.Msgs.Load() == msgsBefore {
+		t.Fatal("insert did not go over verbs")
+	}
+	// And the reverse: remote delete.
+	err = e.Exec(func(tx *Tx) error {
+		return tx.Execute(func(lc *Local) error {
+			lc.Delete(tblOrders, 101)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.C.Node(1).Ordered(tblOrders).Get(101); ok {
+		t.Fatal("shipped ordered delete failed")
+	}
+}

@@ -1,0 +1,285 @@
+package tx
+
+import (
+	"sort"
+
+	"drtm/internal/clock"
+	"drtm/internal/kvs"
+	"drtm/internal/memory"
+	"drtm/internal/rdma"
+)
+
+// fbRec is a record under fallback protection.
+type fbRec struct {
+	table, node int
+	key         uint64
+	off         memory.Offset
+	write       bool
+	leaseEnd    uint64
+	buf         []uint64
+	dirty       bool
+	version     uint32
+}
+
+// fallbackCtx carries the state of a fallback execution.
+type fallbackCtx struct {
+	t     *Tx
+	recs  []*fbRec
+	index map[refKey]*fbRec
+}
+
+// runFallback executes the transaction body on the software path
+// (Section 6.2): release everything, re-acquire protocol locks for ALL
+// records — local ones included — in the global <table, key> order, run the
+// body against private buffers, confirm leases, then publish and unlock.
+// Because local records are locked through the same state words, in-flight
+// local HTM transactions abort on their state checks, preserving strict
+// serializability.
+func (t *Tx) runFallback(fn func(lc *Local) error) error {
+	rt := t.e.rt
+	rt.Stats.Fallbacks.Add(1)
+
+	// To avoid deadlock, first release all owned remote locks (Section 6.2).
+	// The staging index must go too: in fallback mode every access routes
+	// through the fallback record set, not the Start-phase buffers.
+	prevRemotes := t.remotes
+	for _, r := range prevRemotes {
+		if r.write {
+			t.unlockRemote(r)
+		}
+	}
+	t.remotes = nil
+	t.rIndex = map[refKey]*remoteRec{}
+
+	fb := &fallbackCtx{t: t, index: make(map[refKey]*fbRec)}
+	for _, r := range prevRemotes {
+		fb.add(&fbRec{table: r.table, node: r.node, key: r.key, write: r.write})
+	}
+	for _, l := range t.locals {
+		fb.add(&fbRec{table: l.table, node: t.e.w.Node.ID, key: l.key, write: l.write})
+	}
+	sort.Slice(fb.recs, func(i, j int) bool {
+		if fb.recs[i].table != fb.recs[j].table {
+			return fb.recs[i].table < fb.recs[j].table
+		}
+		return fb.recs[i].key < fb.recs[j].key
+	})
+
+	// Acquire locks in the global order and prefetch values.
+	for i, r := range fb.recs {
+		if err := fb.acquire(r); err != nil {
+			fb.release(i, false)
+			t.finished = true
+			if err == ErrNotFound || err == ErrNodeDown {
+				return err
+			}
+			return ErrRetry
+		}
+	}
+	for _, r := range fb.recs {
+		fb.fetch(r)
+	}
+
+	lc := &Local{t: t, fallback: fb}
+	if err := fn(lc); err != nil {
+		fb.release(len(fb.recs), false)
+		t.finished = true
+		return err
+	}
+
+	// Confirm leases before any in-place update: fallback updates cannot be
+	// rolled back by HTM.
+	now := t.e.w.Node.Clock.Read()
+	delta := rt.C.Delta()
+	for _, r := range fb.recs {
+		if !r.write && !clock.Valid(r.leaseEnd, now, delta) {
+			fb.release(len(fb.recs), false)
+			t.finished = true
+			rt.Stats.LeaseFails.Add(1)
+			return ErrRetry
+		}
+	}
+
+	// Log ahead of in-place updates (Section 6.2, last paragraph).
+	if rt.C.Config().Durability {
+		t.logFallbackWAL(fb)
+	}
+
+	// Publish writes and unlock.
+	fb.publish()
+	t.applyDeferred()
+	t.finished = true
+	return nil
+}
+
+func (fb *fallbackCtx) add(r *fbRec) {
+	k := refKey{r.table, r.key}
+	if prev, ok := fb.index[k]; ok {
+		if r.write {
+			prev.write = true
+		}
+		return
+	}
+	fb.index[k] = r
+	fb.recs = append(fb.recs, r)
+}
+
+// stateCAS issues the appropriate compare-and-swap for a record's state
+// word: one-sided RDMA CAS for remote records always; for local records a
+// cheap CPU CAS is only legal under IBV_ATOMIC_GLOB (Section 6.3) — under
+// HCA-level atomicity the local record must also be locked with RDMA CAS,
+// which is what costs the paper ~15% fallback throughput.
+func (fb *fallbackCtx) stateCAS(r *fbRec, old, new uint64) (uint64, bool) {
+	qp := fb.t.e.w.QP
+	local := r.node == fb.t.e.w.Node.ID
+	if local && fb.t.e.rt.C.Fabric.Atomicity() == rdma.AtomicGLOB {
+		return qp.LocalCAS(r.table, kvs.StateOffset(r.off), old, new)
+	}
+	return qp.CAS(r.node, r.table, kvs.StateOffset(r.off), old, new)
+}
+
+func (fb *fallbackCtx) acquire(r *fbRec) error {
+	t := fb.t
+	if !t.e.rt.C.Node(r.node).Alive() {
+		return ErrNodeDown
+	}
+	// Resolve the entry offset.
+	meta := t.e.rt.Meta(r.table)
+	if r.node == t.e.w.Node.ID {
+		var ok bool
+		if meta.Kind == Ordered {
+			r.off, ok = t.e.w.Node.Ordered(r.table).Lookup(r.key)
+		} else {
+			r.off, ok = t.e.w.Node.Unordered(r.table).LookupLocal(r.key)
+		}
+		if !ok {
+			return ErrNotFound
+		}
+	} else {
+		host := t.e.rt.C.Node(r.node).Unordered(r.table)
+		loc, ok := host.LookupRemote(t.e.w.QP, t.e.cacheFor(r.node, r.table), r.key)
+		if !ok {
+			return ErrNotFound
+		}
+		r.off = loc.Off
+	}
+
+	t.e.charge(t.e.model().FallbackLockNS)
+	delta := t.e.rt.C.Delta()
+	want := clock.WLocked(uint8(t.e.w.Node.ID))
+	if !r.write {
+		want = clock.Shared(t.leaseEnd)
+	}
+	const casRetries = 8
+	for i := 0; i < casRetries; i++ {
+		cur, ok := fb.stateCAS(r, clock.Init, want)
+		if ok {
+			r.leaseEnd = t.leaseEnd
+			return nil
+		}
+		if clock.IsWriteLocked(cur) {
+			return ErrRetry
+		}
+		end := clock.LeaseEnd(cur)
+		now := t.e.w.Node.Clock.Read()
+		if !r.write && !clock.Expired(end, now, delta) {
+			r.leaseEnd = end // share the existing lease
+			return nil
+		}
+		if !clock.Expired(end, now, delta) {
+			return ErrRetry // writer must wait out the lease
+		}
+		if _, ok := fb.stateCAS(r, cur, want); ok {
+			r.leaseEnd = t.leaseEnd
+			return nil
+		}
+	}
+	return ErrRetry
+}
+
+// fetch loads the record's value and version into the private buffer.
+func (fb *fallbackCtx) fetch(r *fbRec) {
+	t := fb.t
+	vw := t.e.rt.Meta(r.table).ValueWords
+	r.buf = make([]uint64, vw)
+	if r.node == t.e.w.Node.ID {
+		arena := fb.arenaOf(r)
+		arena.Read(r.buf, kvs.ValueOffset(r.off))
+		r.version = kvs.Version(arena.LoadWord(kvs.IncVerOffset(r.off)))
+		t.e.charge(int64(vw+1) * t.e.model().HTMPerReadNS)
+		return
+	}
+	words := make([]uint64, kvs.EntryValueWord+vw)
+	t.e.w.QP.Read(r.node, r.table, r.off, words)
+	copy(r.buf, words[kvs.EntryValueWord:])
+	r.version = kvs.Version(words[kvs.EntryIncVerWord])
+}
+
+func (fb *fallbackCtx) arenaOf(r *fbRec) *memory.Arena {
+	n := fb.t.e.rt.C.Node(r.node)
+	if fb.t.e.rt.Meta(r.table).Kind == Ordered {
+		return n.Ordered(r.table).Arena()
+	}
+	return n.Unordered(r.table).Arena()
+}
+
+func (fb *fallbackCtx) read(table int, key uint64) ([]uint64, error) {
+	r, ok := fb.index[refKey{table, key}]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return r.buf, nil
+}
+
+func (fb *fallbackCtx) write(table int, key uint64, val []uint64) error {
+	r, ok := fb.index[refKey{table, key}]
+	if !ok || !r.write {
+		return ErrNotFound
+	}
+	copy(r.buf, val)
+	r.dirty = true
+	return nil
+}
+
+// publish applies dirty buffers in place and releases all exclusive locks.
+// The unlock is carried by the same WRITE that updates version + state for
+// single-line entries, value-first then unlock for larger ones.
+func (fb *fallbackCtx) publish() {
+	t := fb.t
+	qp := t.e.w.QP
+	for _, r := range fb.recs {
+		if !r.write {
+			continue // leases expire on their own
+		}
+		arena := fb.arenaOf(r)
+		inc := kvs.Incarnation(arena.LoadWord(kvs.IncVerOffset(r.off)))
+		if !r.dirty {
+			qp.Write(r.node, r.table, kvs.StateOffset(r.off), []uint64{clock.Init})
+			continue
+		}
+		incverOff := kvs.IncVerOffset(r.off)
+		newIncVer := kvs.PackIncVer(inc, r.version+1)
+		span := 2 + len(r.buf)
+		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
+			words := make([]uint64, span)
+			words[0] = newIncVer
+			words[1] = clock.Init
+			copy(words[2:], r.buf)
+			qp.Write(r.node, r.table, incverOff, words)
+		} else {
+			qp.Write(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
+			qp.Write(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
+		}
+	}
+}
+
+// release unlocks the first n acquired records without publishing (abort).
+func (fb *fallbackCtx) release(n int, _ bool) {
+	qp := fb.t.e.w.QP
+	for i := 0; i < n; i++ {
+		r := fb.recs[i]
+		if r.write {
+			qp.Write(r.node, r.table, kvs.StateOffset(r.off), []uint64{clock.Init})
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package tx
+
+import (
+	"fmt"
+
+	"drtm/internal/cluster"
+)
+
+// Verbs message types used by the transaction layer.
+const (
+	// msgStoreOp ships an INSERT/DELETE to the record's host, where it is
+	// executed through the host's store (footnote 5 / Section 6.5).
+	msgStoreOp = 1
+)
+
+// storeOpMsg is the body of a shipped insert/delete.
+type storeOpMsg struct {
+	Insert bool
+	Table  int
+	Key    uint64
+	Val    []uint64
+}
+
+// installStoreHandlers wires the verbs store-op handler on every node.
+func (rt *Runtime) installStoreHandlers() {
+	for i := 0; i < rt.C.Nodes(); i++ {
+		n := rt.C.Node(i)
+		n.Handle(msgStoreOp, func(from int, body any) any {
+			m := body.(storeOpMsg)
+			return rt.execStoreOp(n, m)
+		})
+	}
+}
+
+// execStoreOp performs an insert/delete on the host node's store.
+func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
+	meta := rt.Meta(m.Table)
+	if meta.Kind == Ordered {
+		o := n.Ordered(m.Table)
+		if m.Insert {
+			return o.Insert(m.Key, m.Val)
+		}
+		o.Delete(m.Key)
+		return nil
+	}
+	t := n.Unordered(m.Table)
+	if m.Insert {
+		return t.Insert(m.Key, m.Val)
+	}
+	t.Delete(m.Key)
+	return nil
+}
+
+// applyStoreOp applies a deferred insert/delete: directly when the record
+// is homed here, via verbs otherwise.
+func (e *Executor) applyStoreOp(op deferredOp) {
+	node := e.rt.Part(op.table, op.key)
+	if node < 0 { // replicated table: apply locally
+		node = e.w.Node.ID
+	}
+	m := storeOpMsg{Insert: op.insert, Table: op.table, Key: op.key, Val: op.val}
+	if node == e.w.Node.ID {
+		if err := e.rt.execStoreOp(e.w.Node, m); err != nil {
+			// Duplicate keys indicate a workload bug; surface loudly.
+			panic(fmt.Sprintf("tx: deferred store op failed: %v", err))
+		}
+		model := e.model()
+		if op.insert && e.rt.Meta(op.table).Kind == Ordered {
+			e.charge(model.BTreeOpNS)
+		} else {
+			e.charge(model.HashProbeNS)
+		}
+		return
+	}
+	sz := (3 + len(op.val)) * 8
+	resp := e.w.QP.Call(node, cluster.Msg{Type: msgStoreOp, Body: m}, sz, 8)
+	if err, _ := resp.(error); err != nil {
+		panic(fmt.Sprintf("tx: shipped store op failed: %v", err))
+	}
+}

@@ -1,0 +1,229 @@
+package tx
+
+import (
+	"fmt"
+
+	"drtm/internal/clock"
+	"drtm/internal/htm"
+	"drtm/internal/kvs"
+	"drtm/internal/memory"
+)
+
+// Local is the transaction body's view during the LocalTX phase. It serves
+// reads and writes of local records through the HTM transaction (with the
+// Figure 6 state-word checks) and of staged remote records through the
+// transaction-private buffers filled during the Start phase.
+type Local struct {
+	t   *Tx
+	htx *htm.Txn
+
+	// fallback is set when running on the software fallback path
+	// (Section 6.2): accesses go straight to memory under protocol locks
+	// instead of through an HTM region.
+	fallback *fallbackCtx
+}
+
+// now returns the timestamp local operations use for lease checks,
+// honoring the configured softtime strategy (Figure 11).
+func (lc *Local) now() uint64 {
+	cfg := lc.t.e.rt.C.Config()
+	if cfg.Strategy != clock.StrategyReuseConfirm && lc.htx != nil {
+		// Figure 11(a)/(b): a transactional softtime read per operation —
+		// exposed to timer-thread false aborts (frequency depends on the
+		// deployment's update interval).
+		return lc.t.e.w.Node.Clock.ReadTx(lc.htx)
+	}
+	// Figure 11(c): reuse the Start-phase softtime.
+	return lc.t.startSoft
+}
+
+// resolve maps (table, key) to the record's entry location in this node's
+// shard, charging the store's lookup cost.
+func (lc *Local) resolve(table int, key uint64) (*memory.Arena, memory.Offset, bool) {
+	n := lc.t.e.w.Node
+	m := lc.t.e.rt.Meta(table)
+	model := lc.t.e.model()
+	if m.Kind == Ordered {
+		lc.t.e.charge(model.BTreeOpNS)
+		o := n.Ordered(table)
+		off, ok := o.Lookup(key)
+		return o.Arena(), off, ok
+	}
+	lc.t.e.charge(model.HashProbeNS)
+	tbl := n.Unordered(table)
+	var off memory.Offset
+	var ok bool
+	if lc.htx != nil {
+		off, ok = tbl.LookupTx(lc.htx, key)
+	} else {
+		off, ok = tbl.LookupLocal(key)
+	}
+	return tbl.Arena(), off, ok
+}
+
+// Read returns the record's value. Remote records must have been staged
+// with Tx.R or Tx.W; local records must have been declared.
+func (lc *Local) Read(table int, key uint64) ([]uint64, error) {
+	k := refKey{table, key}
+	if lc.fallback != nil {
+		// Fallback mode: every declared record (local or remote) lives in
+		// the fallback record set.
+		return lc.fallback.read(table, key)
+	}
+	if r, ok := lc.t.rIndex[k]; ok {
+		return r.buf, nil
+	}
+	if _, ok := lc.t.lIndex[k]; !ok {
+		panic(fmt.Sprintf("tx: undeclared access to table %d key %d", table, key))
+	}
+	arena, off, ok := lc.resolve(table, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if lc.t.e.rt.C.Config().Strategy != clock.StrategyReuseConfirm {
+		_ = lc.now() // per-op softtime read (Figure 11(a)/(b) strategies)
+	}
+	// LOCAL_READ (Figure 6): the state word joins the HTM read set; if a
+	// remote transaction locks the record later, this transaction aborts.
+	s := lc.htx.Read(arena, kvs.StateOffset(off))
+	if clock.IsWriteLocked(s) {
+		lc.htx.Abort(abortCodeLocked)
+	}
+	// Leases are ignored by local reads: HTM protects read-read sharing.
+	vw := lc.t.e.rt.Meta(table).ValueWords
+	val := make([]uint64, vw)
+	lc.htx.ReadN(arena, kvs.ValueOffset(off), val)
+	lc.t.e.charge(lc.t.e.model().HTMPerReadNS * int64(vw+1))
+	return val, nil
+}
+
+// ReadWord returns one word of the record's value.
+func (lc *Local) ReadWord(table int, key uint64, idx int) (uint64, error) {
+	v, err := lc.Read(table, key)
+	if err != nil {
+		return 0, err
+	}
+	return v[idx], nil
+}
+
+// Write replaces the record's value. Staged remote writes update the
+// private buffer (written back after commit); local writes go through the
+// HTM region with the Figure 6 checks.
+func (lc *Local) Write(table int, key uint64, val []uint64) error {
+	k := refKey{table, key}
+	if lc.fallback != nil {
+		return lc.fallback.write(table, key, val)
+	}
+	if r, ok := lc.t.rIndex[k]; ok {
+		if !r.write {
+			panic(fmt.Sprintf("tx: write to read-staged record table %d key %d", table, key))
+		}
+		copy(r.buf, val)
+		r.dirty = true
+		return nil
+	}
+	if i, ok := lc.t.lIndex[k]; !ok || !lc.t.locals[i].write {
+		panic(fmt.Sprintf("tx: undeclared write to table %d key %d", table, key))
+	}
+	arena, off, ok := lc.resolve(table, key)
+	if !ok {
+		return ErrNotFound
+	}
+	if lc.t.e.rt.C.Config().Strategy != clock.StrategyReuseConfirm {
+		_ = lc.now() // per-op softtime read (Figure 11(a)/(b) strategies)
+	}
+	// LOCAL_WRITE (Figure 6): abort when exclusively locked or covered by
+	// an unexpired lease; actively clear an expired lease (the
+	// optimization that saves remote lockers an extra RDMA CAS — with the
+	// side effect of adding the state to the HTM write set).
+	s := lc.htx.Read(arena, kvs.StateOffset(off))
+	if clock.IsWriteLocked(s) {
+		lc.htx.Abort(abortCodeLocked)
+	}
+	if s != clock.Init {
+		if !clock.Expired(clock.LeaseEnd(s), lc.now(), lc.t.e.rt.C.Delta()) {
+			lc.htx.Abort(abortCodeLocked)
+		}
+		lc.htx.Write(arena, kvs.StateOffset(off), clock.Init)
+	}
+	incver := lc.htx.Read(arena, kvs.IncVerOffset(off))
+	newVer := kvs.Version(incver) + 1
+	lc.htx.Write(arena, kvs.IncVerOffset(off), kvs.PackIncVer(kvs.Incarnation(incver), newVer))
+	lc.htx.WriteN(arena, kvs.ValueOffset(off), val)
+	lc.t.e.charge(lc.t.e.model().HTMPerWriteNS * int64(len(val)+2))
+
+	if lc.t.e.rt.C.Config().Durability {
+		lc.t.walLocal = append(lc.t.walLocal, walRec{
+			node: lc.t.e.w.Node.ID, table: table, off: off,
+			version: newVer, val: append([]uint64(nil), val...),
+		})
+	}
+	return nil
+}
+
+// Insert schedules a record insertion, applied right after the transaction
+// commits (local stores directly, remote stores shipped over verbs as in
+// footnote 5 / Section 6.5).
+func (lc *Local) Insert(table int, key uint64, val []uint64) {
+	lc.t.deferred = append(lc.t.deferred, deferredOp{insert: true, table: table,
+		key: key, val: append([]uint64(nil), val...)})
+}
+
+// Delete schedules a record deletion, applied right after commit.
+func (lc *Local) Delete(table int, key uint64) {
+	lc.t.deferred = append(lc.t.deferred, deferredOp{insert: false, table: table, key: key})
+}
+
+// KeyOff is a scan result: a key and its entry offset.
+type KeyOff struct {
+	Key uint64
+	Off memory.Offset
+}
+
+// ScanLocal returns up to limit index entries of a local ordered table in
+// [lo, hi] ascending (limit <= 0 means unbounded). The index itself is
+// latched, not HTM-tracked; record bodies read afterwards are transactional
+// (phantom protection for ranges is out of scope, as in the paper).
+func (lc *Local) ScanLocal(table int, lo, hi uint64, limit int) []KeyOff {
+	o := lc.t.e.w.Node.Ordered(table)
+	lc.t.e.charge(lc.t.e.model().BTreeOpNS)
+	var out []KeyOff
+	o.Scan(lo, hi, func(k uint64, off memory.Offset) bool {
+		out = append(out, KeyOff{k, off})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// ScanLocalDesc is ScanLocal in descending order.
+func (lc *Local) ScanLocalDesc(table int, lo, hi uint64, limit int) []KeyOff {
+	o := lc.t.e.w.Node.Ordered(table)
+	lc.t.e.charge(lc.t.e.model().BTreeOpNS)
+	var out []KeyOff
+	o.ScanDesc(lo, hi, func(k uint64, off memory.Offset) bool {
+		out = append(out, KeyOff{k, off})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// ReadAt reads a local ordered record body found by a scan, with the same
+// state-word discipline as Read.
+func (lc *Local) ReadAt(table int, off memory.Offset) ([]uint64, error) {
+	o := lc.t.e.w.Node.Ordered(table)
+	arena := o.Arena()
+	vw := o.ValueWords()
+	val := make([]uint64, vw)
+	if lc.fallback != nil {
+		// Fallback reads are direct; the record set was locked up front.
+		arena.Read(val, kvs.ValueOffset(off))
+		return val, nil
+	}
+	s := lc.htx.Read(arena, kvs.StateOffset(off))
+	if clock.IsWriteLocked(s) {
+		lc.htx.Abort(abortCodeLocked)
+	}
+	lc.htx.ReadN(arena, kvs.ValueOffset(off), val)
+	lc.t.e.charge(lc.t.e.model().HTMPerReadNS * int64(vw+1))
+	return val, nil
+}

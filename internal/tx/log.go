@@ -1,0 +1,173 @@
+package tx
+
+import (
+	"drtm/internal/htm"
+	"drtm/internal/memory"
+)
+
+// Durability logging (Section 4.6, Figure 7).
+//
+// Log record wire formats (words):
+//
+//	chopping log:   [txid, info...]
+//	lock-ahead log: [txid, n, (node, table, off) x n]
+//	write-ahead log:[txid, n, (node, table, off, version, vw, val...) x n]
+//
+// The write-ahead log is appended transactionally inside the HTM region
+// (nvram.Log.AppendTx), so it exists in NVRAM if and only if the
+// transaction's XEND executed — the property recovery relies on to decide
+// redo vs. unlock.
+
+// logAheadOfRegion writes the chopping log (when the transaction is a piece
+// of a chopped parent) and the lock-ahead log naming every remote record
+// this transaction exclusively locked, so recovery can unlock them if we
+// crash before commit.
+func (t *Tx) logAheadOfRegion() {
+	w := t.e.w
+	if w.WriteAheadLog == nil {
+		return
+	}
+	model := t.e.model()
+	if len(t.choppingInfo) > 0 {
+		rec := append([]uint64{t.txid}, t.choppingInfo...)
+		w.ChoppingLog.Append(rec)
+		t.e.charge(int64(model.NVRAMAppend(len(rec) * 8)))
+	}
+	var locks []uint64
+	for _, r := range t.remotes {
+		if r.write {
+			locks = append(locks, uint64(r.node), uint64(r.table), uint64(r.off))
+		}
+	}
+	if len(locks) == 0 {
+		return
+	}
+	rec := make([]uint64, 0, 2+len(locks))
+	rec = append(rec, t.txid, uint64(len(locks)/3))
+	rec = append(rec, locks...)
+	w.LockAheadLog.Append(rec)
+	t.e.charge(int64(model.NVRAMAppend(len(rec) * 8)))
+}
+
+// walBody serializes the transaction's full update set (local writes plus
+// dirty remote writes).
+func (t *Tx) walBody() []uint64 {
+	var recs []walRec
+	recs = append(recs, t.walLocal...)
+	for _, r := range t.remotes {
+		if r.write && r.dirty {
+			recs = append(recs, walRec{
+				node: r.node, table: r.table, off: r.off,
+				version: r.version + 1, val: r.buf,
+			})
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	out := []uint64{t.txid, uint64(len(recs))}
+	for _, rec := range recs {
+		out = append(out, uint64(rec.node), uint64(rec.table), uint64(rec.off),
+			uint64(rec.version), uint64(len(rec.val)))
+		out = append(out, rec.val...)
+	}
+	return out
+}
+
+// logWALTx appends the write-ahead log inside the HTM region: durable iff
+// the region commits.
+func (t *Tx) logWALTx(htx *htm.Txn) {
+	w := t.e.w
+	if w.WriteAheadLog == nil {
+		return
+	}
+	body := t.walBody()
+	if body == nil {
+		return
+	}
+	if !w.WriteAheadLog.AppendTx(htx, body) {
+		panic("tx: write-ahead log full; size LogWords for the run")
+	}
+	t.e.charge(int64(t.e.model().NVRAMAppend(len(body) * 8)))
+}
+
+// logFallbackWAL logs updates ahead of the fallback path's in-place
+// publication ("DrTM will perform logs ahead of updates for them as in
+// normal systems", Section 6.2).
+func (t *Tx) logFallbackWAL(fb *fallbackCtx) {
+	w := t.e.w
+	if w.WriteAheadLog == nil {
+		return
+	}
+	var body []uint64
+	var count uint64
+	var recs []uint64
+	for _, r := range fb.recs {
+		if !r.write || !r.dirty {
+			continue
+		}
+		count++
+		recs = append(recs, uint64(r.node), uint64(r.table), uint64(r.off),
+			uint64(r.version+1), uint64(len(r.buf)))
+		recs = append(recs, r.buf...)
+	}
+	if count == 0 {
+		return
+	}
+	body = append([]uint64{t.txid, count}, recs...)
+	w.WriteAheadLog.Append(body)
+	t.e.charge(int64(t.e.model().NVRAMAppend(len(body) * 8)))
+}
+
+// parseWAL decodes one write-ahead record.
+func parseWAL(rec []uint64) (txid uint64, recs []walRec, ok bool) {
+	if len(rec) < 2 {
+		return 0, nil, false
+	}
+	txid = rec[0]
+	n := int(rec[1])
+	i := 2
+	for r := 0; r < n; r++ {
+		if i+5 > len(rec) {
+			return 0, nil, false
+		}
+		vw := int(rec[i+4])
+		if i+5+vw > len(rec) {
+			return 0, nil, false
+		}
+		recs = append(recs, walRec{
+			node:    int(rec[i]),
+			table:   int(rec[i+1]),
+			off:     memory.Offset(rec[i+2]),
+			version: uint32(rec[i+3]),
+			val:     append([]uint64(nil), rec[i+5:i+5+vw]...),
+		})
+		i += 5 + vw
+	}
+	return txid, recs, true
+}
+
+// parseLockAhead decodes one lock-ahead record.
+func parseLockAhead(rec []uint64) (txid uint64, locks []lockRef, ok bool) {
+	if len(rec) < 2 {
+		return 0, nil, false
+	}
+	txid = rec[0]
+	n := int(rec[1])
+	if len(rec) < 2+3*n {
+		return 0, nil, false
+	}
+	for i := 0; i < n; i++ {
+		locks = append(locks, lockRef{
+			node:  int(rec[2+i*3]),
+			table: int(rec[2+i*3+1]),
+			off:   memory.Offset(rec[2+i*3+2]),
+		})
+	}
+	return txid, locks, true
+}
+
+type lockRef struct {
+	node, table int
+	off         memory.Offset
+}

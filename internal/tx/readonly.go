@@ -1,0 +1,201 @@
+package tx
+
+import (
+	"drtm/internal/clock"
+	"drtm/internal/kvs"
+	"drtm/internal/memory"
+)
+
+// RO is a read-only transaction (Section 4.5 / Figure 8). Read-only
+// transactions have read sets far beyond HTM capacity, so they never enter
+// an HTM region: every record (local or remote) is locked in shared mode
+// with one common lease end time and prefetched; a final confirmation that
+// the common end time is still valid guarantees that no conflicting writer
+// was in flight anywhere — one lightweight check instead of two-round
+// execution.
+type RO struct {
+	e     *Executor
+	end   uint64 // the transaction's common lease end time
+	recs  []*roRec
+	index map[refKey]*roRec
+}
+
+type roRec struct {
+	table, node int
+	key         uint64
+	off         memory.Offset
+	buf         []uint64
+	leaseEnd    uint64
+}
+
+// ExecRO runs a read-only transaction to completion with retries.
+func (e *Executor) ExecRO(build func(ro *RO) error) error {
+	for attempt := 0; attempt < e.rt.MaxAttempts; attempt++ {
+		ro := &RO{
+			e:     e,
+			end:   e.w.Node.Clock.Read() + e.rt.C.Config().ROLeaseMicros,
+			index: make(map[refKey]*roRec),
+		}
+		err := build(ro)
+		if err == nil && ro.confirm() {
+			e.rt.Stats.ROCommits.Add(1)
+			return nil
+		}
+		if err != nil && err != ErrRetry {
+			return err
+		}
+		e.rt.Stats.RORetries.Add(1)
+		e.backoff(attempt)
+	}
+	return ErrRetry
+}
+
+// confirm validates every lease against a fresh softtime read (the COMMIT
+// step of Figure 8).
+func (ro *RO) confirm() bool {
+	now := ro.e.w.Node.Clock.Read()
+	delta := ro.e.rt.C.Delta()
+	for _, r := range ro.recs {
+		if !clock.Valid(r.leaseEnd, now, delta) {
+			return false
+		}
+	}
+	return true
+}
+
+// stateCAS locks a state word: RDMA CAS for remote records, CPU CAS for
+// local ones. Read-only transactions lease local records with the cheap
+// local CAS — with large read sets (stock-level touches hundreds of
+// records) anything else would dwarf the transaction itself; the atomicity
+// caveat of Section 6.3 concerns the fallback handler, which does pay the
+// RDMA CAS price under HCA-level atomics (see fallback.go and the
+// ablate-atomics experiment).
+func (ro *RO) stateCAS(node, table int, off memory.Offset, old, new uint64) (uint64, bool) {
+	qp := ro.e.w.QP
+	if node == ro.e.w.Node.ID {
+		return qp.LocalCAS(table, kvs.StateOffset(off), old, new)
+	}
+	return qp.CAS(node, table, kvs.StateOffset(off), old, new)
+}
+
+// lease acquires a shared lease on the record at off, sharing an existing
+// unexpired lease when present.
+func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool) {
+	delta := ro.e.rt.C.Delta()
+	const casRetries = 8
+	for i := 0; i < casRetries; i++ {
+		cur, ok := ro.stateCAS(node, table, off, clock.Init, clock.Shared(ro.end))
+		if ok {
+			return ro.end, true
+		}
+		if clock.IsWriteLocked(cur) {
+			return 0, false
+		}
+		end := clock.LeaseEnd(cur)
+		if !clock.Expired(end, ro.e.w.Node.Clock.Read(), delta) {
+			return end, true
+		}
+		if _, ok := ro.stateCAS(node, table, off, cur, clock.Shared(ro.end)); ok {
+			return ro.end, true
+		}
+	}
+	return 0, false
+}
+
+// Read leases and fetches a record by key.
+func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
+	k := refKey{table, key}
+	if r, ok := ro.index[k]; ok {
+		return r.buf, nil
+	}
+	node := ro.e.rt.Part(table, key)
+	if node < 0 { // replicated table: always local
+		node = ro.e.w.Node.ID
+	}
+	if !ro.e.rt.C.Node(node).Alive() {
+		return nil, ErrNodeDown
+	}
+	meta := ro.e.rt.Meta(table)
+
+	var off memory.Offset
+	var ok bool
+	if node == ro.e.w.Node.ID {
+		if meta.Kind == Ordered {
+			off, ok = ro.e.w.Node.Ordered(table).Lookup(key)
+			ro.e.charge(ro.e.model().BTreeOpNS)
+		} else {
+			off, ok = ro.e.w.Node.Unordered(table).LookupLocal(key)
+			ro.e.charge(ro.e.model().HashProbeNS)
+		}
+	} else {
+		if meta.Kind == Ordered {
+			return nil, ErrNotFound // remote ordered reads are shipped at workload level
+		}
+		host := ro.e.rt.C.Node(node).Unordered(table)
+		var loc kvs.Loc
+		loc, ok = host.LookupRemote(ro.e.w.QP, ro.e.cacheFor(node, table), key)
+		off = loc.Off
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return ro.readAt(node, table, key, off)
+}
+
+// ReadAtLocal leases and fetches a local record found via a scan.
+func (ro *RO) ReadAtLocal(table int, off memory.Offset) ([]uint64, error) {
+	return ro.readAt(ro.e.w.Node.ID, table, ^uint64(0), off)
+}
+
+func (ro *RO) readAt(node, table int, key uint64, off memory.Offset) ([]uint64, error) {
+	end, ok := ro.lease(node, table, off)
+	if !ok {
+		return nil, ErrRetry
+	}
+	vw := ro.e.rt.Meta(table).ValueWords
+	buf := make([]uint64, vw)
+	if node == ro.e.w.Node.ID {
+		ro.arenaOf(node, table).Read(buf, kvs.ValueOffset(off))
+		ro.e.charge(int64(vw+1) * ro.e.model().HTMPerReadNS)
+	} else {
+		ro.e.w.QP.Read(node, table, kvs.ValueOffset(off), buf)
+	}
+	r := &roRec{table: table, node: node, key: key, off: off, buf: buf, leaseEnd: end}
+	if key != ^uint64(0) {
+		ro.index[refKey{table, key}] = r
+	}
+	ro.recs = append(ro.recs, r)
+	return buf, nil
+}
+
+func (ro *RO) arenaOf(node, table int) *memory.Arena {
+	n := ro.e.rt.C.Node(node)
+	if ro.e.rt.Meta(table).Kind == Ordered {
+		return n.Ordered(table).Arena()
+	}
+	return n.Unordered(table).Arena()
+}
+
+// ScanLocal returns index entries of a local ordered table in [lo, hi].
+func (ro *RO) ScanLocal(table int, lo, hi uint64, limit int) []KeyOff {
+	o := ro.e.w.Node.Ordered(table)
+	ro.e.charge(ro.e.model().BTreeOpNS)
+	var out []KeyOff
+	o.Scan(lo, hi, func(k uint64, off memory.Offset) bool {
+		out = append(out, KeyOff{k, off})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// ScanLocalDesc is ScanLocal in descending order.
+func (ro *RO) ScanLocalDesc(table int, lo, hi uint64, limit int) []KeyOff {
+	o := ro.e.w.Node.Ordered(table)
+	ro.e.charge(ro.e.model().BTreeOpNS)
+	var out []KeyOff
+	o.ScanDesc(lo, hi, func(k uint64, off memory.Offset) bool {
+		out = append(out, KeyOff{k, off})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+package tx
+
+import (
+	"drtm/internal/clock"
+	"drtm/internal/kvs"
+	"drtm/internal/memory"
+)
+
+// RecoveryReport summarizes one node's recovery.
+type RecoveryReport struct {
+	// RedoneTxns is the number of committed transactions whose updates were
+	// (re)applied from the write-ahead log (Figure 7(b)).
+	RedoneTxns int
+	// RedoneRecords is the number of record updates applied.
+	RedoneRecords int
+	// SkippedRecords is the number of logged updates already present
+	// (version on the record >= logged version).
+	SkippedRecords int
+	// Unlocked is the number of exclusive locks released via the
+	// lock-ahead log for uncommitted transactions (Figure 7(a)).
+	Unlocked int
+	// PendingPieces returns the chopping-log records of transactions that
+	// never committed: the chopping layer resumes these pieces.
+	PendingPieces [][]uint64
+}
+
+// Recover performs crash recovery for a crashed node (Section 4.6): it
+// scans the node's NVRAM logs and
+//
+//   - redoes updates of committed transactions (write-ahead log present ⇒
+//     XEND executed ⇒ the transaction must eventually commit everywhere),
+//     applying each record update only if its logged version is newer;
+//
+//   - releases exclusive locks still held by the crashed machine for
+//     transactions with no write-ahead record, using the lock-ahead log and
+//     the owner-ID bits of the state word.
+//
+// Recover is driven by a surviving node (or the rebooted machine itself);
+// the flush-on-failure model guarantees the logs are intact.
+func (rt *Runtime) Recover(crashed int) RecoveryReport {
+	var rep RecoveryReport
+	n := rt.C.Node(crashed)
+	for w := 0; w < rt.C.Config().WorkersPerNode; w++ {
+		wk := rt.C.Worker(crashed, w)
+		if wk.WriteAheadLog == nil {
+			continue
+		}
+
+		committed := make(map[uint64]bool)
+		for _, rec := range wk.WriteAheadLog.Entries() {
+			txid, recs, ok := parseWAL(rec)
+			if !ok {
+				continue
+			}
+			committed[txid] = true
+			applied := false
+			for _, u := range recs {
+				if rt.redo(crashed, u) {
+					rep.RedoneRecords++
+					applied = true
+				} else {
+					rep.SkippedRecords++
+				}
+			}
+			if applied {
+				rep.RedoneTxns++
+			}
+		}
+
+		for _, rec := range wk.LockAheadLog.Entries() {
+			txid, locks, ok := parseLockAhead(rec)
+			if !ok || committed[txid] {
+				continue
+			}
+			for _, l := range locks {
+				if rt.unlockIfOwned(crashed, l) {
+					rep.Unlocked++
+				}
+			}
+		}
+
+		for _, rec := range wk.ChoppingLog.Entries() {
+			if len(rec) >= 1 && !committed[rec[0]] {
+				rep.PendingPieces = append(rep.PendingPieces, rec[1:])
+			}
+		}
+
+		wk.WriteAheadLog.Truncate()
+		wk.LockAheadLog.Truncate()
+		wk.ChoppingLog.Truncate()
+	}
+	_ = n
+	return rep
+}
+
+// redo applies one logged update if it is newer than the record's current
+// version, and clears any exclusive lock the crashed machine still holds on
+// it. Returns whether the value was written.
+func (rt *Runtime) redo(crashed int, u walRec) bool {
+	arena := rt.arenaOf(u.node, u.table)
+	cur := arena.LoadWord(kvs.IncVerOffset(u.off))
+	applied := false
+	if kvs.Version(cur) < u.version {
+		arena.Write(kvs.ValueOffset(u.off), u.val)
+		arena.Write(kvs.IncVerOffset(u.off),
+			[]uint64{kvs.PackIncVer(kvs.Incarnation(cur), u.version)})
+		applied = true
+	}
+	rt.unlockIfOwned(crashed, lockRef{node: u.node, table: u.table, off: u.off})
+	return applied
+}
+
+// unlockIfOwned clears the record's exclusive lock when held by the crashed
+// machine (identified via the state word's owner bits, Figure 4).
+func (rt *Runtime) unlockIfOwned(crashed int, l lockRef) bool {
+	arena := rt.arenaOf(l.node, l.table)
+	stateOff := kvs.StateOffset(l.off)
+	s := arena.LoadWord(stateOff)
+	if clock.IsWriteLocked(s) && int(clock.Owner(s)) == crashed {
+		if _, ok := arena.CAS(stateOff, s, clock.Init); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (rt *Runtime) arenaOf(node, table int) *memory.Arena {
+	n := rt.C.Node(node)
+	if rt.Meta(table).Kind == Ordered {
+		return n.Ordered(table).Arena()
+	}
+	return n.Unordered(table).Arena()
+}

@@ -1,0 +1,304 @@
+// Package tx implements DrTM's transaction layer — the paper's core
+// contribution (Sections 3, 4 and 6): strictly serializable distributed
+// transactions that run their local part inside an HTM region and
+// coordinate cross-machine access with a 2PL-style protocol built from
+// one-sided RDMA operations.
+//
+// Protocol summary (Figure 2(a) / Figure 3):
+//
+//	Start phase    — lock & prefetch every remote record: exclusive locks
+//	                 via RDMA CAS on the record's state word, shared locks
+//	                 via leases (Section 4.2); fetch values with RDMA READ.
+//	LocalTX phase  — run the transaction body inside an HTM region; local
+//	                 reads/writes check the state word (Figure 6) so remote
+//	                 lockers and local HTM transactions compose correctly
+//	                 (Table 2); staged remote values are read from and
+//	                 written to a transaction-private buffer.
+//	Commit phase   — inside the HTM region, re-confirm every lease, then
+//	                 XEND publishes all local effects atomically; afterwards
+//	                 write back and unlock remote records with RDMA WRITEs.
+//
+// Forward progress: HTM conflict aborts retry the region; too many aborts
+// (or a capacity abort) take the software fallback path (Section 6.2),
+// which releases held locks and re-acquires locks for ALL records — local
+// ones included — in a global <table, key> order before executing the body
+// unprotected. Read-only transactions use the separate lease-confirm scheme
+// of Figure 8 and never enter HTM. Durability follows Section 4.6 with
+// chopping, lock-ahead and write-ahead logs in emulated NVRAM.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"drtm/internal/cluster"
+	"drtm/internal/kvs"
+	"drtm/internal/vtime"
+)
+
+// Kind distinguishes the two memory-store flavors.
+type Kind int
+
+const (
+	// Unordered tables are DrTM-KV hash tables with a one-sided RDMA path.
+	Unordered Kind = iota
+	// Ordered tables are B+ tree stores; remote access ships the operation
+	// to the host over verbs (Section 6.5).
+	Ordered
+)
+
+// TableMeta describes a registered table.
+type TableMeta struct {
+	ID         int
+	Kind       Kind
+	ValueWords int
+}
+
+// Partitioner maps a record to its home node.
+type Partitioner func(table int, key uint64) int
+
+// Stats aggregates runtime-wide transaction outcomes.
+type Stats struct {
+	Commits        atomic.Int64
+	Retries        atomic.Int64 // whole-transaction retries (lock/lease conflicts)
+	HTMAborts      atomic.Int64 // HTM region aborts (all causes)
+	CapacityAborts atomic.Int64
+	LeaseFails     atomic.Int64 // lease confirmation failures
+	Fallbacks      atomic.Int64 // executions completed on the fallback path
+	ROCommits      atomic.Int64
+	RORetries      atomic.Int64
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Commits.Store(0)
+	s.Retries.Store(0)
+	s.HTMAborts.Store(0)
+	s.CapacityAborts.Store(0)
+	s.LeaseFails.Store(0)
+	s.Fallbacks.Store(0)
+	s.ROCommits.Store(0)
+	s.RORetries.Store(0)
+}
+
+// Runtime wires the transaction layer onto a cluster.
+type Runtime struct {
+	C    *cluster.Cluster
+	Part Partitioner
+
+	tables map[int]TableMeta
+
+	// caches[node] holds node-level location caches keyed by
+	// (remote node, table): shared by all of the node's workers, as in
+	// Section 5.3.
+	caches []*cacheSet
+
+	// FallbackThreshold is the number of HTM aborts before the software
+	// fallback path takes over.
+	FallbackThreshold int
+
+	// MaxAttempts bounds whole-transaction retries before giving up.
+	MaxAttempts int
+
+	// CacheBudgetBytes sizes each (node, table) location cache; 0 disables
+	// caching (the DrTM-KV vs DrTM-KV/$ distinction of Section 5.4).
+	CacheBudgetBytes int
+
+	// NewCache builds a location cache from a byte budget; defaults to the
+	// paper's direct-mapped kvs.NewLocationCache. Swap in kvs.NewAssocCache
+	// for the set-associative LRU variant the paper names as future work.
+	NewCache func(budgetBytes int) kvs.Cache
+
+	// NoReadLease disables the lease-based shared lock (the Figure 17
+	// ablation): remote reads then acquire exclusive locks like writes,
+	// killing read-read sharing across machines.
+	NoReadLease bool
+
+	Stats Stats
+}
+
+// Errors.
+var (
+	// ErrRetry signals that the transaction must be retried from scratch
+	// (Start phase included): a remote lock conflict, an expired lease, or
+	// an exhausted HTM retry budget whose locks were already released.
+	ErrRetry = errors.New("tx: conflict, retry transaction")
+	// ErrUserAbort is returned by Tx.UserAbort (e.g. TPC-C's 1% invalid
+	// new-order): the transaction rolls back and is NOT retried.
+	ErrUserAbort = errors.New("tx: user abort")
+	// ErrNotFound reports an access to a missing record.
+	ErrNotFound = errors.New("tx: record not found")
+	// ErrNodeDown reports an access to a crashed node (triggers suspension
+	// in the caller per Section 4.6).
+	ErrNodeDown = errors.New("tx: remote node is down")
+)
+
+// NewRuntime builds a transaction runtime for the cluster.
+func NewRuntime(c *cluster.Cluster, part Partitioner) *Runtime {
+	rt := &Runtime{
+		C:                 c,
+		Part:              part,
+		tables:            make(map[int]TableMeta),
+		FallbackThreshold: 8,
+		MaxAttempts:       10_000,
+		CacheBudgetBytes:  1 << 22,
+	}
+	for i := 0; i < c.Nodes(); i++ {
+		rt.caches = append(rt.caches, newCacheSet())
+	}
+	rt.installStoreHandlers()
+	return rt
+}
+
+// DefineUnordered registers an unordered table across the cluster.
+func (rt *Runtime) DefineUnordered(id, mainBuckets, indirectBuckets, capacity, valueWords int) {
+	rt.C.RegisterUnordered(id, mainBuckets, indirectBuckets, capacity, valueWords)
+	rt.tables[id] = TableMeta{ID: id, Kind: Unordered, ValueWords: valueWords}
+}
+
+// DefineOrdered registers an ordered table across the cluster.
+func (rt *Runtime) DefineOrdered(id, capacity, valueWords int) {
+	rt.C.RegisterOrdered(id, capacity, valueWords)
+	rt.tables[id] = TableMeta{ID: id, Kind: Ordered, ValueWords: valueWords}
+}
+
+// Meta returns a table's metadata.
+func (rt *Runtime) Meta(table int) TableMeta {
+	m, ok := rt.tables[table]
+	if !ok {
+		panic(fmt.Sprintf("tx: unknown table %d", table))
+	}
+	return m
+}
+
+// CacheStats aggregates location-cache hits/misses/invalidations across
+// every node's caches.
+func (rt *Runtime) CacheStats() (hits, misses, invals int64) {
+	for _, cs := range rt.caches {
+		h, m, i := cs.stats()
+		hits += h
+		misses += m
+		invals += i
+	}
+	return
+}
+
+// Tables returns all registered table IDs.
+func (rt *Runtime) Tables() []int {
+	out := make([]int, 0, len(rt.tables))
+	for id := range rt.tables {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Executor returns a transaction executor bound to a worker. Executors are
+// not safe for concurrent use; create one per worker goroutine.
+func (rt *Runtime) Executor(node, worker int) *Executor {
+	w := rt.C.Worker(node, worker)
+	return &Executor{
+		rt:  rt,
+		w:   w,
+		rng: rand.New(rand.NewSource(int64(node*1000 + worker + 1))),
+	}
+}
+
+// Executor runs transactions on behalf of one worker thread.
+type Executor struct {
+	rt  *Runtime
+	w   *cluster.Worker
+	rng *rand.Rand
+
+	txSeq uint64 // local transaction sequence, for log record IDs
+}
+
+// Worker exposes the underlying worker context.
+func (e *Executor) Worker() *cluster.Worker { return e.w }
+
+// Runtime exposes the owning runtime.
+func (e *Executor) Runtime() *Runtime { return e.rt }
+
+func (e *Executor) model() *vtime.Model { return e.rt.C.Fabric.Model() }
+
+func (e *Executor) charge(ns int64) { e.w.VClock.ChargeNS(ns) }
+
+// cacheFor returns this node's location cache for (remote node, table), or
+// nil when caching is disabled.
+func (e *Executor) cacheFor(node, table int) kvs.Cache {
+	if e.rt.CacheBudgetBytes <= 0 {
+		return nil
+	}
+	build := e.rt.NewCache
+	if build == nil {
+		build = func(b int) kvs.Cache { return kvs.NewLocationCache(b) }
+	}
+	return e.rt.caches[e.w.Node.ID].get(node, table, e.rt.CacheBudgetBytes, build)
+}
+
+// Exec runs a transaction to completion: build stages the read/write sets
+// and calls Tx.Execute; conflicts retry the whole transaction with
+// randomized backoff (charged to virtual time, not slept).
+func (e *Executor) Exec(build func(t *Tx) error) error {
+	for attempt := 0; attempt < e.rt.MaxAttempts; attempt++ {
+		t := e.newTx()
+		err := build(t)
+		t.cleanup()
+		switch {
+		case err == nil:
+			e.rt.Stats.Commits.Add(1)
+			return nil
+		case errors.Is(err, ErrRetry):
+			e.rt.Stats.Retries.Add(1)
+			e.backoff(attempt)
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("tx: retry budget exhausted: %w", ErrRetry)
+}
+
+// backoff performs a randomized exponential backoff. The wait is charged to
+// virtual time for throughput accounting AND spent in real time: lease
+// expiry is a real-time phenomenon, so a writer blocked on a lease must
+// genuinely wait it out rather than spin through its retry budget.
+func (e *Executor) backoff(attempt int) {
+	vexp := attempt
+	if vexp > 7 {
+		vexp = 7 // cap the charged wait at ~16us: retry CAS costs dominate
+	}
+	maxNS := int64(1) << (uint(vexp) + 7) // 128ns .. 16us
+	e.charge(e.rng.Int63n(maxNS) + 1)
+	if attempt > 10 {
+		attempt = 10
+	}
+	if attempt < 4 {
+		runtime.Gosched()
+		return
+	}
+	sleep := time.Duration(1<<(uint(attempt)-3)) * 32 * time.Microsecond
+	if sleep > time.Millisecond {
+		sleep = time.Millisecond
+	}
+	time.Sleep(sleep)
+}
+
+// Probe is a test/diagnostic handle exposing the Start-phase remote
+// locking primitives directly, used by the Table 2 conflict-matrix
+// experiment to install a remote lock or lease synchronously and release
+// it later. Not part of the transactional API.
+type Probe struct{ t *Tx }
+
+// NewProbe creates a probe transaction on the executor.
+func NewProbe(e *Executor) *Probe { return &Probe{t: e.newTx()} }
+
+// Stage locks (write=true) or leases (write=false) the remote record.
+func (p *Probe) Stage(table int, key uint64, node int, write bool) error {
+	return p.t.stageRemote(table, key, node, write)
+}
+
+// Release drops any exclusive locks the probe holds (leases expire).
+func (p *Probe) Release() { p.t.releaseLocks() }

@@ -1,0 +1,449 @@
+package tx
+
+import (
+	"errors"
+	"fmt"
+
+	"drtm/internal/clock"
+	"drtm/internal/htm"
+	"drtm/internal/kvs"
+	"drtm/internal/memory"
+)
+
+// Explicit HTM abort codes used by the protocol (XABORT imm8 values).
+const (
+	abortCodeLocked uint8 = 1 // local access found the record remotely locked
+	abortCodeLease  uint8 = 2 // lease confirmation failed at commit
+)
+
+// remoteRec is a staged remote record.
+type remoteRec struct {
+	table, node int
+	key         uint64
+	off         memory.Offset // entry offset in the owner's arena
+	buf         []uint64      // prefetched value (transaction-private)
+	version     uint32        // version observed at fetch
+	leaseEnd    uint64        // granted lease end (reads)
+	write       bool          // exclusive lock held (writes)
+	dirty       bool          // buffer modified; needs write-back
+}
+
+// localRec is a declared local record (needed for the fallback handler,
+// which must lock local records too).
+type localRec struct {
+	table int
+	key   uint64
+	write bool
+}
+
+// walRec captures one update for the write-ahead log and recovery.
+type walRec struct {
+	node, table int
+	off         memory.Offset
+	version     uint32
+	val         []uint64
+}
+
+// deferredOp is an insert/delete applied after commit (index structures are
+// not HTM-protected in this reproduction; see DESIGN.md).
+type deferredOp struct {
+	insert bool
+	table  int
+	key    uint64
+	val    []uint64
+}
+
+// Tx is a single distributed transaction attempt context. A Tx is created
+// by Executor.Exec's build callback, stages its remote read/write sets
+// (Start phase), then runs Execute once. It must not be reused.
+type Tx struct {
+	e *Executor
+
+	startSoft uint64 // softtime read non-transactionally at Begin (strategy c)
+	leaseEnd  uint64 // common desired lease end for this transaction
+	txid      uint64
+
+	remotes  []*remoteRec
+	rIndex   map[refKey]*remoteRec
+	locals   []localRec
+	lIndex   map[refKey]int
+	deferred []deferredOp
+
+	// walLocal accumulates local updates for the write-ahead log.
+	walLocal []walRec
+
+	finished     bool
+	choppingInfo []uint64 // optional piece info logged before locking
+}
+
+type refKey struct {
+	table int
+	key   uint64
+}
+
+func (e *Executor) newTx() *Tx {
+	e.txSeq++
+	soft := e.w.Node.Clock.Read()
+	return &Tx{
+		e:         e,
+		startSoft: soft,
+		leaseEnd:  soft + e.rt.C.Config().LeaseMicros,
+		txid:      uint64(e.w.Node.ID)<<48 | uint64(e.w.ID)<<40 | e.txSeq,
+		rIndex:    make(map[refKey]*remoteRec),
+		lIndex:    make(map[refKey]int),
+	}
+}
+
+// ID returns the transaction's unique identifier.
+func (t *Tx) ID() uint64 { return t.txid }
+
+// SetChoppingInfo attaches piece metadata logged ahead of locking when the
+// transaction is a piece of a chopped parent (Section 4.6).
+func (t *Tx) SetChoppingInfo(info []uint64) { t.choppingInfo = info }
+
+// home returns the record's home node. A partitioner result of -1 means
+// the table is replicated (e.g. TPC-C's read-only ITEM table) and every
+// access is local.
+func (t *Tx) home(table int, key uint64) int {
+	n := t.e.rt.Part(table, key)
+	if n < 0 {
+		return t.e.w.Node.ID
+	}
+	return n
+}
+
+// IsLocal reports whether the record lives on this executor's node.
+func (t *Tx) IsLocal(table int, key uint64) bool {
+	return t.home(table, key) == t.e.w.Node.ID
+}
+
+// R declares a read of a record: remote records are leased and prefetched
+// immediately (Start phase); local records are read inside the HTM region.
+// Under the NoReadLease ablation, remote reads take exclusive locks.
+func (t *Tx) R(table int, key uint64) error {
+	node := t.home(table, key)
+	if node == t.e.w.Node.ID {
+		t.declareLocal(table, key, false)
+		return nil
+	}
+	if t.e.rt.NoReadLease {
+		return t.stageRemote(table, key, node, true)
+	}
+	return t.stageRemote(table, key, node, false)
+}
+
+// W declares a write of a record: remote records are exclusively locked and
+// prefetched immediately; local records are written inside the HTM region.
+func (t *Tx) W(table int, key uint64) error {
+	node := t.home(table, key)
+	if node == t.e.w.Node.ID {
+		t.declareLocal(table, key, true)
+		return nil
+	}
+	return t.stageRemote(table, key, node, true)
+}
+
+func (t *Tx) declareLocal(table int, key uint64, write bool) {
+	k := refKey{table, key}
+	if i, ok := t.lIndex[k]; ok {
+		if write {
+			t.locals[i].write = true
+		}
+		return
+	}
+	t.lIndex[k] = len(t.locals)
+	t.locals = append(t.locals, localRec{table: table, key: key, write: write})
+}
+
+// stageRemote implements REMOTE_READ / REMOTE_WRITE of Figure 5.
+func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
+	k := refKey{table, key}
+	if r, ok := t.rIndex[k]; ok {
+		if write && !r.write {
+			// Upgrade read->write is not supported mid-stage; workloads
+			// declare the stronger intent first. Treat as conflict.
+			return t.fail()
+		}
+		return nil
+	}
+	if !t.e.rt.C.Node(node).Alive() {
+		t.releaseLocks()
+		return ErrNodeDown
+	}
+	meta := t.e.rt.Meta(table)
+	if meta.Kind == Ordered {
+		return fmt.Errorf("tx: remote access to ordered table %d must be shipped (Section 6.5)", table)
+	}
+
+	host := t.e.rt.C.Node(node).Unordered(table)
+	loc, ok := host.LookupRemote(t.e.w.QP, t.e.cacheFor(node, table), key)
+	if !ok {
+		t.releaseLocks()
+		return ErrNotFound
+	}
+	stateOff := kvs.StateOffset(loc.Off)
+	delta := t.e.rt.C.Delta()
+
+	r := &remoteRec{table: table, node: node, key: key, off: loc.Off, write: write}
+
+	const casRetries = 8
+	acquired := false
+	if write {
+		for i := 0; i < casRetries && !acquired; i++ {
+			cur, ok := t.e.w.QP.CAS(node, table, stateOff, clock.Init,
+				clock.WLocked(uint8(t.e.w.Node.ID)))
+			if ok {
+				acquired = true
+				break
+			}
+			if clock.IsWriteLocked(cur) {
+				return t.fail()
+			}
+			// Shared lease present: writers must wait for expiry.
+			if !clock.Expired(clock.LeaseEnd(cur), t.e.w.Node.Clock.Read(), delta) {
+				return t.fail()
+			}
+			if _, ok := t.e.w.QP.CAS(node, table, stateOff, cur,
+				clock.WLocked(uint8(t.e.w.Node.ID))); ok {
+				acquired = true
+			}
+		}
+	} else {
+		for i := 0; i < casRetries && !acquired; i++ {
+			cur, ok := t.e.w.QP.CAS(node, table, stateOff, clock.Init,
+				clock.Shared(t.leaseEnd))
+			if ok {
+				r.leaseEnd = t.leaseEnd
+				acquired = true
+				break
+			}
+			if clock.IsWriteLocked(cur) {
+				return t.fail()
+			}
+			end := clock.LeaseEnd(cur)
+			now := t.e.w.Node.Clock.Read()
+			if !clock.Expired(end, now, delta) {
+				// Share the existing unexpired lease (Figure 5).
+				r.leaseEnd = end
+				acquired = true
+				break
+			}
+			if _, ok := t.e.w.QP.CAS(node, table, stateOff, cur,
+				clock.Shared(t.leaseEnd)); ok {
+				r.leaseEnd = t.leaseEnd
+				acquired = true
+			}
+		}
+	}
+	if !acquired {
+		return t.fail()
+	}
+
+	// Prefetch the record into the transaction-private buffer.
+	e, ok := host.ReadEntryRemote(t.e.w.QP, key, loc)
+	if !ok {
+		// Stale location (deleted/reused entry): drop cache and retry txn.
+		if c := t.e.cacheFor(node, table); c != nil {
+			host.GetRemote(t.e.w.QP, c, key) // refresh/invalidate path
+		}
+		if write {
+			t.unlockRemote(r)
+		}
+		return t.fail()
+	}
+	r.buf = append([]uint64(nil), e.Value...)
+	r.version = e.Version
+	t.rIndex[k] = r
+	t.remotes = append(t.remotes, r)
+	return nil
+}
+
+// fail releases held locks and asks the caller to retry the transaction.
+func (t *Tx) fail() error {
+	t.releaseLocks()
+	return ErrRetry
+}
+
+// unlockRemote releases one exclusive lock with a one-sided WRITE of INIT.
+func (t *Tx) unlockRemote(r *remoteRec) {
+	t.e.w.QP.Write(r.node, r.table, kvs.StateOffset(r.off), []uint64{clock.Init})
+}
+
+// releaseLocks releases every exclusive lock held by this transaction
+// (leases need no release; they expire). Part of ABORT in Figure 5.
+func (t *Tx) releaseLocks() {
+	if t.finished {
+		return
+	}
+	for _, r := range t.remotes {
+		if r.write {
+			t.unlockRemote(r)
+		}
+	}
+	t.remotes = nil
+	t.rIndex = map[refKey]*remoteRec{}
+	t.finished = true
+}
+
+// cleanup ensures locks are not leaked if build returned early.
+func (t *Tx) cleanup() {
+	if !t.finished {
+		t.releaseLocks()
+	}
+}
+
+// UserAbort rolls the transaction back without retry.
+func (t *Tx) UserAbort() error {
+	t.releaseLocks()
+	return ErrUserAbort
+}
+
+// Execute runs the transaction body: the LocalTX phase inside an HTM region
+// with lease confirmation before XEND, the software fallback when HTM makes
+// no progress, and the Commit phase (remote write-back + unlock) after.
+func (t *Tx) Execute(fn func(lc *Local) error) error {
+	if t.finished {
+		return ErrRetry
+	}
+	rt := t.e.rt
+	cfg := rt.C.Config()
+	model := t.e.model()
+
+	// Durability: chopping info and the lock-ahead log are written before
+	// entering the HTM region (Figure 7, left).
+	if cfg.Durability {
+		t.logAheadOfRegion()
+	}
+
+	for attempt := 0; ; attempt++ {
+		t.walLocal = t.walLocal[:0]
+		t.deferred = t.deferred[:0]
+		lc := &Local{t: t}
+		t.e.charge(model.HTMBeginNS)
+		err := t.e.w.Node.Engine.Run(func(htx *htm.Txn) error {
+			lc.htx = htx
+			if err := fn(lc); err != nil {
+				return err
+			}
+			t.confirmLeases(htx)
+			if cfg.Durability {
+				t.logWALTx(htx)
+			}
+			return nil
+		})
+		if err == nil {
+			t.e.charge(model.HTMCommitNS)
+			t.commitRemotes()
+			t.applyDeferred()
+			t.finished = true
+			return nil
+		}
+
+		ae, isAbort := htm.IsAbort(err)
+		if !isAbort {
+			// User logic error: roll back fully.
+			t.releaseLocks()
+			if errors.Is(err, ErrUserAbort) {
+				return ErrUserAbort
+			}
+			return err
+		}
+
+		rt.Stats.HTMAborts.Add(1)
+		t.e.charge(model.HTMAbortNS)
+		switch {
+		case ae.Code == htm.AbortExplicit && ae.User == abortCodeLease:
+			// A lease expired: retrying the region cannot help; retry the
+			// whole transaction to re-acquire leases.
+			rt.Stats.LeaseFails.Add(1)
+			return t.fail()
+		case ae.Code == htm.AbortExplicit && ae.User == abortCodeLocked:
+			// A local record is locked by a remote transaction; whole-txn
+			// retry with backoff lets the remote holder finish.
+			return t.fail()
+		case ae.Code == htm.AbortCapacity:
+			rt.Stats.CapacityAborts.Add(1)
+			return t.runFallback(fn)
+		case attempt+1 >= rt.FallbackThreshold:
+			return t.runFallback(fn)
+		}
+		// Conflict abort: retry the HTM region; locks and leases persist.
+	}
+}
+
+// confirmLeases re-validates every shared lease inside the HTM region, just
+// before XEND (the COMMIT step of Figure 3). Softtime is read
+// transactionally here — under the reuse+confirm strategy this is the only
+// transactional softtime read, which narrows the window for false aborts
+// from the timer thread (Figure 11(c)).
+func (t *Tx) confirmLeases(htx *htm.Txn) {
+	hasLease := false
+	for _, r := range t.remotes {
+		if !r.write {
+			hasLease = true
+			break
+		}
+	}
+	if !hasLease {
+		return
+	}
+	now := t.e.w.Node.Clock.ReadTx(htx)
+	delta := t.e.rt.C.Delta()
+	for _, r := range t.remotes {
+		if r.write {
+			continue
+		}
+		if !clock.Valid(r.leaseEnd, now, delta) {
+			htx.Abort(abortCodeLease)
+		}
+	}
+}
+
+// commitRemotes writes back dirty remote records and releases exclusive
+// locks (REMOTE_WRITE_BACK in Figure 5). The version word, the state word
+// (reset to INIT = unlock) and the value are contiguous in the entry, so a
+// record whose entry fits one cache line commits with a single RDMA WRITE;
+// larger records write the value first and unlock second, so no reader can
+// lease a half-written record.
+func (t *Tx) commitRemotes() {
+	for _, r := range t.remotes {
+		if !r.write {
+			continue
+		}
+		incverOff := kvs.IncVerOffset(r.off)
+		host := t.e.rt.C.Node(r.node).Unordered(r.table)
+		inc := t.readIncarnation(host, r)
+		newIncVer := kvs.PackIncVer(inc, r.version+1)
+		if !r.dirty {
+			// Clean write lock: just unlock.
+			t.unlockRemote(r)
+			continue
+		}
+		span := 2 + len(r.buf) // incver, state, value...
+		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
+			words := make([]uint64, span)
+			words[0] = newIncVer
+			words[1] = clock.Init
+			copy(words[2:], r.buf)
+			t.e.w.QP.Write(r.node, r.table, incverOff, words)
+		} else {
+			t.e.w.QP.Write(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
+			t.e.w.QP.Write(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
+		}
+	}
+	t.remotes = nil
+}
+
+// readIncarnation returns the record's current incarnation; we hold its
+// exclusive lock, so a plain load is stable.
+func (t *Tx) readIncarnation(host *kvs.Table, r *remoteRec) uint32 {
+	return kvs.Incarnation(host.Arena().LoadWord(kvs.IncVerOffset(r.off)))
+}
+
+// applyDeferred applies inserts/deletes collected during the region.
+func (t *Tx) applyDeferred() {
+	for _, op := range t.deferred {
+		t.e.applyStoreOp(op)
+	}
+	t.deferred = nil
+}

@@ -1,0 +1,123 @@
+package vtime
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records latency samples and answers percentile queries. It keeps
+// log-spaced buckets (5% resolution) so memory stays constant regardless of
+// sample count. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets map[int]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64)}
+}
+
+// logBase spaces buckets ~5% apart.
+var logBase = math.Log(1.05)
+
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return int(math.Log(float64(ns))/logBase) + 1
+}
+
+func bucketUpper(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	return int64(math.Exp(float64(b) * logBase))
+}
+
+// Record adds a sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	h.mu.Lock()
+	h.buckets[bucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := int64(math.Ceil(p / 100 * float64(h.count)))
+	var cum int64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum >= target {
+			return time.Duration(bucketUpper(k))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	ob := make(map[int]int64, len(other.buckets))
+	for k, v := range other.buckets {
+		ob[k] = v
+	}
+	oc, os, om := other.count, other.sum, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	for k, v := range ob {
+		h.buckets[k] += v
+	}
+	h.count += oc
+	h.sum += os
+	if om > h.max {
+		h.max = om
+	}
+	h.mu.Unlock()
+}

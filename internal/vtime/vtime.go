@@ -1,0 +1,161 @@
+// Package vtime provides per-worker virtual clocks and the calibrated cost
+// model used to report throughput and latency figures.
+//
+// The simulator runs a real concurrent implementation (goroutine workers,
+// shared memory, genuine conflicts/aborts/retries), but the machine running
+// it may have a single core, so wall-clock time cannot express the
+// parallelism of the paper's 6-node x 10-core cluster. Instead every
+// operation charges its modeled cost to the issuing worker's virtual clock;
+// an experiment's throughput is committed work divided by the maximum worker
+// virtual time, and latency percentiles come from per-transaction virtual
+// durations. The constants in DefaultModel are calibrated against the
+// paper's own measurements (Figure 10(a), Section 6.3) and are printed by
+// every experiment that uses them.
+package vtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a worker's private virtual clock. Charge is called only by the
+// owning goroutine; Now may be called concurrently (e.g. by a reporter).
+type Clock struct {
+	ns atomic.Int64
+}
+
+// Charge advances the clock by d.
+func (c *Clock) Charge(d time.Duration) { c.ns.Add(int64(d)) }
+
+// ChargeNS advances the clock by ns nanoseconds.
+func (c *Clock) ChargeNS(ns int64) { c.ns.Add(ns) }
+
+// Now returns the elapsed virtual time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.ns.Load()) }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.ns.Store(0) }
+
+// Model holds the cost constants. All values are in nanoseconds (or
+// nanoseconds per byte for the bandwidth terms).
+type Model struct {
+	// One-sided RDMA verbs on ConnectX-3 56 Gbps InfiniBand.
+	// Base latencies from Figure 10(a): ~26.3 Mops aggregate small READs
+	// over 40 client threads => ~1.5 us per op; bandwidth ~6.5 GB/s.
+	RDMAReadBaseNS     int64
+	RDMAReadPerByteNS  float64
+	RDMAWriteBaseNS    int64
+	RDMAWritePerByteNS float64
+	// RDMA atomics: Section 6.3 measures RDMA CAS at 14.5 us on the
+	// paper's NIC (two orders of magnitude slower than local CAS, 0.08 us).
+	RDMACASNS  int64
+	LocalCASNS int64
+
+	// Two-sided SEND/RECV verbs (used for INSERT/DELETE shipping and
+	// ordered-store remote access): one-way user-space message.
+	VerbsMsgBaseNS    int64
+	VerbsMsgPerByteNS float64
+
+	// IPoIB socket messaging (Calvin's transport): heavy OS involvement.
+	IPoIBMsgBaseNS    int64
+	IPoIBMsgPerByteNS float64
+
+	// HTM region costs.
+	HTMBeginNS     int64
+	HTMCommitNS    int64
+	HTMPerReadNS   int64 // per tracked word read
+	HTMPerWriteNS  int64 // per buffered word write
+	HTMAbortNS     int64 // abort handling / register restore
+	FallbackLockNS int64 // software fallback lock acquire/release pair
+
+	// Store-level local operation costs (outside the word-granular HTM
+	// charges): hash computation + probe, B+ tree descent, etc.
+	HashProbeNS  int64
+	BTreeOpNS    int64
+	MemCopyPerNS float64 // per byte for record copies
+
+	// Durability: NVRAM log append (battery-backed DRAM write + ordering).
+	NVRAMAppendBaseNS    int64
+	NVRAMAppendPerByteNS float64
+
+	// Server-side NIC capacity (used by closed-form saturation analysis in
+	// the KV experiments, Figure 10): small-op rate cap and wire bandwidth.
+	// Calibrated to Figure 10(a): ~26.3 Mops small READs, ~7 GB/s.
+	NICOpCapPerSec  float64
+	NICBandwidthBps float64
+}
+
+// DefaultModel returns constants calibrated to the paper's cluster.
+func DefaultModel() Model {
+	return Model{
+		RDMAReadBaseNS:     1500,
+		RDMAReadPerByteNS:  0.15,
+		RDMAWriteBaseNS:    1200,
+		RDMAWritePerByteNS: 0.15,
+		RDMACASNS:          14500,
+		LocalCASNS:         80,
+
+		VerbsMsgBaseNS:    3000,
+		VerbsMsgPerByteNS: 0.15,
+
+		IPoIBMsgBaseNS:    55000,
+		IPoIBMsgPerByteNS: 0.8,
+
+		HTMBeginNS:     45,
+		HTMCommitNS:    110,
+		HTMPerReadNS:   4,
+		HTMPerWriteNS:  6,
+		HTMAbortNS:     150,
+		FallbackLockNS: 160,
+
+		HashProbeNS:  60,
+		BTreeOpNS:    400,
+		MemCopyPerNS: 0.06,
+
+		NVRAMAppendBaseNS:    180,
+		NVRAMAppendPerByteNS: 0.12,
+
+		NICOpCapPerSec:  27e6,
+		NICBandwidthBps: 7e9,
+	}
+}
+
+// RDMARead returns the modeled latency of a one-sided READ of n bytes.
+func (m *Model) RDMARead(n int) time.Duration {
+	return time.Duration(m.RDMAReadBaseNS + int64(float64(n)*m.RDMAReadPerByteNS))
+}
+
+// RDMAWrite returns the modeled latency of a one-sided WRITE of n bytes.
+func (m *Model) RDMAWrite(n int) time.Duration {
+	return time.Duration(m.RDMAWriteBaseNS + int64(float64(n)*m.RDMAWritePerByteNS))
+}
+
+// RDMACAS returns the modeled latency of a one-sided atomic CAS.
+func (m *Model) RDMACAS() time.Duration { return time.Duration(m.RDMACASNS) }
+
+// VerbsMsg returns the one-way latency of a SEND/RECV message of n bytes.
+func (m *Model) VerbsMsg(n int) time.Duration {
+	return time.Duration(m.VerbsMsgBaseNS + int64(float64(n)*m.VerbsMsgPerByteNS))
+}
+
+// IPoIBMsg returns the one-way latency of a socket message over IPoIB.
+func (m *Model) IPoIBMsg(n int) time.Duration {
+	return time.Duration(m.IPoIBMsgBaseNS + int64(float64(n)*m.IPoIBMsgPerByteNS))
+}
+
+// NVRAMAppend returns the cost of persisting n bytes to emulated NVRAM.
+func (m *Model) NVRAMAppend(n int) time.Duration {
+	return time.Duration(m.NVRAMAppendBaseNS + int64(float64(n)*m.NVRAMAppendPerByteNS))
+}
+
+// String renders the constants for experiment logs.
+func (m *Model) String() string {
+	return fmt.Sprintf(
+		"cost model: rdma{read %dns+%.2fns/B, write %dns+%.2fns/B, cas %dns} "+
+			"localCAS %dns verbs %dns ipoib %dns htm{begin %d commit %d} "+
+			"hash %dns btree %dns nvram %dns",
+		m.RDMAReadBaseNS, m.RDMAReadPerByteNS, m.RDMAWriteBaseNS, m.RDMAWritePerByteNS,
+		m.RDMACASNS, m.LocalCASNS, m.VerbsMsgBaseNS, m.IPoIBMsgBaseNS,
+		m.HTMBeginNS, m.HTMCommitNS, m.HashProbeNS, m.BTreeOpNS, m.NVRAMAppendBaseNS)
+}

@@ -1,0 +1,104 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockCharge(t *testing.T) {
+	var c Clock
+	c.Charge(5 * time.Microsecond)
+	c.ChargeNS(500)
+	if got := c.Now(); got != 5500*time.Nanosecond {
+		t.Fatalf("Now = %v, want 5.5us", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestModelMonotoneInSize(t *testing.T) {
+	m := DefaultModel()
+	if m.RDMARead(64) >= m.RDMARead(8192) {
+		t.Fatal("RDMA read cost not monotone in payload")
+	}
+	if m.RDMAWrite(0) <= 0 || m.RDMACAS() <= 0 {
+		t.Fatal("non-positive op costs")
+	}
+	// The paper's headline atomics gap: RDMA CAS >> local CAS.
+	if m.RDMACAS() < 50*time.Duration(m.LocalCASNS) {
+		t.Fatal("RDMA CAS should be orders of magnitude above local CAS")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := DefaultModel()
+	if s := m.String(); len(s) == 0 {
+		t.Fatal("empty model description")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*time.Microsecond || p50 > 60*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~50us", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*time.Microsecond {
+		t.Fatalf("p99 = %v, want >=90us", p99)
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Microsecond || mean > 55*time.Microsecond {
+		t.Fatalf("Mean = %v, want ~50.5us", mean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+}
+
+// TestQuickPercentileBounds: for any positive samples, percentile estimates
+// are within one bucket (5%) above the true value and never below p=0.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		var maxv int64
+		for _, r := range raw {
+			v := int64(r%1_000_000) + 1
+			if v > maxv {
+				maxv = v
+			}
+			h.Record(time.Duration(v))
+		}
+		p100 := h.Percentile(100)
+		// Upper bound within 6% of the true max.
+		return int64(p100) >= maxv && float64(p100) <= float64(maxv)*1.06+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
