@@ -1,0 +1,20 @@
+# Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
+bench:
+	go run ./cmd/drtm-bench -exp all

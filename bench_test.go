@@ -1,4 +1,4 @@
-package drtm
+package drtm_test
 
 // One testing.B benchmark per table/figure of the paper's evaluation, each
 // delegating to the experiment registry at smoke scale and reporting the
@@ -11,6 +11,7 @@ package drtm
 import (
 	"testing"
 
+	"drtm"
 	"drtm/internal/bench"
 )
 
@@ -52,7 +53,7 @@ func BenchmarkAblateCacheAssoc(b *testing.B)     { benchExperiment(b, "ablate-as
 // ---- public-API micro-benchmarks (wall clock) ----------------------------
 
 func BenchmarkLocalTxn(b *testing.B) {
-	db := Open(Options{Nodes: 1, WorkersPerNode: 1},
+	db := drtm.MustOpen(drtm.Options{Nodes: 1, WorkersPerNode: 1},
 		func(table int, key uint64) int { return 0 })
 	defer db.Close()
 	db.CreateHashTable(1, 1024, 1)
@@ -64,11 +65,11 @@ func BenchmarkLocalTxn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := uint64(i%100) + 1
-		err := e.Exec(func(tx *Tx) error {
+		err := e.Exec(func(tx *drtm.Tx) error {
 			if err := tx.W(1, k); err != nil {
 				return err
 			}
-			return tx.Execute(func(lc *Local) error {
+			return tx.Execute(func(lc *drtm.Local) error {
 				v, _ := lc.Read(1, k)
 				return lc.Write(1, k, []uint64{v[0] + 1})
 			})
@@ -80,7 +81,7 @@ func BenchmarkLocalTxn(b *testing.B) {
 }
 
 func BenchmarkDistributedTxn(b *testing.B) {
-	db := Open(Options{Nodes: 2, WorkersPerNode: 1},
+	db := drtm.MustOpen(drtm.Options{Nodes: 2, WorkersPerNode: 1},
 		func(table int, key uint64) int { return int(key) % 2 })
 	defer db.Close()
 	db.CreateHashTable(1, 1024, 1)
@@ -93,14 +94,14 @@ func BenchmarkDistributedTxn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		local := uint64((i%50)*2+2) - 0 // even: node 0
 		remote := uint64((i%50)*2) + 1  // odd: node 1
-		err := e.Exec(func(tx *Tx) error {
+		err := e.Exec(func(tx *drtm.Tx) error {
 			if err := tx.W(1, remote); err != nil {
 				return err
 			}
 			if err := tx.W(1, local); err != nil {
 				return err
 			}
-			return tx.Execute(func(lc *Local) error {
+			return tx.Execute(func(lc *drtm.Local) error {
 				v, _ := lc.Read(1, remote)
 				if err := lc.Write(1, remote, []uint64{v[0] + 1}); err != nil {
 					return err
@@ -116,7 +117,7 @@ func BenchmarkDistributedTxn(b *testing.B) {
 }
 
 func BenchmarkReadOnlyTxn20Records(b *testing.B) {
-	db := Open(Options{Nodes: 2, WorkersPerNode: 1},
+	db := drtm.MustOpen(drtm.Options{Nodes: 2, WorkersPerNode: 1},
 		func(table int, key uint64) int { return int(key) % 2 })
 	defer db.Close()
 	db.CreateHashTable(1, 1024, 1)
@@ -127,7 +128,7 @@ func BenchmarkReadOnlyTxn20Records(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := e.ExecRO(func(ro *RO) error {
+		err := e.ExecRO(func(ro *drtm.RO) error {
 			for k := uint64(1); k <= 20; k++ {
 				if _, err := ro.Read(1, k); err != nil {
 					return err

@@ -11,7 +11,7 @@
 // on preserved — see DESIGN.md for the substitution table. The library runs
 // a whole logical cluster inside one process:
 //
-//	db := drtm.Open(drtm.Options{Nodes: 2, WorkersPerNode: 2},
+//	db := drtm.MustOpen(drtm.Options{Nodes: 2, WorkersPerNode: 2},
 //		func(table int, key uint64) int { return int(key) % 2 })
 //	defer db.Close()
 //
@@ -38,14 +38,24 @@
 //		})
 //	})
 //
+// Afterwards, db.Stats() returns an immutable snapshot of every protocol
+// counter (HTM abort causes, lease events, RDMA op counts, phase latency
+// histograms); two snapshots subtract with Delta to scope an interval. See
+// the README's Observability section.
+//
 // See examples/ for runnable programs and cmd/drtm-bench for the harness
 // that regenerates the paper's evaluation.
 package drtm
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"time"
 
+	"drtm/internal/clock"
 	"drtm/internal/cluster"
+	"drtm/internal/obs"
 	"drtm/internal/rdma"
 	"drtm/internal/tx"
 )
@@ -102,33 +112,86 @@ type Options struct {
 	HTMReadLines  int
 }
 
+// maxLeaseMicros bounds lease durations: the state word encodes lease end
+// times (softtime µs + duration) in a 55-bit field, so durations anywhere
+// near that range would overflow the encoding. 2^40 µs (~13 days) is far
+// beyond any sane lease and leaves 15 bits of headroom for the clock.
+const maxLeaseMicros = uint64(1) << 40
+
+// normalize validates o and fills defaults, rejecting nonsense values
+// instead of silently "fixing" them.
+func (o Options) normalize() (Options, error) {
+	if o.Nodes < 0 {
+		return o, fmt.Errorf("drtm: Options.Nodes must be >= 0, got %d", o.Nodes)
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 1
+	}
+	if o.Nodes > clock.MaxOwner+1 {
+		// The state word's owner field is 8 bits (Figure 4).
+		return o, fmt.Errorf("drtm: Options.Nodes %d exceeds the state word's owner capacity (%d)",
+			o.Nodes, clock.MaxOwner+1)
+	}
+	if o.WorkersPerNode < 0 {
+		return o, fmt.Errorf("drtm: Options.WorkersPerNode must be >= 0, got %d", o.WorkersPerNode)
+	}
+	if o.WorkersPerNode == 0 {
+		o.WorkersPerNode = 1
+	}
+	if o.WorkersPerNode > 256 {
+		// Transaction IDs pack the worker index into 8 bits.
+		return o, fmt.Errorf("drtm: Options.WorkersPerNode %d exceeds 256", o.WorkersPerNode)
+	}
+	if o.HTMWriteLines < 0 {
+		return o, fmt.Errorf("drtm: Options.HTMWriteLines must be >= 0, got %d", o.HTMWriteLines)
+	}
+	if o.HTMReadLines < 0 {
+		return o, fmt.Errorf("drtm: Options.HTMReadLines must be >= 0, got %d", o.HTMReadLines)
+	}
+	if o.LeaseMicros == 0 {
+		o.LeaseMicros = 5_000
+	}
+	if o.LeaseMicros > maxLeaseMicros {
+		return o, fmt.Errorf("drtm: Options.LeaseMicros %d overflows the state-word lease field (max %d)",
+			o.LeaseMicros, maxLeaseMicros)
+	}
+	if o.ROLeaseMicros == 0 {
+		o.ROLeaseMicros = 10_000
+	}
+	if o.ROLeaseMicros > maxLeaseMicros {
+		return o, fmt.Errorf("drtm: Options.ROLeaseMicros %d overflows the state-word lease field (max %d)",
+			o.ROLeaseMicros, maxLeaseMicros)
+	}
+	return o, nil
+}
+
 // DB is an open DrTM deployment: a simulated cluster plus the transaction
 // runtime.
+//
+// The exported C and RT fields are escape hatches into the internal layers
+// for tests and experiments that need to reach below the public API (e.g.
+// direct shard access or runtime tuning knobs). They are NOT part of the
+// stable API: prefer the DB accessors — Nodes, WorkersPerNode, Stats,
+// Executor, WorkerVirtualTime — which cover normal use.
 type DB struct {
 	C  *cluster.Cluster
 	RT *tx.Runtime
 }
 
-// Open builds and starts a deployment.
-func Open(o Options, part PartitionFunc) *DB {
-	if o.Nodes <= 0 {
-		o.Nodes = 1
+// Open validates o, then builds and starts a deployment. The partition
+// function is required (return -1 from it for replicated tables).
+func Open(o Options, part PartitionFunc) (*DB, error) {
+	if part == nil {
+		return nil, errors.New("drtm: Open requires a partition function")
 	}
-	if o.WorkersPerNode <= 0 {
-		o.WorkersPerNode = 1
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
 	}
 	cfg := cluster.DefaultConfig(o.Nodes, o.WorkersPerNode)
 	cfg.Durability = o.Durability
-	if o.LeaseMicros > 0 {
-		cfg.LeaseMicros = o.LeaseMicros
-	} else {
-		cfg.LeaseMicros = 5_000
-	}
-	if o.ROLeaseMicros > 0 {
-		cfg.ROLeaseMicros = o.ROLeaseMicros
-	} else {
-		cfg.ROLeaseMicros = 10_000
-	}
+	cfg.LeaseMicros = o.LeaseMicros
+	cfg.ROLeaseMicros = o.ROLeaseMicros
 	if o.GlobalAtomics {
 		cfg.Atomicity = rdma.AtomicGLOB
 	}
@@ -140,8 +203,24 @@ func Open(o Options, part PartitionFunc) *DB {
 	}
 	c := cluster.New(cfg)
 	c.Start()
-	return &DB{C: c, RT: tx.NewRuntime(c, part)}
+	return &DB{C: c, RT: tx.NewRuntime(c, part)}, nil
 }
+
+// MustOpen is Open, panicking on invalid options; convenient for examples,
+// tests and benchmarks where options are literals.
+func MustOpen(o Options, part PartitionFunc) *DB {
+	db, err := Open(o, part)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Nodes returns the number of logical machines in the deployment.
+func (db *DB) Nodes() int { return db.C.Nodes() }
+
+// WorkersPerNode returns the number of worker threads per machine.
+func (db *DB) WorkersPerNode() int { return db.C.Config().WorkersPerNode }
 
 // Close stops the deployment's background threads.
 func (db *DB) Close() { db.C.Stop() }
@@ -214,22 +293,184 @@ func (db *DB) Recover(node int) RecoveryReport { return db.RT.Recover(node) }
 // Revive marks a recovered node alive.
 func (db *DB) Revive(node int) { db.C.Revive(node) }
 
-// Stats is a snapshot of runtime-wide transaction counters.
-type Stats struct {
-	Commits, Retries, HTMAborts, CapacityAborts int64
-	LeaseFails, Fallbacks, ROCommits, RORetries int64
+// Latency summarizes one transaction phase's latency histogram. Durations
+// are modeled (virtual-clock) time — the same time base as throughput
+// reporting; see DESIGN.md.
+type Latency struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
 }
 
-// Stats returns current counters.
-func (db *DB) Stats() Stats {
-	s := &db.RT.Stats
-	return Stats{
-		Commits: s.Commits.Load(), Retries: s.Retries.Load(),
-		HTMAborts: s.HTMAborts.Load(), CapacityAborts: s.CapacityAborts.Load(),
-		LeaseFails: s.LeaseFails.Load(), Fallbacks: s.Fallbacks.Load(),
-		ROCommits: s.ROCommits.Load(), RORetries: s.RORetries.Load(),
+func latencyOf(h obs.HistSnapshot) Latency {
+	return Latency{
+		Count: h.Count,
+		Mean:  time.Duration(h.Mean()),
+		P50:   time.Duration(h.Percentile(50)),
+		P95:   time.Duration(h.Percentile(95)),
+		P99:   time.Duration(h.Percentile(99)),
+		Max:   time.Duration(h.Max),
 	}
 }
+
+// Stats is an immutable snapshot of every protocol counter in the
+// deployment, taken with DB.Stats. Subtract two snapshots with Delta to
+// scope counters to an interval.
+type Stats struct {
+	// Transaction outcomes (Sections 7.2-7.4).
+	Commits   int64 // read-write transactions committed
+	Retries   int64 // whole-transaction retries (lock/lease conflicts)
+	Fallbacks int64 // executions completed on the software fallback path
+	ROCommits int64 // read-only transactions committed
+	RORetries int64 // read-only transaction retries
+
+	// HTM region outcomes by abort cause (Section 7.4 / Table 6).
+	HTMCommits     int64
+	HTMAborts      int64 // sum of the five cause counters below
+	ConflictAborts int64 // working-set conflicts
+	CapacityAborts int64 // working set exceeded hardware bounds
+	LockedAborts   int64 // local record found remotely locked
+	LeaseAborts    int64 // lease invalid at in-region confirmation
+	ExplicitAborts int64 // other explicit aborts
+
+	// Lease protocol events (Sections 4.2 and 4.5 / Figures 5 and 8).
+	LeaseGrants         int64 // fresh shared leases installed
+	LeaseShares         int64 // existing unexpired leases joined
+	LeaseConfirms       int64 // per-lease confirmation checks that passed
+	LeaseConfirmFails   int64 // confirmation failures outside the HTM region
+	LeaseExpiries       int64 // expired leases observed and taken over/cleared
+	LeaseFails          int64 // legacy aggregate: LeaseAborts + LeaseConfirmFails
+	RemoteLockConflicts int64 // lock/lease acquisitions lost to a conflicting holder
+
+	// One-sided RDMA and messaging verbs (Section 7.1).
+	RDMAReads  int64
+	RDMAWrites int64
+	RDMACASes  int64
+	RDMAFAAs   int64
+	VerbsMsgs  int64
+
+	// Durability and recovery (Section 4.6 / Figure 7).
+	LogRecords      int64
+	RecoveryRedos   int64
+	RecoveryUnlocks int64
+
+	// Phase latency summaries (modeled time): the Start phase (remote
+	// lock/lease + prefetch), the HTM region (attempts plus fallback body),
+	// the Commit phase (remote write-back + unlock), and the whole
+	// transaction. Only committed read-write transactions are recorded.
+	LockRemoteLatency Latency
+	HTMRegionLatency  Latency
+	CommitLatency     Latency
+	TotalLatency      Latency
+
+	snap obs.Snapshot
+}
+
+func newStats(sn obs.Snapshot) Stats {
+	c := func(ev obs.Event) int64 { return sn.Counter(ev) }
+	s := Stats{
+		Commits:   c(obs.EvTxCommit),
+		Retries:   c(obs.EvTxRetry),
+		Fallbacks: c(obs.EvFallback),
+		ROCommits: c(obs.EvROCommit),
+		RORetries: c(obs.EvRORetry),
+
+		HTMCommits:     c(obs.EvHTMCommit),
+		ConflictAborts: c(obs.EvHTMConflictAbort),
+		CapacityAborts: c(obs.EvHTMCapacityAbort),
+		LockedAborts:   c(obs.EvHTMLockedAbort),
+		LeaseAborts:    c(obs.EvHTMLeaseAbort),
+		ExplicitAborts: c(obs.EvHTMExplicitAbort),
+
+		LeaseGrants:         c(obs.EvLeaseGrant),
+		LeaseShares:         c(obs.EvLeaseShare),
+		LeaseConfirms:       c(obs.EvLeaseConfirm),
+		LeaseConfirmFails:   c(obs.EvLeaseConfirmFail),
+		LeaseExpiries:       c(obs.EvLeaseExpire),
+		RemoteLockConflicts: c(obs.EvRemoteLockConflict),
+
+		RDMAReads:  c(obs.EvRDMARead),
+		RDMAWrites: c(obs.EvRDMAWrite),
+		RDMACASes:  c(obs.EvRDMACAS),
+		RDMAFAAs:   c(obs.EvRDMAFAA),
+		VerbsMsgs:  c(obs.EvVerbsMsg),
+
+		LogRecords:      c(obs.EvLogRecord),
+		RecoveryRedos:   c(obs.EvRecoveryRedo),
+		RecoveryUnlocks: c(obs.EvRecoveryUnlock),
+
+		LockRemoteLatency: latencyOf(sn.Phases[obs.PhaseLockRemote]),
+		HTMRegionLatency:  latencyOf(sn.Phases[obs.PhaseHTM]),
+		CommitLatency:     latencyOf(sn.Phases[obs.PhaseCommit]),
+		TotalLatency:      latencyOf(sn.Phases[obs.PhaseTotal]),
+
+		snap: sn,
+	}
+	s.HTMAborts = s.ConflictAborts + s.CapacityAborts + s.LockedAborts +
+		s.LeaseAborts + s.ExplicitAborts
+	s.LeaseFails = s.LeaseAborts + s.LeaseConfirmFails
+	return s
+}
+
+// Stats returns an immutable snapshot of all counters.
+func (db *DB) Stats() Stats { return newStats(db.C.Obs.Snapshot()) }
+
+// ResetStats zeroes every counter and histogram.
+func (db *DB) ResetStats() { db.C.Obs.Reset() }
+
+// Delta returns the counter-by-counter difference s - prev. Latency
+// histograms subtract bucket-wise; Max is a high-water mark and keeps s's
+// value.
+func (s Stats) Delta(prev Stats) Stats { return newStats(s.snap.Delta(prev.snap)) }
+
+// String renders a compact multi-line dump, the sample format shown in the
+// README's Observability section.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx:      commits=%d retries=%d fallbacks=%d ro-commits=%d ro-retries=%d\n",
+		s.Commits, s.Retries, s.Fallbacks, s.ROCommits, s.RORetries)
+	fmt.Fprintf(&b, "htm:     commits=%d aborts=%d (conflict=%d capacity=%d locked=%d lease=%d explicit=%d)\n",
+		s.HTMCommits, s.HTMAborts, s.ConflictAborts, s.CapacityAborts,
+		s.LockedAborts, s.LeaseAborts, s.ExplicitAborts)
+	fmt.Fprintf(&b, "lease:   grants=%d shares=%d confirms=%d confirm-fails=%d expiries=%d lock-conflicts=%d\n",
+		s.LeaseGrants, s.LeaseShares, s.LeaseConfirms, s.LeaseConfirmFails,
+		s.LeaseExpiries, s.RemoteLockConflicts)
+	fmt.Fprintf(&b, "rdma:    reads=%d writes=%d cas=%d faa=%d msgs=%d\n",
+		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs)
+	fmt.Fprintf(&b, "nvram:   log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
+		s.LogRecords, s.RecoveryRedos, s.RecoveryUnlocks)
+	for _, ph := range []struct {
+		name string
+		l    Latency
+	}{
+		{"lock-remote", s.LockRemoteLatency},
+		{"htm-region", s.HTMRegionLatency},
+		{"commit-remotes", s.CommitLatency},
+		{"total", s.TotalLatency},
+	} {
+		fmt.Fprintf(&b, "latency: %-14s n=%-8d p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+			ph.name, ph.l.Count, ph.l.P50, ph.l.P95, ph.l.P99, ph.l.Max)
+	}
+	return b.String()
+}
+
+// TraceEvent is one traced transaction; see DB.EnableTracing.
+type TraceEvent = obs.TraceEvent
+
+// EnableTracing turns on the per-worker transaction trace with a ring of
+// perWorker events per worker (newer events overwrite older ones). Tracing
+// is off by default and costs one atomic load per transaction while off.
+func (db *DB) EnableTracing(perWorker int) { db.C.Obs.EnableTrace(perWorker) }
+
+// DisableTracing turns tracing off and discards undrained events.
+func (db *DB) DisableTracing() { db.C.Obs.DisableTrace() }
+
+// DrainTrace returns and clears buffered trace events, grouped by worker
+// and oldest-first within each worker.
+func (db *DB) DrainTrace() []TraceEvent { return db.C.Obs.DrainTrace() }
 
 // WorkerVirtualTime returns a worker's accumulated modeled execution time,
 // the basis for throughput reporting (see DESIGN.md).

@@ -2,6 +2,7 @@ package drtm
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -10,7 +11,7 @@ const tblAcct = 1
 
 func openTestDB(t testing.TB, nodes, workers int, durable bool) *DB {
 	t.Helper()
-	db := Open(Options{Nodes: nodes, WorkersPerNode: workers, Durability: durable},
+	db := MustOpen(Options{Nodes: nodes, WorkersPerNode: workers, Durability: durable},
 		func(table int, key uint64) int { return int(key) % nodes })
 	db.CreateHashTable(tblAcct, 1024, 1)
 	for k := uint64(1); k <= 20; k++ {
@@ -22,11 +23,47 @@ func openTestDB(t testing.TB, nodes, workers int, durable bool) *DB {
 }
 
 func TestOpenDefaults(t *testing.T) {
-	db := Open(Options{}, func(table int, key uint64) int { return 0 })
-	defer db.Close()
-	if db.C.Nodes() != 1 {
-		t.Fatal("default Nodes != 1")
+	db, err := Open(Options{}, func(table int, key uint64) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer db.Close()
+	if db.Nodes() != 1 || db.WorkersPerNode() != 1 {
+		t.Fatalf("defaults = %d nodes x %d workers, want 1x1",
+			db.Nodes(), db.WorkersPerNode())
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	part := func(table int, key uint64) int { return 0 }
+	cases := []struct {
+		name string
+		o    Options
+		part PartitionFunc
+	}{
+		{"nil partition", Options{}, nil},
+		{"negative nodes", Options{Nodes: -1}, part},
+		{"too many nodes", Options{Nodes: 1 << 16}, part},
+		{"negative workers", Options{WorkersPerNode: -2}, part},
+		{"too many workers", Options{WorkersPerNode: 1 << 16}, part},
+		{"negative write lines", Options{HTMWriteLines: -1}, part},
+		{"negative read lines", Options{HTMReadLines: -1}, part},
+		{"lease overflow", Options{LeaseMicros: 1 << 50}, part},
+		{"ro lease overflow", Options{ROLeaseMicros: 1 << 50}, part},
+	}
+	for _, tc := range cases {
+		if _, err := Open(tc.o, tc.part); err == nil {
+			t.Errorf("%s: Open accepted invalid options", tc.name)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustOpen did not panic on invalid options")
+			}
+		}()
+		MustOpen(Options{Nodes: -1}, part)
+	}()
 }
 
 func TestQuickstartTransfer(t *testing.T) {
@@ -106,7 +143,7 @@ func TestUserAbortSurfacesCleanly(t *testing.T) {
 }
 
 func TestOrderedTableThroughFacade(t *testing.T) {
-	db := Open(Options{Nodes: 1, WorkersPerNode: 1},
+	db := MustOpen(Options{Nodes: 1, WorkersPerNode: 1},
 		func(table int, key uint64) int { return 0 })
 	defer db.Close()
 	const tbl = 2
@@ -123,7 +160,7 @@ func TestOrderedTableThroughFacade(t *testing.T) {
 }
 
 func TestReplicatedTableLoad(t *testing.T) {
-	db := Open(Options{Nodes: 2, WorkersPerNode: 1},
+	db := MustOpen(Options{Nodes: 2, WorkersPerNode: 1},
 		func(table int, key uint64) int {
 			if table == 9 {
 				return -1
@@ -220,5 +257,220 @@ func TestConcurrentFacadeUse(t *testing.T) {
 	}
 	if total != 2000 {
 		t.Fatalf("conservation broken: %d", total)
+	}
+}
+
+func TestStatsSnapshotAndDelta(t *testing.T) {
+	db := openTestDB(t, 2, 1, false)
+	defer db.Close()
+	e := db.Executor(0, 0)
+	run := func(n int) {
+		for i := 0; i < n; i++ {
+			err := e.Exec(func(tx *Tx) error {
+				if err := tx.W(tblAcct, 1); err != nil {
+					return err
+				}
+				return tx.Execute(func(lc *Local) error {
+					v, _ := lc.Read(tblAcct, 1)
+					return lc.Write(tblAcct, 1, []uint64{v[0] + 1})
+				})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run(3)
+	before := db.Stats()
+	run(5)
+	d := db.Stats().Delta(before)
+	if d.Commits != 5 {
+		t.Fatalf("delta commits = %d, want 5", d.Commits)
+	}
+	if before.Commits != 3 {
+		t.Fatalf("snapshot not immutable: before.Commits = %d", before.Commits)
+	}
+	if d.RDMACASes <= 0 || d.RDMAWrites <= 0 {
+		t.Fatalf("delta RDMA counts = cas:%d write:%d, want positive",
+			d.RDMACASes, d.RDMAWrites)
+	}
+	if d.TotalLatency.Count != 5 {
+		t.Fatalf("delta total-latency count = %d, want 5", d.TotalLatency.Count)
+	}
+	if d.TotalLatency.P50 <= 0 || d.TotalLatency.Max < d.TotalLatency.P50 {
+		t.Fatalf("latency summary inconsistent: %+v", d.TotalLatency)
+	}
+	if s := d.String(); len(s) == 0 {
+		t.Fatal("Stats.String empty")
+	}
+	db.ResetStats()
+	if c := db.Stats().Commits; c != 0 {
+		t.Fatalf("commits after ResetStats = %d", c)
+	}
+}
+
+// conflictStorm hammers hot records from every worker so that both HTM
+// conflicts (same-node workers overlapping in the HTM region) and remote
+// lock conflicts (cross-node lease/lock CAS races) occur. Balances are
+// rewritten unchanged, so conservation is easy to check afterwards.
+func conflictStorm(t *testing.T, db *DB, rounds int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for n := 0; n < db.Nodes(); n++ {
+		for w := 0; w < db.WorkersPerNode(); w++ {
+			wg.Add(1)
+			go func(n, w int) {
+				defer wg.Done()
+				e := db.Executor(n, w)
+				// This node's local keys (partition is key%2).
+				var mine []uint64
+				for k := uint64(1); k <= 20; k++ {
+					if int(k)%2 == n {
+						mine = append(mine, k)
+					}
+				}
+				for i := 0; i < rounds; i++ {
+					// Cross-node touch of the hot pair: races the remote
+					// lock/lease CAS against the other node's workers.
+					err := e.Exec(func(tx *Tx) error {
+						if err := tx.W(tblAcct, 1); err != nil { // node 1
+							return err
+						}
+						if err := tx.W(tblAcct, 2); err != nil { // node 0
+							return err
+						}
+						return tx.Execute(func(lc *Local) error {
+							f, _ := lc.Read(tblAcct, 1)
+							g, _ := lc.Read(tblAcct, 2)
+							if err := lc.Write(tblAcct, 1, f); err != nil {
+								return err
+							}
+							return lc.Write(tblAcct, 2, g)
+						})
+					})
+					if err != nil {
+						t.Errorf("hot pair: %v", err)
+						return
+					}
+					// Purely local batch over every record of this node:
+					// both workers of the node write the same lines, so
+					// their HTM regions collide. The Gosched between the
+					// reads and the writes hands the CPU to the sibling
+					// worker mid-region, standing in for the coherence
+					// traffic that interleaves regions on real hardware.
+					err = e.Exec(func(tx *Tx) error {
+						for _, k := range mine {
+							if err := tx.W(tblAcct, k); err != nil {
+								return err
+							}
+						}
+						return tx.Execute(func(lc *Local) error {
+							vals := make([][]uint64, len(mine))
+							for j, k := range mine {
+								v, err := lc.Read(tblAcct, k)
+								if err != nil {
+									return err
+								}
+								vals[j] = v
+							}
+							runtime.Gosched()
+							for j, k := range mine {
+								if err := lc.Write(tblAcct, k, vals[j]); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+					})
+					if err != nil {
+						t.Errorf("local batch: %v", err)
+						return
+					}
+				}
+			}(n, w)
+		}
+	}
+	wg.Wait()
+}
+
+func TestStatsConflictBreakdownE2E(t *testing.T) {
+	db := openTestDB(t, 2, 2, false)
+	defer db.Close()
+	// Everyone fights over keys 1 and 2; retry in batches until both
+	// conflict counters fire (they virtually always do in one batch).
+	var st Stats
+	for round := 0; round < 20; round++ {
+		conflictStorm(t, db, 60)
+		st = db.Stats()
+		if st.ConflictAborts > 0 && st.RemoteLockConflicts > 0 {
+			break
+		}
+	}
+	if st.ConflictAborts == 0 {
+		t.Error("no HTM conflict aborts recorded under contention")
+	}
+	if st.RemoteLockConflicts == 0 {
+		t.Error("no remote lock conflicts recorded under contention")
+	}
+	if st.HTMAborts != st.ConflictAborts+st.CapacityAborts+st.LockedAborts+
+		st.LeaseAborts+st.ExplicitAborts {
+		t.Errorf("HTMAborts %d != sum of cause counters", st.HTMAborts)
+	}
+	if st.Retries == 0 {
+		t.Error("no transaction retries recorded under contention")
+	}
+	// Conservation still holds.
+	var total uint64
+	for k := uint64(1); k <= 20; k++ {
+		v, _ := db.Get(tblAcct, k)
+		total += v[0]
+	}
+	if total != 2000 {
+		t.Fatalf("conservation broken: %d", total)
+	}
+}
+
+func TestTracingE2E(t *testing.T) {
+	db := openTestDB(t, 2, 1, false)
+	defer db.Close()
+	if evs := db.DrainTrace(); len(evs) != 0 {
+		t.Fatalf("trace not empty before enable: %d events", len(evs))
+	}
+	db.EnableTracing(64)
+	e := db.Executor(0, 0)
+	for i := 0; i < 5; i++ {
+		err := e.Exec(func(tx *Tx) error {
+			if err := tx.W(tblAcct, 1); err != nil {
+				return err
+			}
+			return tx.Execute(func(lc *Local) error {
+				v, _ := lc.Read(tblAcct, 1)
+				return lc.Write(tblAcct, 1, []uint64{v[0] + 1})
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := db.DrainTrace()
+	if len(evs) != 5 {
+		t.Fatalf("trace events = %d, want 5", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Outcome != 0 { // OutcomeCommit
+			t.Errorf("trace outcome = %v, want commit", ev.Outcome)
+		}
+		if ev.TotalNS <= 0 || ev.TxID == 0 || ev.Attempts < 1 {
+			t.Errorf("implausible trace event: %+v", ev)
+		}
+	}
+	db.DisableTracing()
+	if err := e.Exec(func(tx *Tx) error {
+		return tx.Execute(func(lc *Local) error { return nil })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if evs := db.DrainTrace(); len(evs) != 0 {
+		t.Fatalf("trace recorded while disabled: %d events", len(evs))
 	}
 }

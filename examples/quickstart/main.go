@@ -15,7 +15,7 @@ const accounts = 1 // table ID
 func main() {
 	// Two logical machines, two worker threads each; accounts are
 	// partitioned by key parity.
-	db := drtm.Open(drtm.Options{Nodes: 2, WorkersPerNode: 2},
+	db := drtm.MustOpen(drtm.Options{Nodes: 2, WorkersPerNode: 2},
 		func(table int, key uint64) int { return int(key) % 2 })
 	defer db.Close()
 
@@ -77,10 +77,8 @@ func main() {
 	}
 	fmt.Printf("audit total: %d (expected 1000)\n", total)
 
-	reads, writes, cas := db.RemoteOpCounts()
-	st := db.Stats()
-	fmt.Printf("one-sided RDMA ops: %d READ, %d WRITE, %d CAS\n", reads, writes, cas)
-	fmt.Printf("commits=%d retries=%d htmAborts=%d roCommits=%d\n",
-		st.Commits, st.Retries, st.HTMAborts, st.ROCommits)
+	// The full observability snapshot: protocol counters by cause plus
+	// phase latency summaries (see the README's Observability section).
+	fmt.Print(db.Stats())
 	fmt.Printf("worker 0/0 modeled execution time: %v\n", db.WorkerVirtualTime(0, 0))
 }

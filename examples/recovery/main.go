@@ -16,7 +16,7 @@ const accounts = 1
 
 func main() {
 	const nodes, workers, keys = 3, 2, 60
-	db := drtm.Open(drtm.Options{Nodes: nodes, WorkersPerNode: workers, Durability: true},
+	db := drtm.MustOpen(drtm.Options{Nodes: nodes, WorkersPerNode: workers, Durability: true},
 		func(table int, key uint64) int { return int(key) % nodes })
 	defer db.Close()
 
@@ -76,6 +76,10 @@ func main() {
 	fmt.Printf("recovery: %d txns redone (%d records), %d stale skips, %d locks released, %d pending chopped pieces\n",
 		rep.RedoneTxns, rep.RedoneRecords, rep.SkippedRecords, rep.Unlocked, len(rep.PendingPieces))
 	db.Revive(1)
+
+	st := db.Stats()
+	fmt.Printf("counters: log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
+		st.LogRecords, st.RecoveryRedos, st.RecoveryUnlocks)
 
 	fmt.Print("verifying conservation after recovery... ")
 	var total uint64

@@ -129,12 +129,40 @@ func TestSmokeAblations(t *testing.T) {
 	runSmoke(t, "ablate-assoc")
 }
 
+func TestSmokeObs(t *testing.T) {
+	res := runSmoke(t, "obs")
+	// The observability experiment must demonstrate nonzero conflict
+	// counters — the whole point of the abort-cause breakdown.
+	cell := func(group, metric string) string {
+		for _, row := range res.Rows {
+			if row[0] == group && row[1] == metric {
+				return row[2]
+			}
+		}
+		t.Fatalf("row %s/%s missing", group, metric)
+		return ""
+	}
+	if v := cell("htm-abort", "conflict"); strings.HasPrefix(v, "0 ") {
+		t.Errorf("htm conflict aborts = %q, want nonzero", v)
+	}
+	if v := cell("lease", "lock-conflicts"); v == "0" {
+		t.Errorf("remote lock conflicts = %q, want nonzero", v)
+	}
+	if v := cell("rdma", "cas"); v == "0" {
+		t.Errorf("rdma cas = %q, want nonzero", v)
+	}
+	if v := cell("latency", "total"); strings.HasPrefix(v, "n=0 ") {
+		t.Errorf("total latency histogram empty: %q", v)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table4", "table6",
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"ablate-cache", "ablate-fallback", "ablate-atomics", "ablate-assoc",
+		"obs",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -15,6 +15,7 @@ import (
 	"drtm/internal/htm"
 	"drtm/internal/kvs"
 	"drtm/internal/nvram"
+	"drtm/internal/obs"
 	"drtm/internal/rdma"
 	"drtm/internal/vtime"
 )
@@ -70,6 +71,10 @@ type Cluster struct {
 	Fabric *rdma.Fabric
 	nodes  []*Node
 
+	// Obs is the deployment-wide observability registry: one shard per
+	// worker (shard index = node*WorkersPerNode + worker).
+	Obs *obs.Registry
+
 	mu       sync.Mutex
 	watchers []func(crashed int)
 }
@@ -100,6 +105,10 @@ type Worker struct {
 	VClock *vtime.Clock
 	Hist   *vtime.Histogram
 
+	// Obs is this worker's observability shard; the transaction layer and
+	// the worker's QP both record protocol events into it.
+	Obs *obs.Shard
+
 	// Per-worker NVRAM logs (Section 4.6).
 	ChoppingLog   *nvram.Log
 	LockAheadLog  *nvram.Log
@@ -126,6 +135,7 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{
 		cfg:    cfg,
 		Fabric: rdma.NewFabric(cfg.Nodes, cfg.Model, cfg.Atomicity),
+		Obs:    obs.NewRegistry(cfg.Nodes * cfg.WorkersPerNode),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		skew := time.Duration(0)
@@ -151,7 +161,9 @@ func New(cfg Config) *Cluster {
 				QP:     c.Fabric.NewQP(i, vc),
 				VClock: vc,
 				Hist:   vtime.NewHistogram(),
+				Obs:    c.Obs.Shard(i*cfg.WorkersPerNode + w),
 			}
+			wk.QP.Obs = wk.Obs
 			if cfg.Durability {
 				wk.ChoppingLog = nvram.NewLog(i*1000+w*3+0, cfg.LogWords)
 				wk.LockAheadLog = nvram.NewLog(i*1000+w*3+1, cfg.LogWords)

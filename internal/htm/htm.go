@@ -31,9 +31,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 )
 
 // AbortCode classifies transaction aborts, mirroring RTM's abort status.
@@ -100,14 +100,15 @@ type Config struct {
 // DefaultConfig matches the Haswell-class hardware in the paper.
 func DefaultConfig() Config { return Config{WriteLines: 512, ReadLines: 4096} }
 
-// Stats aggregates transaction outcomes for an Engine. All fields are
-// updated atomically and may be read concurrently.
+// Stats aggregates transaction outcomes for an Engine, built on the shared
+// obs.Counter primitive. All fields are updated atomically and may be read
+// concurrently.
 type Stats struct {
-	Commits        atomic.Int64
-	Aborts         atomic.Int64
-	ConflictAborts atomic.Int64
-	CapacityAborts atomic.Int64
-	ExplicitAborts atomic.Int64
+	Commits        obs.Counter
+	Aborts         obs.Counter
+	ConflictAborts obs.Counter
+	CapacityAborts obs.Counter
+	ExplicitAborts obs.Counter
 }
 
 // Snapshot returns a plain copy of the counters.

@@ -1,0 +1,597 @@
+// Package obs is the unified observability layer: one counter idiom for
+// every protocol event in the tree, fixed-bucket latency histograms for the
+// transaction phases, and an optional per-worker ring-buffer transaction
+// trace.
+//
+// The design goals, in order:
+//
+//  1. Allocation-free, race-safe hot path. Counter increments and histogram
+//     observations are single atomic adds into per-worker shards; nothing on
+//     the hot path allocates, locks, or touches shared cache lines.
+//  2. Sharding by worker. Each worker owns a Shard (padded so adjacent
+//     shards never share a cache line at the hot boundary); cross-worker
+//     aggregation happens only at Snapshot time.
+//  3. Immutable snapshots. Registry.Snapshot returns a value type; two
+//     snapshots subtract with Delta to scope counters to an interval, which
+//     is how benchmarks report per-run breakdowns without resetting shared
+//     state.
+//  4. Near-zero cost when idle. Tracing defaults off; the disabled check is
+//     one atomic bool load and no ring exists until EnableTrace.
+//
+// The event vocabulary mirrors the paper's evaluation (Sections 7.2-7.6):
+// HTM commits and aborts by cause, fallback-path entries, lease protocol
+// events, one-sided RDMA op counts, read-only retries, remote lock
+// conflicts, and NVRAM log appends. See DESIGN.md for the mapping from each
+// counter to the paper section it instruments.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Event enumerates every protocol event the layer counts.
+type Event int
+
+const (
+	// Whole-transaction outcomes (Executor.Exec / ExecRO).
+	EvTxCommit Event = iota // read-write transaction committed
+	EvTxRetry               // whole-transaction retry (lock/lease conflict)
+	EvFallback              // execution entered the software fallback path
+	EvROCommit              // read-only transaction committed
+	EvRORetry               // read-only transaction retry
+
+	// HTM region outcomes, by abort cause (Table 6's breakdown).
+	EvHTMCommit        // HTM region committed (XEND reached)
+	EvHTMConflictAbort // working-set conflict abort
+	EvHTMCapacityAbort // capacity abort (working set exceeded hardware bounds)
+	EvHTMLockedAbort   // explicit abort: local record remotely locked
+	EvHTMLeaseAbort    // explicit abort: lease invalid at in-region confirm
+	EvHTMExplicitAbort // other explicit abort
+
+	// Lease protocol events (Section 4.2 / Figure 5).
+	EvLeaseGrant         // fresh shared lease installed via CAS
+	EvLeaseShare         // joined an existing unexpired lease
+	EvLeaseConfirm       // lease confirmed valid at commit time
+	EvLeaseConfirmFail   // lease confirmation failed outside the HTM region
+	EvLeaseExpire        // expired lease observed and taken over / cleared
+	EvRemoteLockConflict // lock/lease acquisition blocked by a conflicting holder
+
+	// One-sided RDMA and messaging verbs (Section 7.1).
+	EvRDMARead
+	EvRDMAWrite
+	EvRDMACAS
+	EvRDMAFAA
+	EvVerbsMsg
+
+	// Durability (Section 4.6): one NVRAM log record appended.
+	EvLogRecord
+
+	// Crash recovery (Section 4.6 / Figure 7).
+	EvRecoveryRedo   // committed update re-applied from the write-ahead log
+	EvRecoveryUnlock // crashed owner's exclusive lock released
+
+	NumEvents int = iota
+)
+
+var eventNames = [NumEvents]string{
+	EvTxCommit:           "tx.commit",
+	EvTxRetry:            "tx.retry",
+	EvFallback:           "tx.fallback",
+	EvROCommit:           "ro.commit",
+	EvRORetry:            "ro.retry",
+	EvHTMCommit:          "htm.commit",
+	EvHTMConflictAbort:   "htm.abort.conflict",
+	EvHTMCapacityAbort:   "htm.abort.capacity",
+	EvHTMLockedAbort:     "htm.abort.locked",
+	EvHTMLeaseAbort:      "htm.abort.lease",
+	EvHTMExplicitAbort:   "htm.abort.explicit",
+	EvLeaseGrant:         "lease.grant",
+	EvLeaseShare:         "lease.share",
+	EvLeaseConfirm:       "lease.confirm",
+	EvLeaseConfirmFail:   "lease.confirm_fail",
+	EvLeaseExpire:        "lease.expire",
+	EvRemoteLockConflict: "lock.remote_conflict",
+	EvRDMARead:           "rdma.read",
+	EvRDMAWrite:          "rdma.write",
+	EvRDMACAS:            "rdma.cas",
+	EvRDMAFAA:            "rdma.faa",
+	EvVerbsMsg:           "rdma.msg",
+	EvLogRecord:          "nvram.log_record",
+	EvRecoveryRedo:       "recovery.redo",
+	EvRecoveryUnlock:     "recovery.unlock",
+}
+
+func (e Event) String() string {
+	if e >= 0 && int(e) < NumEvents {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// Phase enumerates the transaction phases timed by the histograms, matching
+// the protocol structure of Figure 2(a): lock-and-prefetch remote records,
+// run the body in the HTM region, write back and unlock remotes.
+type Phase int
+
+const (
+	PhaseLockRemote Phase = iota // Start phase: remote lock/lease + prefetch
+	PhaseHTM                     // LocalTX phase: HTM region attempts (or fallback body)
+	PhaseCommit                  // Commit phase: remote write-back + unlock
+	PhaseTotal                   // whole transaction, Exec entry to commit
+
+	NumPhases int = iota
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseLockRemote: "lock-remote",
+	PhaseHTM:        "htm-region",
+	PhaseCommit:     "commit-remotes",
+	PhaseTotal:      "total",
+}
+
+func (p Phase) String() string {
+	if p >= 0 && int(p) < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Counter is a single atomic counter — the one counter idiom in the tree
+// (htm.Stats, rdma.Counters and the obs shards are all built from it).
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the current value.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// CompareAndSwap executes the compare-and-swap for the counter value.
+func (c *Counter) CompareAndSwap(old, new int64) bool { return c.v.CompareAndSwap(old, new) }
+
+// Histogram bucketing: log-linear fixed buckets (HDR-style). Values 0..15
+// get exact buckets; above that each power of two is split into 4
+// sub-buckets, bounding relative error at 25% — plenty for p50/p95/p99 of
+// latencies spanning nanoseconds to seconds, with no allocation and a
+// constant memory footprint. Durations are int64 nanoseconds, so the
+// highest reachable magnitude bit is 62 (bits.Len64 <= 63).
+const histBuckets = 16 + (63-4)*4 // 252
+
+// bucketOf maps a non-negative duration (ns) to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < 16 {
+		return int(v)
+	}
+	h := bits.Len64(v)          // 5..64
+	sub := (v >> uint(h-3)) & 3 // two bits below the leading bit
+	b := 16 + (h-5)*4 + int(sub)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLower returns the smallest value mapped to bucket b.
+func bucketLower(b int) int64 {
+	if b < 16 {
+		return int64(b)
+	}
+	h := 5 + (b-16)/4
+	sub := (b - 16) % 4
+	return int64(4+sub) << uint(h-3)
+}
+
+// hist is one phase's fixed-bucket latency histogram within a shard.
+type hist struct {
+	count   Counter
+	sum     Counter
+	max     Counter
+	buckets [histBuckets]Counter
+}
+
+func (h *hist) observe(ns int64) {
+	h.count.Inc()
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Inc()
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Shard is one worker's private slice of the registry. All methods are safe
+// for concurrent use (remote verbs handlers may run on the owner's shard),
+// but the common case is single-writer. A nil *Shard is a valid no-op sink,
+// so components wired outside a cluster (unit tests, standalone QPs) need no
+// guards.
+type Shard struct {
+	reg  *Registry
+	ring atomic.Pointer[traceRing]
+
+	counters [NumEvents]Counter
+	hists    [NumPhases]hist
+
+	// Pad past the end of the hot arrays so adjacent heap objects never
+	// share the last cache line of a shard.
+	_ [64]byte
+}
+
+// NewShard returns a standalone shard not attached to any registry, for
+// components that keep their own tallies (package htm, package rdma tests).
+func NewShard() *Shard { return &Shard{} }
+
+// Inc counts one occurrence of ev.
+func (s *Shard) Inc(ev Event) {
+	if s == nil {
+		return
+	}
+	s.counters[ev].Inc()
+}
+
+// Add counts d occurrences of ev.
+func (s *Shard) Add(ev Event, d int64) {
+	if s == nil {
+		return
+	}
+	s.counters[ev].Add(d)
+}
+
+// Count returns the shard-local count of ev.
+func (s *Shard) Count(ev Event) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counters[ev].Load()
+}
+
+// Observe records one duration (in nanoseconds of modeled time) for a phase.
+func (s *Shard) Observe(ph Phase, ns int64) {
+	if s == nil {
+		return
+	}
+	s.hists[ph].observe(ns)
+}
+
+// TraceEnabled reports whether transaction tracing is currently on. The
+// check is one atomic load; callers use it to skip assembling TraceEvents.
+func (s *Shard) TraceEnabled() bool {
+	return s != nil && s.reg != nil && s.reg.tracing.Load()
+}
+
+// Trace appends ev to the worker's ring buffer. A no-op when tracing is
+// disabled or the shard is standalone.
+func (s *Shard) Trace(ev TraceEvent) {
+	if s == nil {
+		return
+	}
+	if r := s.ring.Load(); r != nil {
+		r.push(ev)
+	}
+}
+
+func (s *Shard) reset() {
+	for i := range s.counters {
+		s.counters[i].Store(0)
+	}
+	for p := range s.hists {
+		h := &s.hists[p]
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.max.Store(0)
+		for b := range h.buckets {
+			h.buckets[b].Store(0)
+		}
+	}
+}
+
+// Registry owns the shards of one deployment: one per worker, aggregated on
+// demand into immutable Snapshots.
+type Registry struct {
+	shards  []*Shard
+	tracing atomic.Bool
+	traceMu sync.Mutex // serializes Enable/Disable/Drain, not the hot path
+}
+
+// NewRegistry creates a registry with n shards (one per worker).
+func NewRegistry(n int) *Registry {
+	r := &Registry{shards: make([]*Shard, n)}
+	for i := range r.shards {
+		r.shards[i] = &Shard{reg: r}
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Registry) Shards() int { return len(r.shards) }
+
+// Shard returns shard i. Shards are assigned to workers by the cluster.
+func (r *Registry) Shard(i int) *Shard { return r.shards[i] }
+
+// Total sums ev across all shards.
+func (r *Registry) Total(ev Event) int64 {
+	var t int64
+	for _, s := range r.shards {
+		t += s.counters[ev].Load()
+	}
+	return t
+}
+
+// Reset zeroes every counter and histogram in every shard. Trace rings are
+// left alone (they are bounded and drain-on-read).
+func (r *Registry) Reset() {
+	for _, s := range r.shards {
+		s.reset()
+	}
+}
+
+// Snapshot aggregates all shards into an immutable value. Concurrent
+// updates may or may not be included (the usual relaxed-snapshot guarantee
+// of striped counters); each individual counter is itself consistent.
+func (r *Registry) Snapshot() Snapshot {
+	var sn Snapshot
+	for _, s := range r.shards {
+		for ev := 0; ev < NumEvents; ev++ {
+			sn.Counters[ev] += s.counters[ev].Load()
+		}
+		for p := 0; p < NumPhases; p++ {
+			h := &s.hists[p]
+			d := &sn.Phases[p]
+			d.Count += h.count.Load()
+			d.Sum += h.sum.Load()
+			if m := h.max.Load(); m > d.Max {
+				d.Max = m
+			}
+			for b := 0; b < histBuckets; b++ {
+				d.Buckets[b] += h.buckets[b].Load()
+			}
+		}
+	}
+	return sn
+}
+
+// Snapshot is an immutable cross-shard aggregate.
+type Snapshot struct {
+	Counters [NumEvents]int64
+	Phases   [NumPhases]HistSnapshot
+}
+
+// Counter returns the snapshot's count of ev.
+func (s Snapshot) Counter(ev Event) int64 { return s.Counters[ev] }
+
+// Delta returns the event-by-event, bucket-by-bucket difference s - prev,
+// scoping counters to the interval between the two snapshots. Max is a
+// high-water mark and cannot be subtracted; the delta keeps s's value.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := s
+	for ev := range out.Counters {
+		out.Counters[ev] -= prev.Counters[ev]
+	}
+	for p := range out.Phases {
+		d := &out.Phases[p]
+		pv := &prev.Phases[p]
+		d.Count -= pv.Count
+		d.Sum -= pv.Sum
+		for b := range d.Buckets {
+			d.Buckets[b] -= pv.Buckets[b]
+		}
+	}
+	return out
+}
+
+// HistSnapshot is one phase's aggregated histogram.
+type HistSnapshot struct {
+	Count, Sum, Max int64
+	Buckets         [histBuckets]int64
+}
+
+// Mean returns the mean observed duration in nanoseconds.
+func (h HistSnapshot) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 100)
+// in nanoseconds, accurate to the bucket resolution (<= 25% relative).
+func (h HistSnapshot) Percentile(p float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.Buckets[b]
+		if cum >= rank {
+			if b == histBuckets-1 {
+				return h.Max
+			}
+			upper := bucketLower(b+1) - 1
+			if h.Max > 0 && upper > h.Max {
+				return h.Max
+			}
+			return upper
+		}
+	}
+	return h.Max
+}
+
+// ---- transaction tracing -------------------------------------------------
+
+// Outcome classifies a traced transaction's final disposition.
+type Outcome uint8
+
+const (
+	OutcomeCommit   Outcome = iota // committed via the HTM path
+	OutcomeFallback                // committed via the software fallback path
+	OutcomeAbort                   // returned an error to the caller
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeFallback:
+		return "fallback"
+	case OutcomeAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// AbortCause records the last abort reason observed for a traced transaction.
+type AbortCause uint8
+
+const (
+	CauseNone     AbortCause = iota
+	CauseConflict            // HTM working-set conflict
+	CauseCapacity            // HTM capacity
+	CauseLocked              // local record remotely locked
+	CauseLease               // lease invalid at confirm
+	CauseExplicit            // other explicit abort
+	CauseRemote              // remote lock/lease acquisition conflict
+	CauseUser                // user abort / user error
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseConflict:
+		return "conflict"
+	case CauseCapacity:
+		return "capacity"
+	case CauseLocked:
+		return "locked"
+	case CauseLease:
+		return "lease"
+	case CauseExplicit:
+		return "explicit"
+	case CauseRemote:
+		return "remote-lock"
+	case CauseUser:
+		return "user"
+	default:
+		return fmt.Sprintf("AbortCause(%d)", int(c))
+	}
+}
+
+// TraceEvent is one traced transaction: identity, disposition, and the
+// phase timeline in modeled (virtual-clock) nanoseconds. StartNS is the
+// worker's virtual clock at Exec entry; phase durations are deltas of the
+// same clock, so `StartNS + LockNS + ...` reconstructs phase timestamps.
+type TraceEvent struct {
+	Seq      uint64 // per-worker monotonic sequence
+	TxID     uint64
+	Node     int32
+	Worker   int32
+	Attempts int32 // whole-transaction attempts (1 = first try)
+	Outcome  Outcome
+	Abort    AbortCause // last abort cause seen (CauseNone if clean)
+
+	StartNS  int64 // worker vtime at transaction start
+	LockNS   int64 // Start phase: remote lock/lease + prefetch
+	HTMNS    int64 // LocalTX phase (HTM attempts and/or fallback body)
+	CommitNS int64 // Commit phase: remote write-back + unlock
+	TotalNS  int64 // Exec entry to return
+}
+
+// traceRing is a bounded per-worker ring buffer of TraceEvents. Pushes take
+// a mutex — tracing is a debug feature, not a hot-path one; when tracing is
+// off the ring does not exist and the only cost is an atomic pointer load.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int
+	seq  uint64
+	full bool
+}
+
+func (r *traceRing) push(ev TraceEvent) {
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// drain returns buffered events oldest-first and empties the ring.
+func (r *traceRing) drain() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TraceEvent
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	r.next = 0
+	r.full = false
+	return out
+}
+
+// EnableTrace switches transaction tracing on, giving each shard a ring of
+// perWorker events (minimum 1). Newer events overwrite older ones.
+func (r *Registry) EnableTrace(perWorker int) {
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	for _, s := range r.shards {
+		s.ring.Store(&traceRing{buf: make([]TraceEvent, perWorker)})
+	}
+	r.tracing.Store(true)
+}
+
+// DisableTrace switches tracing off and frees the rings. Undrained events
+// are discarded.
+func (r *Registry) DisableTrace() {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	r.tracing.Store(false)
+	for _, s := range r.shards {
+		s.ring.Store(nil)
+	}
+}
+
+// DrainTrace returns and clears all buffered trace events, grouped by
+// worker shard and oldest-first within each worker. Safe to call while
+// workers are still tracing.
+func (r *Registry) DrainTrace() []TraceEvent {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	var out []TraceEvent
+	for _, s := range r.shards {
+		if ring := s.ring.Load(); ring != nil {
+			out = append(out, ring.drain()...)
+		}
+	}
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 	"drtm/internal/vtime"
 )
 
@@ -55,15 +56,16 @@ func (l AtomicityLevel) String() string {
 	return "IBV_ATOMIC_HCA"
 }
 
-// Counters tallies one-sided operations. All fields are atomic.
+// Counters tallies one-sided operations, built on the shared obs.Counter
+// primitive. All fields are atomic.
 type Counters struct {
-	Reads     atomic.Int64
-	Writes    atomic.Int64
-	CASes     atomic.Int64
-	FAAs      atomic.Int64
-	ReadBytes atomic.Int64
-	WriteByts atomic.Int64
-	Msgs      atomic.Int64
+	Reads     obs.Counter
+	Writes    obs.Counter
+	CASes     obs.Counter
+	FAAs      obs.Counter
+	ReadBytes obs.Counter
+	WriteByts obs.Counter
+	Msgs      obs.Counter
 }
 
 // Add folds src into c (used to aggregate per-QP counters).
@@ -138,12 +140,15 @@ func (f *Fabric) region(node, regionID int) *memory.Arena {
 
 // QP is a queue pair: a worker-private handle for issuing verbs. Costs are
 // charged to the clock bound at creation (nil clock charges nothing, for
-// unit tests).
+// unit tests). When Obs is set (the cluster wires each worker's QP to the
+// worker's observability shard), every verb also emits the matching
+// obs event; a nil Obs shard is a no-op sink.
 type QP struct {
 	fabric *Fabric
 	local  int
 	clock  *vtime.Clock
 	Stats  Counters
+	Obs    *obs.Shard
 }
 
 // NewQP creates a queue pair for a worker on node local.
@@ -179,6 +184,7 @@ func (q *QP) Read(node, region int, off memory.Offset, dst []uint64) {
 	q.Stats.ReadBytes.Add(n)
 	q.fabric.Totals.Reads.Add(1)
 	q.fabric.Totals.ReadBytes.Add(n)
+	q.Obs.Inc(obs.EvRDMARead)
 	q.charge(int64(q.fabric.model.RDMARead(int(n))))
 	netYield()
 }
@@ -192,6 +198,7 @@ func (q *QP) Write(node, region int, off memory.Offset, src []uint64) {
 	q.Stats.WriteByts.Add(n)
 	q.fabric.Totals.Writes.Add(1)
 	q.fabric.Totals.WriteByts.Add(n)
+	q.Obs.Inc(obs.EvRDMAWrite)
 	q.charge(int64(q.fabric.model.RDMAWrite(int(n))))
 	netYield()
 }
@@ -203,6 +210,7 @@ func (q *QP) CAS(node, region int, off memory.Offset, old, new uint64) (uint64, 
 	prev, ok := a.CAS(off, old, new)
 	q.Stats.CASes.Add(1)
 	q.fabric.Totals.CASes.Add(1)
+	q.Obs.Inc(obs.EvRDMACAS)
 	q.charge(q.fabric.model.RDMACASNS)
 	netYield()
 	return prev, ok
@@ -214,6 +222,7 @@ func (q *QP) FAA(node, region int, off memory.Offset, delta uint64) uint64 {
 	prev := a.FAA(off, delta)
 	q.Stats.FAAs.Add(1)
 	q.fabric.Totals.FAAs.Add(1)
+	q.Obs.Inc(obs.EvRDMAFAA)
 	q.charge(q.fabric.model.RDMACASNS)
 	netYield()
 	return prev
@@ -239,6 +248,7 @@ func (q *QP) Call(node int, req any, reqBytes, respBytes int) any {
 	}
 	q.Stats.Msgs.Add(1)
 	q.fabric.Totals.Msgs.Add(1)
+	q.Obs.Inc(obs.EvVerbsMsg)
 	q.charge(int64(q.fabric.model.VerbsMsg(reqBytes)))
 	netYield()
 	resp := (*h)(q.local, req)
@@ -256,6 +266,7 @@ func (q *QP) CallIPoIB(node int, req any, reqBytes, respBytes int) any {
 	}
 	q.Stats.Msgs.Add(1)
 	q.fabric.Totals.Msgs.Add(1)
+	q.Obs.Inc(obs.EvVerbsMsg)
 	q.charge(int64(q.fabric.model.IPoIBMsg(reqBytes)))
 	netYield()
 	resp := (*h)(q.local, req)

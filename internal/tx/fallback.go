@@ -6,6 +6,7 @@ import (
 	"drtm/internal/clock"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 	"drtm/internal/rdma"
 )
 
@@ -37,7 +38,9 @@ type fallbackCtx struct {
 // serializability.
 func (t *Tx) runFallback(fn func(lc *Local) error) error {
 	rt := t.e.rt
-	rt.Stats.Fallbacks.Add(1)
+	sh := t.e.w.Obs
+	sh.Inc(obs.EvFallback)
+	t.usedFallback = true
 
 	// To avoid deadlock, first release all owned remote locks (Section 6.2).
 	// The staging index must go too: in fallback mode every access routes
@@ -65,11 +68,15 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		return fb.recs[i].key < fb.recs[j].key
 	})
 
-	// Acquire locks in the global order and prefetch values.
+	// Acquire locks in the global order and prefetch values. This re-lock +
+	// prefetch pass is the fallback's Start phase, so it accrues to the
+	// lock-remote histogram.
+	astart := int64(t.e.w.VClock.Now())
 	for i, r := range fb.recs {
 		if err := fb.acquire(r); err != nil {
 			fb.release(i, false)
 			t.finished = true
+			t.vLock += int64(t.e.w.VClock.Now()) - astart
 			if err == ErrNotFound || err == ErrNodeDown {
 				return err
 			}
@@ -79,11 +86,16 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 	for _, r := range fb.recs {
 		fb.fetch(r)
 	}
+	t.vLock += int64(t.e.w.VClock.Now()) - astart
 
 	lc := &Local{t: t, fallback: fb}
-	if err := fn(lc); err != nil {
+	bstart := int64(t.e.w.VClock.Now())
+	err := fn(lc)
+	t.vHTM += int64(t.e.w.VClock.Now()) - bstart
+	if err != nil {
 		fb.release(len(fb.recs), false)
 		t.finished = true
+		t.lastAbort = obs.CauseUser
 		return err
 	}
 
@@ -92,12 +104,17 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 	now := t.e.w.Node.Clock.Read()
 	delta := rt.C.Delta()
 	for _, r := range fb.recs {
-		if !r.write && !clock.Valid(r.leaseEnd, now, delta) {
+		if r.write {
+			continue
+		}
+		if !clock.Valid(r.leaseEnd, now, delta) {
 			fb.release(len(fb.recs), false)
 			t.finished = true
-			rt.Stats.LeaseFails.Add(1)
+			sh.Inc(obs.EvLeaseConfirmFail)
+			t.lastAbort = obs.CauseLease
 			return ErrRetry
 		}
+		sh.Inc(obs.EvLeaseConfirm)
 	}
 
 	// Log ahead of in-place updates (Section 6.2, last paragraph).
@@ -105,8 +122,10 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		t.logFallbackWAL(fb)
 	}
 
-	// Publish writes and unlock.
+	// Publish writes and unlock: the fallback's Commit phase.
+	cstart := int64(t.e.w.VClock.Now())
 	fb.publish()
+	t.vCommit += int64(t.e.w.VClock.Now()) - cstart
 	t.applyDeferred()
 	t.finished = true
 	return nil
@@ -165,6 +184,7 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 	}
 
 	t.e.charge(t.e.model().FallbackLockNS)
+	sh := t.e.w.Obs
 	delta := t.e.rt.C.Delta()
 	want := clock.WLocked(uint8(t.e.w.Node.ID))
 	if !r.write {
@@ -174,26 +194,40 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 	for i := 0; i < casRetries; i++ {
 		cur, ok := fb.stateCAS(r, clock.Init, want)
 		if ok {
+			if !r.write {
+				sh.Inc(obs.EvLeaseGrant)
+			}
 			r.leaseEnd = t.leaseEnd
 			return nil
 		}
 		if clock.IsWriteLocked(cur) {
+			sh.Inc(obs.EvRemoteLockConflict)
+			t.lastAbort = obs.CauseRemote
 			return ErrRetry
 		}
 		end := clock.LeaseEnd(cur)
 		now := t.e.w.Node.Clock.Read()
 		if !r.write && !clock.Expired(end, now, delta) {
+			sh.Inc(obs.EvLeaseShare)
 			r.leaseEnd = end // share the existing lease
 			return nil
 		}
 		if !clock.Expired(end, now, delta) {
-			return ErrRetry // writer must wait out the lease
+			sh.Inc(obs.EvRemoteLockConflict) // writer must wait out the lease
+			t.lastAbort = obs.CauseRemote
+			return ErrRetry
 		}
 		if _, ok := fb.stateCAS(r, cur, want); ok {
+			sh.Inc(obs.EvLeaseExpire) // took over an expired lease
+			if !r.write {
+				sh.Inc(obs.EvLeaseGrant)
+			}
 			r.leaseEnd = t.leaseEnd
 			return nil
 		}
 	}
+	sh.Inc(obs.EvRemoteLockConflict)
+	t.lastAbort = obs.CauseRemote
 	return ErrRetry
 }
 

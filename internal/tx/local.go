@@ -7,6 +7,7 @@ import (
 	"drtm/internal/htm"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 )
 
 // Local is the transaction body's view during the LocalTX phase. It serves
@@ -144,6 +145,7 @@ func (lc *Local) Write(table int, key uint64, val []uint64) error {
 		if !clock.Expired(clock.LeaseEnd(s), lc.now(), lc.t.e.rt.C.Delta()) {
 			lc.htx.Abort(abortCodeLocked)
 		}
+		lc.t.e.w.Obs.Inc(obs.EvLeaseExpire)
 		lc.htx.Write(arena, kvs.StateOffset(off), clock.Init)
 	}
 	incver := lc.htx.Read(arena, kvs.IncVerOffset(off))

@@ -3,6 +3,7 @@ package tx
 import (
 	"drtm/internal/htm"
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 )
 
 // Durability logging (Section 4.6, Figure 7).
@@ -31,6 +32,7 @@ func (t *Tx) logAheadOfRegion() {
 	if len(t.choppingInfo) > 0 {
 		rec := append([]uint64{t.txid}, t.choppingInfo...)
 		w.ChoppingLog.Append(rec)
+		w.Obs.Inc(obs.EvLogRecord)
 		t.e.charge(int64(model.NVRAMAppend(len(rec) * 8)))
 	}
 	var locks []uint64
@@ -46,6 +48,7 @@ func (t *Tx) logAheadOfRegion() {
 	rec = append(rec, t.txid, uint64(len(locks)/3))
 	rec = append(rec, locks...)
 	w.LockAheadLog.Append(rec)
+	w.Obs.Inc(obs.EvLogRecord)
 	t.e.charge(int64(model.NVRAMAppend(len(rec) * 8)))
 }
 
@@ -88,6 +91,7 @@ func (t *Tx) logWALTx(htx *htm.Txn) {
 	if !w.WriteAheadLog.AppendTx(htx, body) {
 		panic("tx: write-ahead log full; size LogWords for the run")
 	}
+	w.Obs.Inc(obs.EvLogRecord)
 	t.e.charge(int64(t.e.model().NVRAMAppend(len(body) * 8)))
 }
 
@@ -116,6 +120,7 @@ func (t *Tx) logFallbackWAL(fb *fallbackCtx) {
 	}
 	body = append([]uint64{t.txid, count}, recs...)
 	w.WriteAheadLog.Append(body)
+	w.Obs.Inc(obs.EvLogRecord)
 	t.e.charge(int64(t.e.model().NVRAMAppend(len(body) * 8)))
 }
 

@@ -4,6 +4,7 @@ import (
 	"drtm/internal/clock"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 )
 
 // RO is a read-only transaction (Section 4.5 / Figure 8). Read-only
@@ -38,13 +39,13 @@ func (e *Executor) ExecRO(build func(ro *RO) error) error {
 		}
 		err := build(ro)
 		if err == nil && ro.confirm() {
-			e.rt.Stats.ROCommits.Add(1)
+			e.w.Obs.Inc(obs.EvROCommit)
 			return nil
 		}
 		if err != nil && err != ErrRetry {
 			return err
 		}
-		e.rt.Stats.RORetries.Add(1)
+		e.w.Obs.Inc(obs.EvRORetry)
 		e.backoff(attempt)
 	}
 	return ErrRetry
@@ -55,10 +56,13 @@ func (e *Executor) ExecRO(build func(ro *RO) error) error {
 func (ro *RO) confirm() bool {
 	now := ro.e.w.Node.Clock.Read()
 	delta := ro.e.rt.C.Delta()
+	sh := ro.e.w.Obs
 	for _, r := range ro.recs {
 		if !clock.Valid(r.leaseEnd, now, delta) {
+			sh.Inc(obs.EvLeaseConfirmFail)
 			return false
 		}
+		sh.Inc(obs.EvLeaseConfirm)
 	}
 	return true
 }
@@ -82,23 +86,30 @@ func (ro *RO) stateCAS(node, table int, off memory.Offset, old, new uint64) (uin
 // unexpired lease when present.
 func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool) {
 	delta := ro.e.rt.C.Delta()
+	sh := ro.e.w.Obs
 	const casRetries = 8
 	for i := 0; i < casRetries; i++ {
 		cur, ok := ro.stateCAS(node, table, off, clock.Init, clock.Shared(ro.end))
 		if ok {
+			sh.Inc(obs.EvLeaseGrant)
 			return ro.end, true
 		}
 		if clock.IsWriteLocked(cur) {
+			sh.Inc(obs.EvRemoteLockConflict)
 			return 0, false
 		}
 		end := clock.LeaseEnd(cur)
 		if !clock.Expired(end, ro.e.w.Node.Clock.Read(), delta) {
+			sh.Inc(obs.EvLeaseShare)
 			return end, true
 		}
 		if _, ok := ro.stateCAS(node, table, off, cur, clock.Shared(ro.end)); ok {
+			sh.Inc(obs.EvLeaseExpire)
+			sh.Inc(obs.EvLeaseGrant)
 			return ro.end, true
 		}
 	}
+	sh.Inc(obs.EvRemoteLockConflict)
 	return 0, false
 }
 

@@ -4,6 +4,7 @@ import (
 	"drtm/internal/clock"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 )
 
 // RecoveryReport summarizes one node's recovery.
@@ -57,6 +58,7 @@ func (rt *Runtime) Recover(crashed int) RecoveryReport {
 			for _, u := range recs {
 				if rt.redo(crashed, u) {
 					rep.RedoneRecords++
+					wk.Obs.Inc(obs.EvRecoveryRedo)
 					applied = true
 				} else {
 					rep.SkippedRecords++
@@ -75,6 +77,7 @@ func (rt *Runtime) Recover(crashed int) RecoveryReport {
 			for _, l := range locks {
 				if rt.unlockIfOwned(crashed, l) {
 					rep.Unlocked++
+					wk.Obs.Inc(obs.EvRecoveryUnlock)
 				}
 			}
 		}

@@ -32,11 +32,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync/atomic"
 	"time"
 
 	"drtm/internal/cluster"
 	"drtm/internal/kvs"
+	"drtm/internal/obs"
 	"drtm/internal/vtime"
 )
 
@@ -61,28 +61,63 @@ type TableMeta struct {
 // Partitioner maps a record to its home node.
 type Partitioner func(table int, key uint64) int
 
-// Stats aggregates runtime-wide transaction outcomes.
-type Stats struct {
-	Commits        atomic.Int64
-	Retries        atomic.Int64 // whole-transaction retries (lock/lease conflicts)
-	HTMAborts      atomic.Int64 // HTM region aborts (all causes)
-	CapacityAborts atomic.Int64
-	LeaseFails     atomic.Int64 // lease confirmation failures
-	Fallbacks      atomic.Int64 // executions completed on the fallback path
-	ROCommits      atomic.Int64
-	RORetries      atomic.Int64
+// Gauge is a read-only view over one or more events of the cluster's
+// observability registry. It keeps the historical `rt.Stats.X.Load()` call
+// shape while the actual counting happens in per-worker obs shards.
+type Gauge struct {
+	reg *obs.Registry
+	evs []obs.Event
 }
 
-// Reset zeroes all counters.
+// Load sums the gauge's events across all worker shards.
+func (g Gauge) Load() int64 {
+	if g.reg == nil {
+		return 0
+	}
+	var t int64
+	for _, ev := range g.evs {
+		t += g.reg.Total(ev)
+	}
+	return t
+}
+
+// Stats is a runtime-wide, read-only aggregation of transaction outcomes.
+// It is a legacy-shaped facade over the cluster's obs.Registry; new code
+// should prefer the registry's Snapshot for a full event breakdown.
+type Stats struct {
+	reg *obs.Registry
+
+	Commits        Gauge
+	Retries        Gauge // whole-transaction retries (lock/lease conflicts)
+	HTMAborts      Gauge // HTM region aborts (all causes)
+	CapacityAborts Gauge
+	LeaseFails     Gauge // lease failures (in-region aborts + confirm failures)
+	Fallbacks      Gauge // executions completed on the fallback path
+	ROCommits      Gauge
+	RORetries      Gauge
+}
+
+func newStats(reg *obs.Registry) Stats {
+	g := func(evs ...obs.Event) Gauge { return Gauge{reg: reg, evs: evs} }
+	return Stats{
+		reg:     reg,
+		Commits: g(obs.EvTxCommit),
+		Retries: g(obs.EvTxRetry),
+		HTMAborts: g(obs.EvHTMConflictAbort, obs.EvHTMCapacityAbort,
+			obs.EvHTMLockedAbort, obs.EvHTMLeaseAbort, obs.EvHTMExplicitAbort),
+		CapacityAborts: g(obs.EvHTMCapacityAbort),
+		LeaseFails:     g(obs.EvHTMLeaseAbort, obs.EvLeaseConfirmFail),
+		Fallbacks:      g(obs.EvFallback),
+		ROCommits:      g(obs.EvROCommit),
+		RORetries:      g(obs.EvRORetry),
+	}
+}
+
+// Reset zeroes all counters (the whole underlying registry).
 func (s *Stats) Reset() {
-	s.Commits.Store(0)
-	s.Retries.Store(0)
-	s.HTMAborts.Store(0)
-	s.CapacityAborts.Store(0)
-	s.LeaseFails.Store(0)
-	s.Fallbacks.Store(0)
-	s.ROCommits.Store(0)
-	s.RORetries.Store(0)
+	if s.reg != nil {
+		s.reg.Reset()
+	}
 }
 
 // Runtime wires the transaction layer onto a cluster.
@@ -146,6 +181,7 @@ func NewRuntime(c *cluster.Cluster, part Partitioner) *Runtime {
 		FallbackThreshold: 8,
 		MaxAttempts:       10_000,
 		CacheBudgetBytes:  1 << 22,
+		Stats:             newStats(c.Obs),
 	}
 	for i := 0; i < c.Nodes(); i++ {
 		rt.caches = append(rt.caches, newCacheSet())
@@ -241,20 +277,71 @@ func (e *Executor) cacheFor(node, table int) kvs.Cache {
 
 // Exec runs a transaction to completion: build stages the read/write sets
 // and calls Tx.Execute; conflicts retry the whole transaction with
-// randomized backoff (charged to virtual time, not slept).
+// randomized backoff (charged to virtual time, not slept). Phase durations
+// accumulate across attempts, so the recorded histograms reflect what the
+// caller paid for the committed transaction, conflicts included.
 func (e *Executor) Exec(build func(t *Tx) error) error {
+	sh := e.w.Obs
+	start := int64(e.w.VClock.Now())
+	var vLock, vHTM, vCommit int64
+	var attempts int32
+	lastAbort := obs.CauseNone
+	usedFallback := false
 	for attempt := 0; attempt < e.rt.MaxAttempts; attempt++ {
+		attempts++
 		t := e.newTx()
 		err := build(t)
 		t.cleanup()
+		vLock += t.vLock
+		vHTM += t.vHTM
+		vCommit += t.vCommit
+		if t.lastAbort != obs.CauseNone {
+			lastAbort = t.lastAbort
+		}
+		usedFallback = usedFallback || t.usedFallback
 		switch {
 		case err == nil:
-			e.rt.Stats.Commits.Add(1)
+			sh.Inc(obs.EvTxCommit)
+			total := int64(e.w.VClock.Now()) - start
+			sh.Observe(obs.PhaseTotal, total)
+			if vLock > 0 {
+				sh.Observe(obs.PhaseLockRemote, vLock)
+			}
+			if vHTM > 0 {
+				sh.Observe(obs.PhaseHTM, vHTM)
+			}
+			if vCommit > 0 {
+				sh.Observe(obs.PhaseCommit, vCommit)
+			}
+			if sh.TraceEnabled() {
+				out := obs.OutcomeCommit
+				if usedFallback {
+					out = obs.OutcomeFallback
+				}
+				sh.Trace(obs.TraceEvent{
+					TxID: t.txid, Node: int32(e.w.Node.ID), Worker: int32(e.w.ID),
+					Attempts: attempts, Outcome: out, Abort: lastAbort,
+					StartNS: start, LockNS: vLock, HTMNS: vHTM, CommitNS: vCommit,
+					TotalNS: total,
+				})
+			}
 			return nil
 		case errors.Is(err, ErrRetry):
-			e.rt.Stats.Retries.Add(1)
+			sh.Inc(obs.EvTxRetry)
 			e.backoff(attempt)
 		default:
+			if sh.TraceEnabled() {
+				cause := lastAbort
+				if errors.Is(err, ErrUserAbort) {
+					cause = obs.CauseUser
+				}
+				sh.Trace(obs.TraceEvent{
+					TxID: t.txid, Node: int32(e.w.Node.ID), Worker: int32(e.w.ID),
+					Attempts: attempts, Outcome: obs.OutcomeAbort, Abort: cause,
+					StartNS: start, LockNS: vLock, HTMNS: vHTM, CommitNS: vCommit,
+					TotalNS: int64(e.w.VClock.Now()) - start,
+				})
+			}
 			return err
 		}
 	}

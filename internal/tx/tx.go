@@ -8,6 +8,7 @@ import (
 	"drtm/internal/htm"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
+	"drtm/internal/obs"
 )
 
 // Explicit HTM abort codes used by the protocol (XABORT imm8 values).
@@ -74,6 +75,12 @@ type Tx struct {
 
 	finished     bool
 	choppingInfo []uint64 // optional piece info logged before locking
+
+	// Per-attempt observability: phase durations in modeled nanoseconds and
+	// the last abort cause, folded into Exec's cross-attempt totals.
+	vLock, vHTM, vCommit int64
+	lastAbort            obs.AbortCause
+	usedFallback         bool
 }
 
 type refKey struct {
@@ -157,6 +164,9 @@ func (t *Tx) declareLocal(table int, key uint64, write bool) {
 
 // stageRemote implements REMOTE_READ / REMOTE_WRITE of Figure 5.
 func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
+	startv := int64(t.e.w.VClock.Now())
+	defer func() { t.vLock += int64(t.e.w.VClock.Now()) - startv }()
+	sh := t.e.w.Obs
 	k := refKey{table, key}
 	if r, ok := t.rIndex[k]; ok {
 		if write && !r.write {
@@ -197,14 +207,15 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 				break
 			}
 			if clock.IsWriteLocked(cur) {
-				return t.fail()
+				return t.remoteConflict()
 			}
 			// Shared lease present: writers must wait for expiry.
 			if !clock.Expired(clock.LeaseEnd(cur), t.e.w.Node.Clock.Read(), delta) {
-				return t.fail()
+				return t.remoteConflict()
 			}
 			if _, ok := t.e.w.QP.CAS(node, table, stateOff, cur,
 				clock.WLocked(uint8(t.e.w.Node.ID))); ok {
+				sh.Inc(obs.EvLeaseExpire) // took over an expired lease
 				acquired = true
 			}
 		}
@@ -213,30 +224,34 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 			cur, ok := t.e.w.QP.CAS(node, table, stateOff, clock.Init,
 				clock.Shared(t.leaseEnd))
 			if ok {
+				sh.Inc(obs.EvLeaseGrant)
 				r.leaseEnd = t.leaseEnd
 				acquired = true
 				break
 			}
 			if clock.IsWriteLocked(cur) {
-				return t.fail()
+				return t.remoteConflict()
 			}
 			end := clock.LeaseEnd(cur)
 			now := t.e.w.Node.Clock.Read()
 			if !clock.Expired(end, now, delta) {
 				// Share the existing unexpired lease (Figure 5).
+				sh.Inc(obs.EvLeaseShare)
 				r.leaseEnd = end
 				acquired = true
 				break
 			}
 			if _, ok := t.e.w.QP.CAS(node, table, stateOff, cur,
 				clock.Shared(t.leaseEnd)); ok {
+				sh.Inc(obs.EvLeaseExpire)
+				sh.Inc(obs.EvLeaseGrant)
 				r.leaseEnd = t.leaseEnd
 				acquired = true
 			}
 		}
 	}
 	if !acquired {
-		return t.fail()
+		return t.remoteConflict()
 	}
 
 	// Prefetch the record into the transaction-private buffer.
@@ -262,6 +277,14 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 func (t *Tx) fail() error {
 	t.releaseLocks()
 	return ErrRetry
+}
+
+// remoteConflict is fail() for lock/lease acquisition losses: the record is
+// held by a conflicting remote owner (or the CAS budget ran out racing one).
+func (t *Tx) remoteConflict() error {
+	t.e.w.Obs.Inc(obs.EvRemoteLockConflict)
+	t.lastAbort = obs.CauseRemote
+	return t.fail()
 }
 
 // unlockRemote releases one exclusive lock with a one-sided WRITE of INIT.
@@ -315,10 +338,12 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 		t.logAheadOfRegion()
 	}
 
+	sh := t.e.w.Obs
 	for attempt := 0; ; attempt++ {
 		t.walLocal = t.walLocal[:0]
 		t.deferred = t.deferred[:0]
 		lc := &Local{t: t}
+		hstart := int64(t.e.w.VClock.Now())
 		t.e.charge(model.HTMBeginNS)
 		err := t.e.w.Node.Engine.Run(func(htx *htm.Txn) error {
 			lc.htx = htx
@@ -333,7 +358,11 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 		})
 		if err == nil {
 			t.e.charge(model.HTMCommitNS)
+			sh.Inc(obs.EvHTMCommit)
+			t.vHTM += int64(t.e.w.VClock.Now()) - hstart
+			cstart := int64(t.e.w.VClock.Now())
 			t.commitRemotes()
+			t.vCommit += int64(t.e.w.VClock.Now()) - cstart
 			t.applyDeferred()
 			t.finished = true
 			return nil
@@ -342,6 +371,8 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 		ae, isAbort := htm.IsAbort(err)
 		if !isAbort {
 			// User logic error: roll back fully.
+			t.vHTM += int64(t.e.w.VClock.Now()) - hstart
+			t.lastAbort = obs.CauseUser
 			t.releaseLocks()
 			if errors.Is(err, ErrUserAbort) {
 				return ErrUserAbort
@@ -349,23 +380,37 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			return err
 		}
 
-		rt.Stats.HTMAborts.Add(1)
 		t.e.charge(model.HTMAbortNS)
+		t.vHTM += int64(t.e.w.VClock.Now()) - hstart
 		switch {
 		case ae.Code == htm.AbortExplicit && ae.User == abortCodeLease:
 			// A lease expired: retrying the region cannot help; retry the
 			// whole transaction to re-acquire leases.
-			rt.Stats.LeaseFails.Add(1)
+			sh.Inc(obs.EvHTMLeaseAbort)
+			t.lastAbort = obs.CauseLease
 			return t.fail()
 		case ae.Code == htm.AbortExplicit && ae.User == abortCodeLocked:
 			// A local record is locked by a remote transaction; whole-txn
 			// retry with backoff lets the remote holder finish.
+			sh.Inc(obs.EvHTMLockedAbort)
+			t.lastAbort = obs.CauseLocked
 			return t.fail()
 		case ae.Code == htm.AbortCapacity:
-			rt.Stats.CapacityAborts.Add(1)
+			sh.Inc(obs.EvHTMCapacityAbort)
+			t.lastAbort = obs.CauseCapacity
 			return t.runFallback(fn)
-		case attempt+1 >= rt.FallbackThreshold:
-			return t.runFallback(fn)
+		case ae.Code == htm.AbortExplicit:
+			sh.Inc(obs.EvHTMExplicitAbort)
+			t.lastAbort = obs.CauseExplicit
+			if attempt+1 >= rt.FallbackThreshold {
+				return t.runFallback(fn)
+			}
+		default:
+			sh.Inc(obs.EvHTMConflictAbort)
+			t.lastAbort = obs.CauseConflict
+			if attempt+1 >= rt.FallbackThreshold {
+				return t.runFallback(fn)
+			}
 		}
 		// Conflict abort: retry the HTM region; locks and leases persist.
 	}
@@ -396,6 +441,7 @@ func (t *Tx) confirmLeases(htx *htm.Txn) {
 		if !clock.Valid(r.leaseEnd, now, delta) {
 			htx.Abort(abortCodeLease)
 		}
+		t.e.w.Obs.Inc(obs.EvLeaseConfirm)
 	}
 }
 
