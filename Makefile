@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench chaos
 
-check: build vet race
+check: build vet race chaos
 
 build:
 	go build ./...
@@ -14,6 +14,12 @@ test:
 
 race:
 	go test -race ./...
+
+# Crash-consistency gate: SmallBank under repeated crashes with lease-based
+# detection and online recovery; conservation must hold.
+chaos:
+	go run ./cmd/drtm-bench -exp chaos -quick
+	go test -race -run TestChaosSmallBankConservation .
 
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:

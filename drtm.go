@@ -110,6 +110,24 @@ type Options struct {
 	// 64-byte cache lines (defaults: 512 / 4096, Haswell-class).
 	HTMWriteLines int
 	HTMReadLines  int
+
+	// FailureDetection enables lease-based membership (Section 4.6): every
+	// node heartbeats a shared membership region; survivors detect an
+	// expired lease, confirm the death by probing, elect a recovery
+	// coordinator with RDMA CAS, and the coordinator replays the crashed
+	// node's NVRAM logs and revives it — no oracle notification anywhere.
+	FailureDetection bool
+
+	// HeartbeatInterval, FailureTimeout and ElectionStagger tune the
+	// detector (defaults: 1 ms / 30 ms / 5 ms). FailureTimeout should span
+	// many heartbeats so scheduling hiccups don't read as crashes.
+	HeartbeatInterval time.Duration
+	FailureTimeout    time.Duration
+	ElectionStagger   time.Duration
+
+	// FaultSeed seeds the fabric's fault-injection RNG, making a chaos
+	// run's verb-level fault sequence reproducible. Zero means seed 1.
+	FaultSeed int64
 }
 
 // maxLeaseMicros bounds lease durations: the state word encodes lease end
@@ -162,6 +180,12 @@ func (o Options) normalize() (Options, error) {
 		return o, fmt.Errorf("drtm: Options.ROLeaseMicros %d overflows the state-word lease field (max %d)",
 			o.ROLeaseMicros, maxLeaseMicros)
 	}
+	if o.HeartbeatInterval < 0 || o.FailureTimeout < 0 || o.ElectionStagger < 0 {
+		return o, errors.New("drtm: failure-detection durations must be >= 0")
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = 1
+	}
 	return o, nil
 }
 
@@ -176,7 +200,14 @@ func (o Options) normalize() (Options, error) {
 type DB struct {
 	C  *cluster.Cluster
 	RT *tx.Runtime
+
+	faults *rdma.FaultPlan
 }
+
+// FaultRule configures fault injection on a node or link: each matching
+// verb fails with probability FailProb (charged the verb timeout) and is
+// delayed by ExtraNS modeled nanoseconds.
+type FaultRule = rdma.FaultRule
 
 // Open validates o, then builds and starts a deployment. The partition
 // function is required (return -1 from it for replicated tables).
@@ -201,10 +232,34 @@ func Open(o Options, part PartitionFunc) (*DB, error) {
 	if o.HTMReadLines > 0 {
 		cfg.HTM.ReadLines = o.HTMReadLines
 	}
+	cfg.FailureDetection = o.FailureDetection
+	if o.HeartbeatInterval > 0 {
+		cfg.HeartbeatInterval = o.HeartbeatInterval
+	}
+	if o.FailureTimeout > 0 {
+		cfg.FailureTimeout = o.FailureTimeout
+	}
+	if o.ElectionStagger > 0 {
+		cfg.ElectionStagger = o.ElectionStagger
+	}
 	c := cluster.New(cfg)
+	db := &DB{C: c, RT: tx.NewRuntime(c, part), faults: rdma.NewFaultPlan(o.FaultSeed)}
+	c.Fabric.SetFaultPlan(db.faults)
+	if o.FailureDetection {
+		db.RT.EnableAutoRecovery()
+	}
 	c.Start()
-	return &DB{C: c, RT: tx.NewRuntime(c, part)}, nil
+	return db, nil
 }
+
+// InjectNodeFaults makes every verb targeting node fail or slow per r;
+// InjectLinkFaults scopes the rule to the (from, to) direction. Rules
+// stack: a verb draws against both its node and link rules. ClearFaults
+// removes all rules. The underlying RNG is seeded from Options.FaultSeed,
+// so a fixed workload replays an identical fault sequence.
+func (db *DB) InjectNodeFaults(node int, r FaultRule)     { db.faults.NodeRule(node, r) }
+func (db *DB) InjectLinkFaults(from, to int, r FaultRule) { db.faults.LinkRule(from, to, r) }
+func (db *DB) ClearFaults()                               { db.faults.Clear() }
 
 // MustOpen is Open, panicking on invalid options; convenient for examples,
 // tests and benchmarks where options are literals.
@@ -290,8 +345,12 @@ func (db *DB) Crash(node int) { db.C.Crash(node) }
 // transactions, lock release for uncommitted ones (Figure 7).
 func (db *DB) Recover(node int) RecoveryReport { return db.RT.Recover(node) }
 
-// Revive marks a recovered node alive.
-func (db *DB) Revive(node int) { db.C.Revive(node) }
+// Revive marks a recovered node alive and drains any release-side writes
+// that committed transactions parked while the node was unreachable.
+func (db *DB) Revive(node int) {
+	db.C.Revive(node)
+	db.RT.FlushPending(node)
+}
 
 // Latency summarizes one transaction phase's latency histogram. Durations
 // are modeled (virtual-clock) time — the same time base as throughput
@@ -357,6 +416,15 @@ type Stats struct {
 	RecoveryRedos   int64
 	RecoveryUnlocks int64
 
+	// Fault injection, failure detection and recovery under load.
+	VerbFaults     int64 // verbs that failed (injected fault or crashed node)
+	LockRetries    int64 // transient verb faults retried inside transactions
+	BackoffNanos   int64 // modeled ns spent in fault-retry backoff
+	NodeDownAborts int64 // transactions aborted with ErrNodeDown
+	Detections     int64 // crashes confirmed by survivors via lease expiry
+	Recoveries     int64 // Recover invocations that replayed at least one log set
+	RecoveryNanos  int64 // wall-clock ns spent inside Recover
+
 	// Phase latency summaries (modeled time): the Start phase (remote
 	// lock/lease + prefetch), the HTM region (attempts plus fallback body),
 	// the Commit phase (remote write-back + unlock), and the whole
@@ -402,6 +470,14 @@ func newStats(sn obs.Snapshot) Stats {
 		RecoveryRedos:   c(obs.EvRecoveryRedo),
 		RecoveryUnlocks: c(obs.EvRecoveryUnlock),
 
+		VerbFaults:     c(obs.EvVerbFault),
+		LockRetries:    c(obs.EvLockRetry),
+		BackoffNanos:   c(obs.EvBackoffNanos),
+		NodeDownAborts: c(obs.EvNodeDownAbort),
+		Detections:     c(obs.EvDetect),
+		Recoveries:     c(obs.EvRecoveryRun),
+		RecoveryNanos:  c(obs.EvRecoveryNanos),
+
 		LockRemoteLatency: latencyOf(sn.Phases[obs.PhaseLockRemote]),
 		HTMRegionLatency:  latencyOf(sn.Phases[obs.PhaseHTM]),
 		CommitLatency:     latencyOf(sn.Phases[obs.PhaseCommit]),
@@ -442,6 +518,9 @@ func (s Stats) String() string {
 		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs)
 	fmt.Fprintf(&b, "nvram:   log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
 		s.LogRecords, s.RecoveryRedos, s.RecoveryUnlocks)
+	fmt.Fprintf(&b, "fault:   verb-faults=%d lock-retries=%d node-down-aborts=%d detections=%d recoveries=%d recovery-time=%v\n",
+		s.VerbFaults, s.LockRetries, s.NodeDownAborts, s.Detections,
+		s.Recoveries, time.Duration(s.RecoveryNanos))
 	for _, ph := range []struct {
 		name string
 		l    Latency

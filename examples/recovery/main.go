@@ -1,13 +1,20 @@
-// Recovery example: durable transactions, a fail-stop crash mid-workload,
-// and the Figure 7 recovery procedure — committed transactions are redone
-// from the write-ahead log, uncommitted locks are released via the
-// lock-ahead log, and the balance invariant survives.
+// Recovery example: durable transactions, a fail-stop crash under live
+// traffic, and the full Section 4.6 failure path — no oracle anywhere.
+// Survivors notice the crashed node's membership lease has expired,
+// confirm the death by probing, elect a recovery coordinator with RDMA
+// CAS, replay the NVRAM logs (committed transactions are redone from the
+// write-ahead log, uncommitted locks released via the lock-ahead log), and
+// revive the node — while the other nodes keep committing. The balance
+// invariant survives it all.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"drtm"
 )
@@ -16,8 +23,14 @@ const accounts = 1
 
 func main() {
 	const nodes, workers, keys = 3, 2, 60
-	db := drtm.MustOpen(drtm.Options{Nodes: nodes, WorkersPerNode: workers, Durability: true},
-		func(table int, key uint64) int { return int(key) % nodes })
+	db := drtm.MustOpen(drtm.Options{
+		Nodes: nodes, WorkersPerNode: workers,
+		Durability:        true,
+		FailureDetection:  true, // lease-based membership + auto recovery
+		HeartbeatInterval: time.Millisecond,
+		FailureTimeout:    12 * time.Millisecond,
+		ElectionStagger:   2 * time.Millisecond,
+	}, func(table int, key uint64) int { return int(key) % nodes })
 	defer db.Close()
 
 	db.CreateHashTable(accounts, 1024, 1)
@@ -28,14 +41,23 @@ func main() {
 	}
 
 	fmt.Println("running durable transfers on all nodes...")
-	var wg sync.WaitGroup
+	var (
+		stop sync.WaitGroup
+		done atomic.Bool
+	)
 	for n := 0; n < nodes; n++ {
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
+			stop.Add(1)
 			go func(n, w int) {
-				defer wg.Done()
+				defer stop.Done()
 				e := db.Executor(n, w)
-				for i := 0; i < 80; i++ {
+				for i := 0; !done.Load(); i++ {
+					if !db.C.Node(n).Alive() {
+						// Fail-stop: a crashed machine runs nothing until the
+						// recovery coordinator revives it.
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
 					from := uint64((n*17+w*5+i)%keys) + 1
 					to := uint64((n*29+w*3+i*7)%keys) + 1
 					if from == to {
@@ -60,26 +82,38 @@ func main() {
 							return lc.Write(accounts, to, []uint64{g[0] + 5})
 						})
 					})
-					if err != nil && err != drtm.ErrNodeDown {
+					// ErrNodeDown is the expected abort while a peer is dead.
+					if err != nil && !errors.Is(err, drtm.ErrNodeDown) {
 						log.Fatalf("transfer: %v", err)
 					}
 				}
 			}(n, w)
 		}
 	}
-	wg.Wait()
 
+	time.Sleep(20 * time.Millisecond)
 	fmt.Println("crashing node 1 (fail-stop; NVRAM logs survive)...")
 	db.Crash(1)
 
-	rep := db.Recover(1)
-	fmt.Printf("recovery: %d txns redone (%d records), %d stale skips, %d locks released, %d pending chopped pieces\n",
-		rep.RedoneTxns, rep.RedoneRecords, rep.SkippedRecords, rep.Unlocked, len(rep.PendingPieces))
-	db.Revive(1)
+	fmt.Print("waiting for survivors to detect, recover and revive it... ")
+	deadline := time.Now().Add(10 * time.Second)
+	for !db.C.Node(1).Alive() {
+		if time.Now().After(deadline) {
+			log.Fatal("node 1 was never revived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("back online")
+
+	time.Sleep(20 * time.Millisecond) // post-revival traffic on all nodes
+	done.Store(true)
+	stop.Wait()
 
 	st := db.Stats()
-	fmt.Printf("counters: log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
-		st.LogRecords, st.RecoveryRedos, st.RecoveryUnlocks)
+	fmt.Printf("counters: detections=%d recoveries=%d recovery-time=%v\n",
+		st.Detections, st.Recoveries, time.Duration(st.RecoveryNanos))
+	fmt.Printf("          verb-faults=%d node-down-aborts=%d log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
+		st.VerbFaults, st.NodeDownAborts, st.LogRecords, st.RecoveryRedos, st.RecoveryUnlocks)
 
 	fmt.Print("verifying conservation after recovery... ")
 	var total uint64

@@ -156,13 +156,47 @@ func TestSmokeObs(t *testing.T) {
 	}
 }
 
+func TestSmokeChaos(t *testing.T) {
+	res := runSmoke(t, "chaos")
+	cell := func(metric string) string {
+		for _, row := range res.Rows {
+			if row[0] == metric {
+				return row[1]
+			}
+		}
+		t.Fatalf("row %s missing", metric)
+		return ""
+	}
+	// The headline: no committed transaction may be lost to a crash.
+	if v := cell("balance-conservation"); !strings.HasPrefix(v, "OK") {
+		t.Errorf("balance conservation: %s", v)
+	}
+	// Survivors must make progress while a peer is down, and the crashes
+	// must be detected and recovered through the lease-based path.
+	if v := cell("commits-during-outage"); v == "0" {
+		t.Errorf("no commits during outages")
+	}
+	if v := cell("detections"); v == "0" {
+		t.Errorf("no crash detections")
+	}
+	if v := cell("recoveries"); v == "0" {
+		t.Errorf("no recoveries ran")
+	}
+	if v := cell("verb-faults"); v == "0" {
+		t.Errorf("no verb faults recorded")
+	}
+	if v := cell("pending-after-drain"); v != "0" {
+		t.Errorf("release-side writes still parked after final revival: %s", v)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table4", "table6",
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"ablate-cache", "ablate-fallback", "ablate-atomics", "ablate-assoc",
-		"obs",
+		"obs", "chaos",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -111,6 +111,16 @@ func (c *SoftClock) Start() {
 	}(c.stopCh)
 }
 
+// Restart relaunches the timer goroutine after a Stop — a crashed node's
+// clock coming back up on revival. Unlike Start, it clears the stopped
+// latch; a clock that was never stopped just keeps running.
+func (c *SoftClock) Restart() {
+	c.mu.Lock()
+	c.stopped = false
+	c.mu.Unlock()
+	c.Start()
+}
+
 // Stop terminates the timer goroutine.
 func (c *SoftClock) Stop() {
 	c.mu.Lock()

@@ -14,6 +14,7 @@ import (
 	"drtm/internal/clock"
 	"drtm/internal/htm"
 	"drtm/internal/kvs"
+	"drtm/internal/memory"
 	"drtm/internal/nvram"
 	"drtm/internal/obs"
 	"drtm/internal/rdma"
@@ -45,6 +46,21 @@ type Config struct {
 
 	// LogWords sizes each worker's NVRAM logs.
 	LogWords int
+
+	// FailureDetection enables lease-based membership: heartbeat renewal,
+	// expiry detection, probe confirmation and coordinator election (see
+	// membership.go). Off, crashes are only visible through verb errors.
+	FailureDetection bool
+	// HeartbeatInterval is the lease renewal period.
+	HeartbeatInterval time.Duration
+	// FailureTimeout is how long a heartbeat may stall before the lease is
+	// considered expired. Must span many heartbeat intervals; the probe
+	// confirmation makes an aggressive timeout safe (false suspicions are
+	// cancelled), just noisy.
+	FailureTimeout time.Duration
+	// ElectionStagger delays each survivor's coordinator CAS by its rank
+	// among the survivors, biasing the election to the lowest ID.
+	ElectionStagger time.Duration
 }
 
 // DefaultConfig mirrors the paper's settings on a cluster of n nodes with
@@ -62,6 +78,10 @@ func DefaultConfig(n, w int) Config {
 		SkewBound:        50 * time.Microsecond,
 		Strategy:         clock.StrategyReuseConfirm,
 		LogWords:         1 << 20,
+
+		HeartbeatInterval: time.Millisecond,
+		FailureTimeout:    30 * time.Millisecond,
+		ElectionStagger:   5 * time.Millisecond,
 	}
 }
 
@@ -75,8 +95,14 @@ type Cluster struct {
 	// worker (shard index = node*WorkersPerNode + worker).
 	Obs *obs.Registry
 
-	mu       sync.Mutex
-	watchers []func(crashed int)
+	// membership is the shared liveness-lease arena (see membership.go).
+	membership *memory.Arena
+	detectors  []*detector
+	detStop    chan struct{}
+	detWG      sync.WaitGroup
+
+	deathMu sync.Mutex
+	onDeath func(coordinator, crashed int)
 }
 
 // Node is one logical machine.
@@ -133,9 +159,10 @@ func New(cfg Config) *Cluster {
 		cfg.LogWords = 1 << 20
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		Fabric: rdma.NewFabric(cfg.Nodes, cfg.Model, cfg.Atomicity),
-		Obs:    obs.NewRegistry(cfg.Nodes * cfg.WorkersPerNode),
+		cfg:        cfg,
+		Fabric:     rdma.NewFabric(cfg.Nodes, cfg.Model, cfg.Atomicity),
+		Obs:        obs.NewRegistry(cfg.Nodes * cfg.WorkersPerNode),
+		membership: memory.NewArena(membershipArenaID, 2*cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		skew := time.Duration(0)
@@ -168,24 +195,48 @@ func New(cfg Config) *Cluster {
 				wk.ChoppingLog = nvram.NewLog(i*1000+w*3+0, cfg.LogWords)
 				wk.LockAheadLog = nvram.NewLog(i*1000+w*3+1, cfg.LogWords)
 				wk.WriteAheadLog = nvram.NewLog(i*1000+w*3+2, cfg.LogWords)
+				// NVRAM logs stay readable after a crash (flush-on-failure):
+				// survivors drain them through durable fabric regions.
+				c.Fabric.RegisterDurable(i, LogRegion(w, 0), wk.ChoppingLog.Arena())
+				c.Fabric.RegisterDurable(i, LogRegion(w, 1), wk.LockAheadLog.Arena())
+				c.Fabric.RegisterDurable(i, LogRegion(w, 2), wk.WriteAheadLog.Arena())
 			}
 			n.workers = append(n.workers, wk)
 		}
 		c.nodes = append(c.nodes, n)
 		c.Fabric.Serve(i, n.dispatch)
+		// Every node reaches the membership service through its own
+		// endpoint; the service itself never fails in this model.
+		c.Fabric.Register(i, RegionMembership, c.membership)
 	}
 	return c
 }
 
-// Start launches every node's softtime timer thread.
+// Start launches every node's softtime timer thread and, when failure
+// detection is configured, the per-node membership detectors.
 func (c *Cluster) Start() {
 	for _, n := range c.nodes {
 		n.Clock.Start()
 	}
+	if c.cfg.FailureDetection && c.detStop == nil {
+		c.detStop = make(chan struct{})
+		for i := 0; i < c.cfg.Nodes; i++ {
+			d := newDetector(c, i)
+			c.detectors = append(c.detectors, d)
+			c.detWG.Add(1)
+			go d.run(c.detStop)
+		}
+	}
 }
 
-// Stop terminates timer threads.
+// Stop terminates timer threads and membership detectors.
 func (c *Cluster) Stop() {
+	if c.detStop != nil {
+		close(c.detStop)
+		c.detWG.Wait()
+		c.detStop = nil
+		c.detectors = nil
+	}
 	for _, n := range c.nodes {
 		n.Clock.Stop()
 	}
@@ -279,11 +330,11 @@ type Msg struct {
 func (n *Node) dispatch(from int, req any) any {
 	m, ok := req.(Msg)
 	if !ok {
-		panic(fmt.Sprintf("cluster: node %d got non-Msg request %T", n.ID, req))
+		return fmt.Errorf("cluster: node %d got non-Msg request %T", n.ID, req)
 	}
 	h, ok := n.handlers[m.Type]
 	if !ok {
-		panic(fmt.Sprintf("cluster: node %d has no handler for msg type %d", n.ID, m.Type))
+		return fmt.Errorf("cluster: node %d has no handler for msg type %d", n.ID, m.Type)
 	}
 	return h(from, m.Body)
 }
@@ -294,33 +345,35 @@ func (n *Node) Alive() bool { return n.alive.Load() }
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
 
-// Watch registers a callback invoked (synchronously, from Crash) when a
-// node fails — the Zookeeper-notification stand-in that triggers
-// cooperative recovery on survivors.
-func (c *Cluster) Watch(cb func(crashed int)) {
-	c.mu.Lock()
-	c.watchers = append(c.watchers, cb)
-	c.mu.Unlock()
-}
-
-// Crash fail-stops a node: its workers must observe Alive() == false and
-// stop issuing work; its memory and NVRAM logs remain readable (the
-// flush-on-failure model). Watchers are then notified to assist recovery.
+// Crash fail-stops a node: its endpoint becomes unreachable on the fabric
+// (verbs fail with ErrNodeUnreachable), its heartbeats stop, its softtime
+// timer dies, and its workers must observe Alive() == false and stop
+// issuing work. Its NVRAM log regions remain readable (flush-on-failure).
+// Nobody is notified: survivors learn of the crash through lease expiry.
 func (c *Cluster) Crash(node int) {
 	n := c.nodes[node]
 	if !n.alive.CompareAndSwap(true, false) {
 		return
 	}
+	c.Fabric.SetNodeDown(node, true)
 	n.Clock.Stop()
-	c.mu.Lock()
-	ws := append([]func(int){}, c.watchers...)
-	c.mu.Unlock()
-	for _, cb := range ws {
-		cb(node)
-	}
 }
 
-// Revive marks a crashed node alive again (after recovery completes).
+// Revive brings a crashed node back (after recovery completes): its
+// coordinator word is cleared for future elections, its heartbeat resumes
+// from a fresh value, its endpoint rejoins the fabric and its softtime
+// timer restarts.
 func (c *Cluster) Revive(node int) {
-	c.nodes[node].alive.Store(true)
+	n := c.nodes[node]
+	if n.alive.Load() {
+		return
+	}
+	// The endpoint rejoins the fabric BEFORE the coordinator word clears:
+	// a straggling election candidate that CASes the freshly cleared word
+	// then sees its post-win probe succeed and withdraws the stale claim.
+	c.Fabric.SetNodeDown(node, false)
+	c.membership.StoreWord(c.coordOff(node), 0)
+	c.membership.FAA(hbOff(node), 1) // visibly fresh before monitors resume
+	n.Clock.Restart()
+	n.alive.Store(true)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"testing"
+	"time"
 
 	"drtm/internal/memory"
 )
@@ -59,31 +60,98 @@ func TestVerbsDispatch(t *testing.T) {
 	c.Node(1).Handle(7, func(from int, body any) any {
 		return body.(string) + " handled by node 1"
 	})
-	resp := c.Worker(0, 0).QP.Call(1, Msg{Type: 7, Body: "hello"}, 16, 16)
+	resp, err := c.Worker(0, 0).QP.Call(1, Msg{Type: 7, Body: "hello"}, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.(string) != "hello handled by node 1" {
 		t.Fatalf("resp = %v", resp)
 	}
+	// Missing handlers are errors carried in the response, not panics.
+	resp, err = c.Worker(0, 0).QP.Call(1, Msg{Type: 99, Body: nil}, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(error); !ok {
+		t.Fatalf("missing-handler resp = %v, want error", resp)
+	}
 }
 
-func TestCrashNotifiesWatchersOnce(t *testing.T) {
+func TestCrashMarksNodeDown(t *testing.T) {
 	c := New(DefaultConfig(3, 1))
 	defer c.Stop()
-	var crashed []int
-	c.Watch(func(n int) { crashed = append(crashed, n) })
 	c.Crash(2)
 	c.Crash(2) // idempotent
-	if len(crashed) != 1 || crashed[0] != 2 {
-		t.Fatalf("watch calls = %v", crashed)
-	}
 	if c.Node(2).Alive() {
 		t.Fatal("crashed node still alive")
+	}
+	if !c.Fabric.NodeDown(2) {
+		t.Fatal("crash did not mark the endpoint unreachable")
 	}
 	if len(c.Workers()) != 2 {
 		t.Fatalf("workers after crash = %d", len(c.Workers()))
 	}
 	c.Revive(2)
-	if !c.Node(2).Alive() {
+	if !c.Node(2).Alive() || c.Fabric.NodeDown(2) {
 		t.Fatal("revive failed")
+	}
+}
+
+// TestLeaseDetectionElectsCoordinator exercises the full membership path:
+// a crash stops the node's heartbeats, survivors observe the expired lease,
+// confirm by probing, and exactly one (the lowest-ID survivor) wins the
+// coordinator CAS and runs the OnDeath handler.
+func TestLeaseDetectionElectsCoordinator(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	cfg.FailureDetection = true
+	cfg.HeartbeatInterval = time.Millisecond
+	cfg.FailureTimeout = 10 * time.Millisecond
+	cfg.ElectionStagger = 2 * time.Millisecond
+	c := New(cfg)
+	defer c.Stop()
+
+	type death struct{ coordinator, crashed int }
+	deaths := make(chan death, 8)
+	c.OnDeath(func(coordinator, crashed int) {
+		deaths <- death{coordinator, crashed}
+		c.Revive(crashed)
+	})
+	c.Start()
+
+	// Let leases establish, then fail node 1 with no notification.
+	time.Sleep(5 * cfg.HeartbeatInterval)
+	c.Crash(1)
+
+	select {
+	case d := <-deaths:
+		if d.crashed != 1 {
+			t.Fatalf("detected crash of node %d, want 1", d.crashed)
+		}
+		if d.coordinator != 0 {
+			t.Fatalf("coordinator = node %d, want lowest-ID survivor 0", d.coordinator)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("crash never detected via lease expiry")
+	}
+
+	// The handler revived the node; detectors must see it alive again and a
+	// later crash must elect afresh (coordinator word was cleared).
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Node(1).Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("node 1 never revived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * cfg.HeartbeatInterval)
+	c.Crash(2)
+	select {
+	case d := <-deaths:
+		if d.crashed != 2 || d.coordinator != 0 {
+			t.Fatalf("second election = %+v, want node 0 recovering node 2", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second crash never detected")
 	}
 }
 

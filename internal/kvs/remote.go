@@ -28,6 +28,16 @@ type Loc struct {
 // consults and fills the location cache, which turns repeat lookups into
 // zero-RDMA operations (Section 5.3).
 func (t *Table) LookupRemote(qp *rdma.QP, cache Cache, key uint64) (Loc, bool) {
+	loc, ok, err := t.LookupRemoteE(qp, cache, key)
+	if err != nil {
+		panic(err) // fault-free harness; fault-aware callers use LookupRemoteE
+	}
+	return loc, ok
+}
+
+// LookupRemoteE is LookupRemote for fault-aware callers: an injected verb
+// fault or a crashed host surfaces as the error instead of a panic.
+func (t *Table) LookupRemoteE(qp *rdma.QP, cache Cache, key uint64) (Loc, bool, error) {
 	idx := t.bucketOf(key)
 	off := t.MainBucketOffset(idx)
 	tag := mainTag(idx)
@@ -41,7 +51,9 @@ func (t *Table) LookupRemote(qp *rdma.QP, cache Cache, key uint64) (Loc, bool) {
 			}
 		}
 		if words == nil {
-			qp.Read(t.cfg.Node, t.cfg.RegionID, off, buf[:])
+			if err := qp.TryRead(t.cfg.Node, t.cfg.RegionID, off, buf[:]); err != nil {
+				return Loc{}, false, err
+			}
 			words = buf[:]
 			if cache != nil {
 				cache.put(tag, words)
@@ -54,19 +66,19 @@ func (t *Table) LookupRemote(qp *rdma.QP, cache Cache, key uint64) (Loc, bool) {
 			switch SlotType(w0) {
 			case TypeEntry:
 				if words[s*SlotWords+1] == key {
-					return Loc{Off: SlotOffset(w0), Lossy: SlotLossyInc(w0)}, true
+					return Loc{Off: SlotOffset(w0), Lossy: SlotLossyInc(w0)}, true, nil
 				}
 			case TypeHeader:
 				next = SlotOffset(w0)
 			}
 		}
 		if next == 0 {
-			return Loc{}, false
+			return Loc{}, false, nil
 		}
 		off = next
 		tag = indirTag(uint64(next))
 	}
-	return Loc{}, false
+	return Loc{}, false, nil
 }
 
 // maxChain bounds bucket-chain walks against corrupted links.
@@ -77,8 +89,19 @@ const maxChain = 64
 // reused since the location was cached — in which case the caller should
 // invalidate and re-look-up through the host structures.
 func (t *Table) ReadEntryRemote(qp *rdma.QP, key uint64, loc Loc) (Entry, bool) {
+	e, ok, err := t.ReadEntryRemoteE(qp, key, loc)
+	if err != nil {
+		panic(err)
+	}
+	return e, ok
+}
+
+// ReadEntryRemoteE is ReadEntryRemote with verb faults surfaced as errors.
+func (t *Table) ReadEntryRemoteE(qp *rdma.QP, key uint64, loc Loc) (Entry, bool, error) {
 	words := make([]uint64, EntryValueWord+t.cfg.ValueWords)
-	qp.Read(t.cfg.Node, t.cfg.RegionID, loc.Off, words)
+	if err := qp.TryRead(t.cfg.Node, t.cfg.RegionID, loc.Off, words); err != nil {
+		return Entry{}, false, err
+	}
 	e := Entry{
 		Key:         words[EntryKeyWord],
 		Incarnation: Incarnation(words[EntryIncVerWord]),
@@ -88,17 +111,29 @@ func (t *Table) ReadEntryRemote(qp *rdma.QP, key uint64, loc Loc) (Entry, bool) 
 	}
 	if !Live(e.Incarnation) || e.Key != key ||
 		uint64(e.Incarnation)&slotLossyMask != loc.Lossy {
-		return Entry{}, false
+		return Entry{}, false, nil
 	}
-	return e, true
+	return e, true, nil
 }
 
 // GetRemote is the full remote GET: locate (through the cache when given)
 // then read, with incarnation-check retry. It is the operation measured in
 // Figure 10(b)/(c).
 func (t *Table) GetRemote(qp *rdma.QP, cache Cache, key uint64) (Entry, bool) {
+	e, ok, err := t.GetRemoteE(qp, cache, key)
+	if err != nil {
+		panic(err)
+	}
+	return e, ok
+}
+
+// GetRemoteE is GetRemote with verb faults surfaced as errors.
+func (t *Table) GetRemoteE(qp *rdma.QP, cache Cache, key uint64) (Entry, bool, error) {
 	for attempt := 0; attempt < 3; attempt++ {
-		loc, ok := t.LookupRemote(qp, cache, key)
+		loc, ok, err := t.LookupRemoteE(qp, cache, key)
+		if err != nil {
+			return Entry{}, false, err
+		}
 		if !ok {
 			// A cached chain may be stale (e.g. the key moved into a new
 			// indirect bucket): drop it and retry uncached once.
@@ -107,17 +142,20 @@ func (t *Table) GetRemote(qp *rdma.QP, cache Cache, key uint64) (Entry, bool) {
 				cache = nil
 				continue
 			}
-			return Entry{}, false
+			return Entry{}, false, nil
 		}
-		e, ok := t.ReadEntryRemote(qp, key, loc)
+		e, ok, err := t.ReadEntryRemoteE(qp, key, loc)
+		if err != nil {
+			return Entry{}, false, err
+		}
 		if ok {
-			return e, true
+			return e, true, nil
 		}
 		if cache != nil {
 			cacheInvalidateChain(cache, t, key)
 		}
 	}
-	return Entry{}, false
+	return Entry{}, false, nil
 }
 
 // StateOffset returns the arena offset of the Figure 4 state word of the

@@ -73,6 +73,15 @@ const (
 	EvRecoveryRedo   // committed update re-applied from the write-ahead log
 	EvRecoveryUnlock // crashed owner's exclusive lock released
 
+	// Fault injection, failure detection and recovery-under-load.
+	EvVerbFault     // a verb failed (injected fault or unreachable node)
+	EvLockRetry     // a transient verb fault was retried within a transaction
+	EvBackoffNanos  // modeled nanoseconds spent in fault-retry backoff
+	EvNodeDownAbort // a transaction aborted with ErrNodeDown
+	EvDetect        // a survivor confirmed a node failure via lease expiry
+	EvRecoveryRun   // one Recover invocation that replayed at least one log set
+	EvRecoveryNanos // wall-clock nanoseconds spent inside Recover
+
 	NumEvents int = iota
 )
 
@@ -102,6 +111,13 @@ var eventNames = [NumEvents]string{
 	EvLogRecord:          "nvram.log_record",
 	EvRecoveryRedo:       "recovery.redo",
 	EvRecoveryUnlock:     "recovery.unlock",
+	EvVerbFault:          "fault.verb",
+	EvLockRetry:          "fault.retry",
+	EvBackoffNanos:       "fault.backoff_ns",
+	EvNodeDownAbort:      "tx.node_down",
+	EvDetect:             "fault.detect",
+	EvRecoveryRun:        "recovery.run",
+	EvRecoveryNanos:      "recovery.ns",
 }
 
 func (e Event) String() string {

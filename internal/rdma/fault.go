@@ -1,0 +1,102 @@
+package rdma
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// Fault-injection errors. Every error-returning verb fails with one of
+// these; the legacy panicking verbs exist only for fault-free harnesses.
+var (
+	// ErrNodeUnreachable reports a verb issued against a crashed (fail-stop)
+	// node. The condition is persistent until the node is revived, so the
+	// transaction layer treats it as "node down" rather than retrying.
+	ErrNodeUnreachable = errors.New("rdma: node unreachable")
+	// ErrTimeout reports a transient verb failure (lost completion, injected
+	// fault): retrying the same verb may succeed.
+	ErrTimeout = errors.New("rdma: verb timed out")
+	// ErrNoRegion reports a one-sided access to an unregistered region.
+	ErrNoRegion = errors.New("rdma: no such region")
+	// ErrNoHandler reports a two-sided call to a node with no verbs handler.
+	ErrNoHandler = errors.New("rdma: no verbs handler")
+)
+
+// FaultRule describes the behavior of one node or link under a FaultPlan.
+type FaultRule struct {
+	// FailProb is the probability (0..1) that a verb fails with ErrTimeout
+	// after charging the full modeled timeout.
+	FailProb float64
+	// ExtraNS is added latency charged to every verb that matches the rule
+	// (congestion, a slow switch hop), fault or not.
+	ExtraNS int64
+}
+
+// FaultPlan is a deterministic, seedable schedule of verb faults installed
+// on a Fabric. Rules are matched per destination node and per directed
+// (from, to) link; when both match, the link rule's probabilities and
+// latencies stack on top of the node rule's. The plan draws from a single
+// seeded RNG under a mutex, so a fixed seed plus a fixed verb interleaving
+// replays the same faults — the property `make chaos` depends on.
+type FaultPlan struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	node map[int]FaultRule
+	link map[[2]int]FaultRule
+}
+
+// NewFaultPlan creates an empty plan drawing from a RNG seeded with seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		rng:  rand.New(rand.NewSource(seed)),
+		node: make(map[int]FaultRule),
+		link: make(map[[2]int]FaultRule),
+	}
+}
+
+// NodeRule installs (or replaces) the rule applied to every verb whose
+// destination is node.
+func (p *FaultPlan) NodeRule(node int, r FaultRule) {
+	p.mu.Lock()
+	p.node[node] = r
+	p.mu.Unlock()
+}
+
+// LinkRule installs (or replaces) the rule for verbs issued by from
+// against to (directed).
+func (p *FaultPlan) LinkRule(from, to int, r FaultRule) {
+	p.mu.Lock()
+	p.link[[2]int{from, to}] = r
+	p.mu.Unlock()
+}
+
+// Clear removes all rules (the RNG keeps its state).
+func (p *FaultPlan) Clear() {
+	p.mu.Lock()
+	p.node = make(map[int]FaultRule)
+	p.link = make(map[[2]int]FaultRule)
+	p.mu.Unlock()
+}
+
+// draw evaluates the rules for a verb from -> to, returning extra latency
+// to charge and whether the verb must fail with ErrTimeout.
+func (p *FaultPlan) draw(from, to int) (extraNS int64, fail bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.node) == 0 && len(p.link) == 0 {
+		return 0, false
+	}
+	if r, ok := p.node[to]; ok {
+		extraNS += r.ExtraNS
+		if r.FailProb > 0 && p.rng.Float64() < r.FailProb {
+			fail = true
+		}
+	}
+	if r, ok := p.link[[2]int{from, to}]; ok {
+		extraNS += r.ExtraNS
+		if !fail && r.FailProb > 0 && p.rng.Float64() < r.FailProb {
+			fail = true
+		}
+	}
+	return extraNS, fail
+}

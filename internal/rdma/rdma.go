@@ -66,6 +66,7 @@ type Counters struct {
 	ReadBytes obs.Counter
 	WriteByts obs.Counter
 	Msgs      obs.Counter
+	Faults    obs.Counter
 }
 
 // Add folds src into c (used to aggregate per-QP counters).
@@ -77,6 +78,7 @@ func (c *Counters) Add(src *Counters) {
 	c.ReadBytes.Add(src.ReadBytes.Load())
 	c.WriteByts.Add(src.WriteByts.Load())
 	c.Msgs.Add(src.Msgs.Load())
+	c.Faults.Add(src.Faults.Load())
 }
 
 // Handler serves two-sided verbs requests on an endpoint.
@@ -86,7 +88,9 @@ type Handler func(from int, req any) any
 type Endpoint struct {
 	id      int
 	regions map[int]*memory.Arena
+	durable map[int]bool // regions that stay readable after a crash (NVRAM)
 	handler atomic.Pointer[Handler]
+	down    atomic.Bool
 }
 
 // Fabric connects the endpoints of a cluster.
@@ -94,6 +98,7 @@ type Fabric struct {
 	model     vtime.Model
 	atomicity AtomicityLevel
 	eps       []*Endpoint
+	plan      atomic.Pointer[FaultPlan]
 	Totals    Counters
 }
 
@@ -101,10 +106,30 @@ type Fabric struct {
 func NewFabric(n int, model vtime.Model, atomicity AtomicityLevel) *Fabric {
 	f := &Fabric{model: model, atomicity: atomicity}
 	for i := 0; i < n; i++ {
-		f.eps = append(f.eps, &Endpoint{id: i, regions: make(map[int]*memory.Arena)})
+		f.eps = append(f.eps, &Endpoint{
+			id:      i,
+			regions: make(map[int]*memory.Arena),
+			durable: make(map[int]bool),
+		})
 	}
 	return f
 }
+
+// SetFaultPlan installs (or, with nil, removes) the fabric's fault plan.
+func (f *Fabric) SetFaultPlan(p *FaultPlan) { f.plan.Store(p) }
+
+// Plan returns the installed fault plan, or nil.
+func (f *Fabric) Plan() *FaultPlan { return f.plan.Load() }
+
+// SetNodeDown marks a node's endpoint unreachable (fail-stop crash) or
+// reachable again. While down, every verb against the node fails with
+// ErrNodeUnreachable — except READs of regions registered durable, which
+// model battery-backed NVRAM that survivors drain during recovery (the
+// paper's flush-on-failure assumption, Section 4.6).
+func (f *Fabric) SetNodeDown(node int, down bool) { f.eps[node].down.Store(down) }
+
+// NodeDown reports whether the node's endpoint is marked unreachable.
+func (f *Fabric) NodeDown(node int) bool { return f.eps[node].down.Load() }
 
 // Model returns the fabric's cost model.
 func (f *Fabric) Model() *vtime.Model { return &f.model }
@@ -125,6 +150,14 @@ func (f *Fabric) Register(node, regionID int, a *memory.Arena) {
 	f.eps[node].regions[regionID] = a
 }
 
+// RegisterDurable registers an arena as an NVRAM-backed region: like
+// Register, but READs of the region keep succeeding while the node is down.
+// Must be called before traffic starts, like Register.
+func (f *Fabric) RegisterDurable(node, regionID int, a *memory.Arena) {
+	f.eps[node].regions[regionID] = a
+	f.eps[node].durable[regionID] = true
+}
+
 // Serve installs the two-sided verbs handler for a node.
 func (f *Fabric) Serve(node int, h Handler) {
 	f.eps[node].handler.Store(&h)
@@ -136,6 +169,14 @@ func (f *Fabric) region(node, regionID int) *memory.Arena {
 		panic(fmt.Sprintf("rdma: node %d has no region %d", node, regionID))
 	}
 	return a
+}
+
+func (f *Fabric) regionErr(node, regionID int) (*memory.Arena, error) {
+	a, ok := f.eps[node].regions[regionID]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d region %d", ErrNoRegion, node, regionID)
+	}
+	return a, nil
 }
 
 // QP is a queue pair: a worker-private handle for issuing verbs. Costs are
@@ -174,10 +215,68 @@ func (q *QP) charge(d int64) {
 // transactions with large local read sets.
 func netYield() { runtime.Gosched() }
 
-// Read performs a one-sided RDMA READ of len(dst) words from (node, region,
-// off) into dst. Per-cache-line consistency only, as on real hardware.
-func (q *QP) Read(node, region int, off memory.Offset, dst []uint64) {
-	a := q.fabric.region(node, region)
+// fault runs the fail-before-apply fault check for a verb targeting
+// (node, region): a verb that fails never reached the target, so it has no
+// side effect (the request, not the ack, is lost). A failing verb charges
+// the full modeled completion timeout to the issuing worker's clock. read
+// selects the NVRAM carve-out: READs of durable regions survive the target
+// being down.
+func (q *QP) fault(node, region int, read bool) error {
+	f := q.fabric
+	ep := f.eps[node]
+	if ep.down.Load() && !(read && ep.durable[region]) {
+		q.countFault()
+		q.charge(f.model.TimeoutNS)
+		netYield()
+		return ErrNodeUnreachable
+	}
+	// Fail-stop covers the source too: a crashed machine cannot issue
+	// verbs. In the simulator a crashed node's worker goroutines keep
+	// running; failing their verbs here keeps those zombies from mutating
+	// live nodes' memory behind recovery's back.
+	if src := f.eps[q.local]; src.down.Load() {
+		q.countFault()
+		q.charge(f.model.TimeoutNS)
+		netYield()
+		return ErrNodeUnreachable
+	}
+	if p := f.plan.Load(); p != nil {
+		extra, fail := p.draw(q.local, node)
+		if extra > 0 {
+			q.charge(extra)
+		}
+		if fail {
+			q.countFault()
+			q.charge(f.model.TimeoutNS)
+			netYield()
+			return ErrTimeout
+		}
+	}
+	return nil
+}
+
+func (q *QP) countFault() {
+	q.Stats.Faults.Add(1)
+	q.fabric.Totals.Faults.Add(1)
+	q.Obs.Inc(obs.EvVerbFault)
+}
+
+// probeRegion is the pseudo-region Probe targets; it is never durable, so a
+// probe of a down node always reports ErrNodeUnreachable.
+const probeRegion = -1
+
+// TryRead performs a one-sided RDMA READ of len(dst) words from (node,
+// region, off) into dst. Per-cache-line consistency only, as on real
+// hardware. Fails with ErrNodeUnreachable / ErrTimeout / ErrNoRegion; dst is
+// untouched on error.
+func (q *QP) TryRead(node, region int, off memory.Offset, dst []uint64) error {
+	if err := q.fault(node, region, true); err != nil {
+		return err
+	}
+	a, err := q.fabric.regionErr(node, region)
+	if err != nil {
+		return err
+	}
 	a.Read(dst, off)
 	n := int64(len(dst) * 8)
 	q.Stats.Reads.Add(1)
@@ -187,11 +286,18 @@ func (q *QP) Read(node, region int, off memory.Offset, dst []uint64) {
 	q.Obs.Inc(obs.EvRDMARead)
 	q.charge(int64(q.fabric.model.RDMARead(int(n))))
 	netYield()
+	return nil
 }
 
-// Write performs a one-sided RDMA WRITE of src to (node, region, off).
-func (q *QP) Write(node, region int, off memory.Offset, src []uint64) {
-	a := q.fabric.region(node, region)
+// TryWrite performs a one-sided RDMA WRITE of src to (node, region, off).
+func (q *QP) TryWrite(node, region int, off memory.Offset, src []uint64) error {
+	if err := q.fault(node, region, false); err != nil {
+		return err
+	}
+	a, err := q.fabric.regionErr(node, region)
+	if err != nil {
+		return err
+	}
 	a.Write(off, src)
 	n := int64(len(src) * 8)
 	q.Stats.Writes.Add(1)
@@ -201,30 +307,95 @@ func (q *QP) Write(node, region int, off memory.Offset, src []uint64) {
 	q.Obs.Inc(obs.EvRDMAWrite)
 	q.charge(int64(q.fabric.model.RDMAWrite(int(n))))
 	netYield()
+	return nil
 }
 
-// CAS performs a one-sided atomic compare-and-swap on a single word,
+// TryCAS performs a one-sided atomic compare-and-swap on a single word,
 // returning the prior value and whether the swap happened.
-func (q *QP) CAS(node, region int, off memory.Offset, old, new uint64) (uint64, bool) {
-	a := q.fabric.region(node, region)
+func (q *QP) TryCAS(node, region int, off memory.Offset, old, new uint64) (uint64, bool, error) {
+	if err := q.fault(node, region, false); err != nil {
+		return 0, false, err
+	}
+	a, err := q.fabric.regionErr(node, region)
+	if err != nil {
+		return 0, false, err
+	}
 	prev, ok := a.CAS(off, old, new)
 	q.Stats.CASes.Add(1)
 	q.fabric.Totals.CASes.Add(1)
 	q.Obs.Inc(obs.EvRDMACAS)
 	q.charge(q.fabric.model.RDMACASNS)
 	netYield()
-	return prev, ok
+	return prev, ok, nil
 }
 
-// FAA performs a one-sided atomic fetch-and-add, returning the prior value.
-func (q *QP) FAA(node, region int, off memory.Offset, delta uint64) uint64 {
-	a := q.fabric.region(node, region)
+// TryFAA performs a one-sided atomic fetch-and-add, returning the prior
+// value.
+func (q *QP) TryFAA(node, region int, off memory.Offset, delta uint64) (uint64, error) {
+	if err := q.fault(node, region, false); err != nil {
+		return 0, err
+	}
+	a, err := q.fabric.regionErr(node, region)
+	if err != nil {
+		return 0, err
+	}
 	prev := a.FAA(off, delta)
 	q.Stats.FAAs.Add(1)
 	q.fabric.Totals.FAAs.Add(1)
 	q.Obs.Inc(obs.EvRDMAFAA)
 	q.charge(q.fabric.model.RDMACASNS)
 	netYield()
+	return prev, nil
+}
+
+// Probe issues a minimal zero-byte READ against node to test reachability:
+// nil when the node answered, ErrNodeUnreachable when it is down, ErrTimeout
+// when the probe itself was lost (inconclusive — retry). The failure
+// detector uses it to confirm a suspected crash before electing a
+// recovery coordinator.
+func (q *QP) Probe(node int) error {
+	if err := q.fault(node, probeRegion, false); err != nil {
+		return err
+	}
+	q.Stats.Reads.Add(1)
+	q.fabric.Totals.Reads.Add(1)
+	q.Obs.Inc(obs.EvRDMARead)
+	q.charge(int64(q.fabric.model.RDMARead(0)))
+	netYield()
+	return nil
+}
+
+// Read is TryRead for fault-free harnesses (unit tests, closed-form
+// benchmarks): any verb failure panics. Production protocol paths use the
+// Try variants and handle the errors.
+func (q *QP) Read(node, region int, off memory.Offset, dst []uint64) {
+	if err := q.TryRead(node, region, off, dst); err != nil {
+		panic(fmt.Sprintf("rdma: READ node %d region %d: %v", node, region, err))
+	}
+}
+
+// Write is TryWrite with failures escalated to panics; see Read.
+func (q *QP) Write(node, region int, off memory.Offset, src []uint64) {
+	if err := q.TryWrite(node, region, off, src); err != nil {
+		panic(fmt.Sprintf("rdma: WRITE node %d region %d: %v", node, region, err))
+	}
+}
+
+// CAS is TryCAS with failures escalated to panics; see Read.
+func (q *QP) CAS(node, region int, off memory.Offset, old, new uint64) (uint64, bool) {
+	prev, ok, err := q.TryCAS(node, region, off, old, new)
+	if err != nil {
+		panic(fmt.Sprintf("rdma: CAS node %d region %d: %v", node, region, err))
+	}
+	return prev, ok
+}
+
+// FAA is TryFAA with failures escalated to panics; see Read.
+func (q *QP) FAA(node, region int, off memory.Offset, delta uint64) uint64 {
+	prev, err := q.TryFAA(node, region, off, delta)
+	if err != nil {
+		panic(fmt.Sprintf("rdma: FAA node %d region %d: %v", node, region, err))
+	}
 	return prev
 }
 
@@ -240,11 +411,15 @@ func (q *QP) LocalCAS(region int, off memory.Offset, old, new uint64) (uint64, b
 
 // Call sends a two-sided verbs request to node and waits for the reply,
 // charging one message cost each way. reqBytes/respBytes size the messages
-// for the cost model.
-func (q *QP) Call(node int, req any, reqBytes, respBytes int) any {
+// for the cost model. A missing handler or an unreachable/faulted node is
+// an error (a crashed node is a recoverable condition, not process death).
+func (q *QP) Call(node int, req any, reqBytes, respBytes int) (any, error) {
+	if err := q.fault(node, probeRegion, false); err != nil {
+		return nil, err
+	}
 	h := q.fabric.eps[node].handler.Load()
 	if h == nil {
-		panic(fmt.Sprintf("rdma: node %d has no verbs handler", node))
+		return nil, fmt.Errorf("%w: node %d", ErrNoHandler, node)
 	}
 	q.Stats.Msgs.Add(1)
 	q.fabric.Totals.Msgs.Add(1)
@@ -254,15 +429,18 @@ func (q *QP) Call(node int, req any, reqBytes, respBytes int) any {
 	resp := (*h)(q.local, req)
 	q.charge(int64(q.fabric.model.VerbsMsg(respBytes)))
 	netYield()
-	return resp
+	return resp, nil
 }
 
 // CallIPoIB is Call over the emulated IPoIB socket transport (used by the
 // Calvin baseline, which does not speak RDMA).
-func (q *QP) CallIPoIB(node int, req any, reqBytes, respBytes int) any {
+func (q *QP) CallIPoIB(node int, req any, reqBytes, respBytes int) (any, error) {
+	if err := q.fault(node, probeRegion, false); err != nil {
+		return nil, err
+	}
 	h := q.fabric.eps[node].handler.Load()
 	if h == nil {
-		panic(fmt.Sprintf("rdma: node %d has no verbs handler", node))
+		return nil, fmt.Errorf("%w: node %d", ErrNoHandler, node)
 	}
 	q.Stats.Msgs.Add(1)
 	q.fabric.Totals.Msgs.Add(1)
@@ -272,5 +450,5 @@ func (q *QP) CallIPoIB(node int, req any, reqBytes, respBytes int) any {
 	resp := (*h)(q.local, req)
 	q.charge(int64(q.fabric.model.IPoIBMsg(respBytes)))
 	netYield()
-	return resp
+	return resp, nil
 }

@@ -139,7 +139,10 @@ func TestVerbsCall(t *testing.T) {
 	})
 	var clk vtime.Clock
 	qp := f.NewQP(0, &clk)
-	got := qp.Call(1, 21, 8, 8)
+	got, err := qp.Call(1, 21, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.(int) != 42 {
 		t.Fatalf("Call = %v, want 42", got)
 	}
@@ -158,8 +161,12 @@ func TestIPoIBCostsDominateVerbs(t *testing.T) {
 	var v1, v2 vtime.Clock
 	qpA := f.NewQP(0, &v1)
 	qpB := f.NewQP(0, &v2)
-	qpA.Call(1, 0, 64, 64)
-	qpB.CallIPoIB(1, 0, 64, 64)
+	if _, err := qpA.Call(1, 0, 64, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpB.CallIPoIB(1, 0, 64, 64); err != nil {
+		t.Fatal(err)
+	}
 	if v2.Now() <= v1.Now()*5 {
 		t.Fatalf("IPoIB (%v) should be far slower than verbs (%v)", v2.Now(), v1.Now())
 	}

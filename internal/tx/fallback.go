@@ -84,7 +84,12 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		}
 	}
 	for _, r := range fb.recs {
-		fb.fetch(r)
+		if err := fb.fetch(r); err != nil {
+			fb.release(len(fb.recs), false)
+			t.finished = true
+			t.vLock += int64(t.e.w.VClock.Now()) - astart
+			return err
+		}
 	}
 	t.vLock += int64(t.e.w.VClock.Now()) - astart
 
@@ -148,20 +153,18 @@ func (fb *fallbackCtx) add(r *fbRec) {
 // cheap CPU CAS is only legal under IBV_ATOMIC_GLOB (Section 6.3) — under
 // HCA-level atomicity the local record must also be locked with RDMA CAS,
 // which is what costs the paper ~15% fallback throughput.
-func (fb *fallbackCtx) stateCAS(r *fbRec, old, new uint64) (uint64, bool) {
+func (fb *fallbackCtx) stateCAS(r *fbRec, old, new uint64) (uint64, bool, error) {
 	qp := fb.t.e.w.QP
 	local := r.node == fb.t.e.w.Node.ID
 	if local && fb.t.e.rt.C.Fabric.Atomicity() == rdma.AtomicGLOB {
-		return qp.LocalCAS(r.table, kvs.StateOffset(r.off), old, new)
+		cur, ok := qp.LocalCAS(r.table, kvs.StateOffset(r.off), old, new)
+		return cur, ok, nil
 	}
-	return qp.CAS(r.node, r.table, kvs.StateOffset(r.off), old, new)
+	return fb.t.casRemote(r.node, r.table, kvs.StateOffset(r.off), old, new)
 }
 
 func (fb *fallbackCtx) acquire(r *fbRec) error {
 	t := fb.t
-	if !t.e.rt.C.Node(r.node).Alive() {
-		return ErrNodeDown
-	}
 	// Resolve the entry offset.
 	meta := t.e.rt.Meta(r.table)
 	if r.node == t.e.w.Node.ID {
@@ -176,7 +179,10 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 		}
 	} else {
 		host := t.e.rt.C.Node(r.node).Unordered(r.table)
-		loc, ok := host.LookupRemote(t.e.w.QP, t.e.cacheFor(r.node, r.table), r.key)
+		loc, ok, err := host.LookupRemoteE(t.e.w.QP, t.e.cacheFor(r.node, r.table), r.key)
+		if err != nil {
+			return ErrNodeDown
+		}
 		if !ok {
 			return ErrNotFound
 		}
@@ -192,7 +198,10 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 	}
 	const casRetries = 8
 	for i := 0; i < casRetries; i++ {
-		cur, ok := fb.stateCAS(r, clock.Init, want)
+		cur, ok, err := fb.stateCAS(r, clock.Init, want)
+		if err != nil {
+			return ErrNodeDown
+		}
 		if ok {
 			if !r.write {
 				sh.Inc(obs.EvLeaseGrant)
@@ -217,7 +226,9 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 			t.lastAbort = obs.CauseRemote
 			return ErrRetry
 		}
-		if _, ok := fb.stateCAS(r, cur, want); ok {
+		if _, ok, err := fb.stateCAS(r, cur, want); err != nil {
+			return ErrNodeDown
+		} else if ok {
 			sh.Inc(obs.EvLeaseExpire) // took over an expired lease
 			if !r.write {
 				sh.Inc(obs.EvLeaseGrant)
@@ -232,7 +243,7 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 }
 
 // fetch loads the record's value and version into the private buffer.
-func (fb *fallbackCtx) fetch(r *fbRec) {
+func (fb *fallbackCtx) fetch(r *fbRec) error {
 	t := fb.t
 	vw := t.e.rt.Meta(r.table).ValueWords
 	r.buf = make([]uint64, vw)
@@ -241,12 +252,18 @@ func (fb *fallbackCtx) fetch(r *fbRec) {
 		arena.Read(r.buf, kvs.ValueOffset(r.off))
 		r.version = kvs.Version(arena.LoadWord(kvs.IncVerOffset(r.off)))
 		t.e.charge(int64(vw+1) * t.e.model().HTMPerReadNS)
-		return
+		return nil
 	}
 	words := make([]uint64, kvs.EntryValueWord+vw)
-	t.e.w.QP.Read(r.node, r.table, r.off, words)
+	err := t.e.verbRetry(func() error {
+		return t.e.w.QP.TryRead(r.node, r.table, r.off, words)
+	})
+	if err != nil {
+		return ErrNodeDown
+	}
 	copy(r.buf, words[kvs.EntryValueWord:])
 	r.version = kvs.Version(words[kvs.EntryIncVerWord])
+	return nil
 }
 
 func (fb *fallbackCtx) arenaOf(r *fbRec) *memory.Arena {
@@ -280,7 +297,6 @@ func (fb *fallbackCtx) write(table int, key uint64, val []uint64) error {
 // single-line entries, value-first then unlock for larger ones.
 func (fb *fallbackCtx) publish() {
 	t := fb.t
-	qp := t.e.w.QP
 	for _, r := range fb.recs {
 		if !r.write {
 			continue // leases expire on their own
@@ -288,7 +304,7 @@ func (fb *fallbackCtx) publish() {
 		arena := fb.arenaOf(r)
 		inc := kvs.Incarnation(arena.LoadWord(kvs.IncVerOffset(r.off)))
 		if !r.dirty {
-			qp.Write(r.node, r.table, kvs.StateOffset(r.off), []uint64{clock.Init})
+			t.e.mustUnlock(r.node, r.table, kvs.StateOffset(r.off))
 			continue
 		}
 		incverOff := kvs.IncVerOffset(r.off)
@@ -299,21 +315,20 @@ func (fb *fallbackCtx) publish() {
 			words[0] = newIncVer
 			words[1] = clock.Init
 			copy(words[2:], r.buf)
-			qp.Write(r.node, r.table, incverOff, words)
+			t.e.mustWrite(r.node, r.table, incverOff, words)
 		} else {
-			qp.Write(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
-			qp.Write(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
+			t.e.mustWrite(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
+			t.e.mustWrite(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
 		}
 	}
 }
 
 // release unlocks the first n acquired records without publishing (abort).
 func (fb *fallbackCtx) release(n int, _ bool) {
-	qp := fb.t.e.w.QP
 	for i := 0; i < n; i++ {
 		r := fb.recs[i]
 		if r.write {
-			qp.Write(r.node, r.table, kvs.StateOffset(r.off), []uint64{clock.Init})
+			fb.t.e.mustUnlock(r.node, r.table, kvs.StateOffset(r.off))
 		}
 	}
 }

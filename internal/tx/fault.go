@@ -1,0 +1,158 @@
+package tx
+
+import (
+	"errors"
+
+	"drtm/internal/clock"
+	"drtm/internal/memory"
+	"drtm/internal/obs"
+	"drtm/internal/rdma"
+)
+
+// Fault policy of the transaction layer (Section 4.6). Verbs can fail two
+// ways: a transient ErrTimeout (an injected fabric fault; a real NIC would
+// retransmit) or ErrNodeUnreachable (the target machine crashed).
+//
+//   - Acquisition-side verbs (lock CAS, lease CAS, lookup/prefetch READs)
+//     retry timeouts a bounded number of times with jittered exponential
+//     backoff charged to virtual time; an unreachable node — or an
+//     exhausted retry budget — aborts the transaction with ErrNodeDown
+//     after releasing every lock it holds.
+//
+//   - Release-side verbs (unlock, commit write-back, deferred store ops)
+//     run AFTER the transaction's serialization point, so they must never
+//     fail: timeouts retry without bound, and writes to an unreachable
+//     node are parked in the runtime's pending queue. Recovery (or the
+//     node's revival) drains the queue, so a committed transaction's
+//     effects are never lost — the invariant the chaos experiment checks.
+
+// verbRetries bounds acquisition-side retries of transient verb faults.
+const verbRetries = 6
+
+// faultBackoff charges one jittered exponential backoff step to virtual
+// time and records it, mirroring the sender-side retransmission delay of a
+// reliable-connection QP.
+func (e *Executor) faultBackoff(attempt int) {
+	sh := e.w.Obs
+	sh.Inc(obs.EvLockRetry)
+	maxNS := int64(1) << (uint(attempt) + 11) // 2us, 4us, ... 64us
+	ns := e.rng.Int63n(maxNS) + 1
+	e.charge(ns)
+	sh.Add(obs.EvBackoffNanos, ns)
+}
+
+// verbRetry runs an acquisition-side verb, retrying transient timeouts.
+// The returned error is nil, ErrNodeUnreachable, or ErrTimeout (budget
+// exhausted); callers map both failures to ErrNodeDown via nodeDown.
+func (e *Executor) verbRetry(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !errors.Is(err, rdma.ErrTimeout) || attempt >= verbRetries {
+			return err
+		}
+		e.faultBackoff(attempt)
+	}
+}
+
+// mustWrite is the release-side WRITE: it retries timeouts without bound
+// and parks the write in the pending queue when the target is unreachable.
+//
+// When the ISSUING node is the one that crashed (the verb fails because a
+// dead machine cannot send), the write is dropped instead: the transaction's
+// WAL record — which logs dirty remote records too — is the durable source
+// of truth, and recovery redoes the write-back. Applying it here would race
+// recovery's unlock and could clobber a survivor's freshly taken lock.
+func (e *Executor) mustWrite(node, table int, off memory.Offset, words []uint64) {
+	for attempt := 0; ; attempt++ {
+		err := e.w.QP.TryWrite(node, table, off, words)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, rdma.ErrNodeUnreachable) {
+			if e.zombie() {
+				return
+			}
+			e.rt.defer_(node, func(rt *Runtime) {
+				rt.arenaOf(node, table).Write(off, words)
+			})
+			return
+		}
+		e.faultBackoff(attempt)
+	}
+}
+
+// mustUnlock releases one exclusive lock with an owner-guarded CAS
+// (WLocked(self) -> Init) rather than a blind WRITE: if recovery already
+// freed the lock and a survivor re-locked the record, a late unlock from
+// this (possibly zombie) transaction must not clobber the new owner. A
+// failed compare means the lock is already gone — done either way.
+func (e *Executor) mustUnlock(node, table int, off memory.Offset) {
+	locked := clock.WLocked(uint8(e.w.Node.ID))
+	for attempt := 0; ; attempt++ {
+		_, _, err := e.w.QP.TryCAS(node, table, off, locked, clock.Init)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, rdma.ErrNodeUnreachable) {
+			e.rt.defer_(node, func(rt *Runtime) {
+				rt.arenaOf(node, table).CAS(off, locked, clock.Init)
+			})
+			return
+		}
+		e.faultBackoff(attempt)
+	}
+}
+
+// zombie reports whether this worker's own machine is currently marked
+// crashed — its goroutine keeps running in the simulator, but under
+// fail-stop semantics its volatile effects must not reach live memory.
+func (e *Executor) zombie() bool {
+	return e.rt.C.Fabric.NodeDown(e.w.Node.ID)
+}
+
+// defer_ parks an apply step until node is recovered or revived. If the
+// node already came back between the failed verb and the enqueue, the
+// queue drains immediately so the step is not stranded.
+func (rt *Runtime) defer_(node int, apply func(*Runtime)) {
+	rt.pendMu.Lock()
+	if rt.pending == nil {
+		rt.pending = make(map[int][]func(*Runtime))
+	}
+	rt.pending[node] = append(rt.pending[node], apply)
+	rt.pendMu.Unlock()
+	if !rt.C.Fabric.NodeDown(node) {
+		rt.FlushPending(node)
+	}
+}
+
+// FlushPending applies the release-side steps parked while node was
+// unreachable. It runs against the node's (NVRAM-backed) memory directly,
+// the way recovery does; callers invoke it from Recover and after Revive.
+func (rt *Runtime) FlushPending(node int) int {
+	rt.pendMu.Lock()
+	ops := rt.pending[node]
+	delete(rt.pending, node)
+	rt.pendMu.Unlock()
+	for _, op := range ops {
+		op(rt)
+	}
+	return len(ops)
+}
+
+// PendingOps reports how many release-side steps are parked for node.
+func (rt *Runtime) PendingOps(node int) int {
+	rt.pendMu.Lock()
+	defer rt.pendMu.Unlock()
+	return len(rt.pending[node])
+}
+
+// EnableAutoRecovery wires the cluster's failure detector to the
+// transaction layer: the elected coordinator replays the crashed node's
+// NVRAM logs, drains deferred writes, and brings the node back online.
+func (rt *Runtime) EnableAutoRecovery() {
+	rt.C.OnDeath(func(coordinator, crashed int) {
+		rt.Recover(crashed)
+		rt.C.Revive(crashed)
+		rt.FlushPending(crashed) // anything parked between Recover and Revive
+	})
+}

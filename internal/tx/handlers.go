@@ -1,9 +1,11 @@
 package tx
 
 import (
+	"errors"
 	"fmt"
 
 	"drtm/internal/cluster"
+	"drtm/internal/rdma"
 )
 
 // Verbs message types used by the transaction layer.
@@ -73,8 +75,25 @@ func (e *Executor) applyStoreOp(op deferredOp) {
 		return
 	}
 	sz := (3 + len(op.val)) * 8
-	resp := e.w.QP.Call(node, cluster.Msg{Type: msgStoreOp, Body: m}, sz, 8)
-	if err, _ := resp.(error); err != nil {
-		panic(fmt.Sprintf("tx: shipped store op failed: %v", err))
+	for attempt := 0; ; attempt++ {
+		resp, err := e.w.QP.Call(node, cluster.Msg{Type: msgStoreOp, Body: m}, sz, 8)
+		if err == nil {
+			if herr, _ := resp.(error); herr != nil {
+				// Duplicate keys indicate a workload bug; surface loudly.
+				panic(fmt.Sprintf("tx: shipped store op failed: %v", herr))
+			}
+			return
+		}
+		if errors.Is(err, rdma.ErrNodeUnreachable) {
+			// Post-commit effect on a crashed host: park it for recovery,
+			// like a deferred write-back (fault.go).
+			e.rt.defer_(node, func(rt *Runtime) {
+				if aerr := rt.execStoreOp(rt.C.Node(node), m); aerr != nil {
+					panic(fmt.Sprintf("tx: recovered store op failed: %v", aerr))
+				}
+			})
+			return
+		}
+		e.faultBackoff(attempt)
 	}
 }

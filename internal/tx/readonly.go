@@ -1,6 +1,8 @@
 package tx
 
 import (
+	"errors"
+
 	"drtm/internal/clock"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
@@ -43,6 +45,9 @@ func (e *Executor) ExecRO(build func(ro *RO) error) error {
 			return nil
 		}
 		if err != nil && err != ErrRetry {
+			if errors.Is(err, ErrNodeDown) {
+				e.w.Obs.Inc(obs.EvNodeDownAbort)
+			}
 			return err
 		}
 		e.w.Obs.Inc(obs.EvRORetry)
@@ -74,43 +79,57 @@ func (ro *RO) confirm() bool {
 // caveat of Section 6.3 concerns the fallback handler, which does pay the
 // RDMA CAS price under HCA-level atomics (see fallback.go and the
 // ablate-atomics experiment).
-func (ro *RO) stateCAS(node, table int, off memory.Offset, old, new uint64) (uint64, bool) {
+func (ro *RO) stateCAS(node, table int, off memory.Offset, old, new uint64) (uint64, bool, error) {
 	qp := ro.e.w.QP
 	if node == ro.e.w.Node.ID {
-		return qp.LocalCAS(table, kvs.StateOffset(off), old, new)
+		cur, ok := qp.LocalCAS(table, kvs.StateOffset(off), old, new)
+		return cur, ok, nil
 	}
-	return qp.CAS(node, table, kvs.StateOffset(off), old, new)
+	var cur uint64
+	var ok bool
+	err := ro.e.verbRetry(func() error {
+		var e error
+		cur, ok, e = qp.TryCAS(node, table, kvs.StateOffset(off), old, new)
+		return e
+	})
+	return cur, ok, err
 }
 
 // lease acquires a shared lease on the record at off, sharing an existing
-// unexpired lease when present.
-func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool) {
+// unexpired lease when present. The error is ErrNodeDown when the host is
+// crashed or persistently unreachable.
+func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool, error) {
 	delta := ro.e.rt.C.Delta()
 	sh := ro.e.w.Obs
 	const casRetries = 8
 	for i := 0; i < casRetries; i++ {
-		cur, ok := ro.stateCAS(node, table, off, clock.Init, clock.Shared(ro.end))
+		cur, ok, err := ro.stateCAS(node, table, off, clock.Init, clock.Shared(ro.end))
+		if err != nil {
+			return 0, false, ErrNodeDown
+		}
 		if ok {
 			sh.Inc(obs.EvLeaseGrant)
-			return ro.end, true
+			return ro.end, true, nil
 		}
 		if clock.IsWriteLocked(cur) {
 			sh.Inc(obs.EvRemoteLockConflict)
-			return 0, false
+			return 0, false, nil
 		}
 		end := clock.LeaseEnd(cur)
 		if !clock.Expired(end, ro.e.w.Node.Clock.Read(), delta) {
 			sh.Inc(obs.EvLeaseShare)
-			return end, true
+			return end, true, nil
 		}
-		if _, ok := ro.stateCAS(node, table, off, cur, clock.Shared(ro.end)); ok {
+		if _, ok, err := ro.stateCAS(node, table, off, cur, clock.Shared(ro.end)); err != nil {
+			return 0, false, ErrNodeDown
+		} else if ok {
 			sh.Inc(obs.EvLeaseExpire)
 			sh.Inc(obs.EvLeaseGrant)
-			return ro.end, true
+			return ro.end, true, nil
 		}
 	}
 	sh.Inc(obs.EvRemoteLockConflict)
-	return 0, false
+	return 0, false, nil
 }
 
 // Read leases and fetches a record by key.
@@ -122,9 +141,6 @@ func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 	node := ro.e.rt.Part(table, key)
 	if node < 0 { // replicated table: always local
 		node = ro.e.w.Node.ID
-	}
-	if !ro.e.rt.C.Node(node).Alive() {
-		return nil, ErrNodeDown
 	}
 	meta := ro.e.rt.Meta(table)
 
@@ -143,8 +159,11 @@ func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 			return nil, ErrNotFound // remote ordered reads are shipped at workload level
 		}
 		host := ro.e.rt.C.Node(node).Unordered(table)
-		var loc kvs.Loc
-		loc, ok = host.LookupRemote(ro.e.w.QP, ro.e.cacheFor(node, table), key)
+		loc, lok, err := host.LookupRemoteE(ro.e.w.QP, ro.e.cacheFor(node, table), key)
+		if err != nil {
+			return nil, ErrNodeDown
+		}
+		ok = lok
 		off = loc.Off
 	}
 	if !ok {
@@ -159,7 +178,10 @@ func (ro *RO) ReadAtLocal(table int, off memory.Offset) ([]uint64, error) {
 }
 
 func (ro *RO) readAt(node, table int, key uint64, off memory.Offset) ([]uint64, error) {
-	end, ok := ro.lease(node, table, off)
+	end, ok, err := ro.lease(node, table, off)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, ErrRetry
 	}
@@ -169,7 +191,12 @@ func (ro *RO) readAt(node, table int, key uint64, off memory.Offset) ([]uint64, 
 		ro.arenaOf(node, table).Read(buf, kvs.ValueOffset(off))
 		ro.e.charge(int64(vw+1) * ro.e.model().HTMPerReadNS)
 	} else {
-		ro.e.w.QP.Read(node, table, kvs.ValueOffset(off), buf)
+		rerr := ro.e.verbRetry(func() error {
+			return ro.e.w.QP.TryRead(node, table, kvs.ValueOffset(off), buf)
+		})
+		if rerr != nil {
+			return nil, ErrNodeDown
+		}
 	}
 	r := &roRec{table: table, node: node, key: key, off: off, buf: buf, leaseEnd: end}
 	if key != ^uint64(0) {

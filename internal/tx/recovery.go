@@ -1,6 +1,8 @@
 package tx
 
 import (
+	"time"
+
 	"drtm/internal/clock"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
@@ -37,14 +39,27 @@ type RecoveryReport struct {
 //     the owner-ID bits of the state word.
 //
 // Recover is driven by a surviving node (or the rebooted machine itself);
-// the flush-on-failure model guarantees the logs are intact.
+// the flush-on-failure model guarantees the logs are intact. It is
+// idempotent — logs are truncated after replay, so a second invocation
+// (e.g. two coordinators racing across incarnations) finds nothing to do —
+// and safe under live traffic: redo is version-guarded and unlock is
+// owner-guarded, so survivors' in-flight transactions are never clobbered.
 func (rt *Runtime) Recover(crashed int) RecoveryReport {
+	rt.recMu.Lock()
+	defer rt.recMu.Unlock()
+	start := time.Now()
 	var rep RecoveryReport
+	sawEntries := false
 	n := rt.C.Node(crashed)
 	for w := 0; w < rt.C.Config().WorkersPerNode; w++ {
 		wk := rt.C.Worker(crashed, w)
 		if wk.WriteAheadLog == nil {
 			continue
+		}
+
+		if wk.WriteAheadLog.Len() > 0 || wk.LockAheadLog.Len() > 0 ||
+			wk.ChoppingLog.Len() > 0 {
+			sawEntries = true
 		}
 
 		committed := make(map[uint64]bool)
@@ -93,6 +108,18 @@ func (rt *Runtime) Recover(crashed int) RecoveryReport {
 		wk.ChoppingLog.Truncate()
 	}
 	_ = n
+
+	// Complete what survivors could not: release-side writes and store ops
+	// that were parked while the node was unreachable (fault.go).
+	if rt.FlushPending(crashed) > 0 {
+		sawEntries = true
+	}
+
+	sh := rt.C.Obs.Shard(0)
+	if sawEntries {
+		sh.Inc(obs.EvRecoveryRun)
+	}
+	sh.Add(obs.EvRecoveryNanos, time.Since(start).Nanoseconds())
 	return rep
 }
 

@@ -152,6 +152,49 @@ func TestRecoveryRedoesCommitted(t *testing.T) {
 	}
 }
 
+// TestRecoveryIdempotent: a second Recover of the same crash is a no-op —
+// the logs were truncated by the first run, so nothing is redone, nothing
+// unlocked, nothing pending. Recovery can safely run again (a second
+// coordinator, a retried OnDeath handler) without double-applying updates.
+func TestRecoveryIdempotent(t *testing.T) {
+	rt, stop := durableRig(t, 2, 1, 4)
+	defer stop()
+	// One uncommitted lock plus one committed-but-unapplied WAL record:
+	// both Figure 7 paths have work to do on the first pass.
+	e1 := rt.Executor(1, 0)
+	tx := e1.newTx()
+	if err := tx.stageRemote(tblAccounts, 2, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	tx.logAheadOfRegion()
+	host := rt.C.Node(0).Unordered(tblAccounts)
+	off, _ := host.LookupLocal(2)
+	w := rt.C.Worker(1, 0)
+	w.WriteAheadLog.Append([]uint64{tx.txid, 1,
+		0, tblAccounts, uint64(off), 1, 2, 777, 9})
+
+	rt.C.Crash(1)
+	first := rt.Recover(1)
+	if first.RedoneTxns != 1 || first.RedoneRecords != 1 {
+		t.Fatalf("first recovery redo = %d txns / %d recs, want 1/1",
+			first.RedoneTxns, first.RedoneRecords)
+	}
+
+	second := rt.Recover(1)
+	if second.RedoneTxns != 0 || second.RedoneRecords != 0 ||
+		second.SkippedRecords != 0 || second.Unlocked != 0 ||
+		len(second.PendingPieces) != 0 {
+		t.Fatalf("second recovery not a zero-delta no-op: %+v", second)
+	}
+	if got := host.Arena().LoadWord(off + 2); got != clock.Init {
+		t.Fatalf("record locked after double recovery: %x", got)
+	}
+	v, _ := host.Get(2)
+	if v[0] != 777 || v[1] != 9 {
+		t.Fatalf("double recovery corrupted the redone value: %v", v)
+	}
+}
+
 // TestRecoverySkipsStaleVersions: a logged update older than the record's
 // current version is not applied (update ordering by version, Section 4.6).
 func TestRecoverySkipsStaleVersions(t *testing.T) {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"drtm/internal/cluster"
@@ -154,6 +155,13 @@ type Runtime struct {
 	NoReadLease bool
 
 	Stats Stats
+
+	// pending parks release-side steps (unlocks, commit write-backs,
+	// deferred store ops) whose target node crashed mid-transaction; see
+	// fault.go. recMu serializes Recover against itself and the drain.
+	pendMu  sync.Mutex
+	pending map[int][]func(*Runtime)
+	recMu   sync.Mutex
 }
 
 // Errors.
@@ -330,6 +338,9 @@ func (e *Executor) Exec(build func(t *Tx) error) error {
 			sh.Inc(obs.EvTxRetry)
 			e.backoff(attempt)
 		default:
+			if errors.Is(err, ErrNodeDown) {
+				sh.Inc(obs.EvNodeDownAbort)
+			}
 			if sh.TraceEnabled() {
 				cause := lastAbort
 				if errors.Is(err, ErrUserAbort) {

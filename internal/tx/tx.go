@@ -176,17 +176,16 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 		}
 		return nil
 	}
-	if !t.e.rt.C.Node(node).Alive() {
-		t.releaseLocks()
-		return ErrNodeDown
-	}
 	meta := t.e.rt.Meta(table)
 	if meta.Kind == Ordered {
 		return fmt.Errorf("tx: remote access to ordered table %d must be shipped (Section 6.5)", table)
 	}
 
 	host := t.e.rt.C.Node(node).Unordered(table)
-	loc, ok := host.LookupRemote(t.e.w.QP, t.e.cacheFor(node, table), key)
+	loc, ok, lerr := host.LookupRemoteE(t.e.w.QP, t.e.cacheFor(node, table), key)
+	if lerr != nil {
+		return t.nodeDown()
+	}
 	if !ok {
 		t.releaseLocks()
 		return ErrNotFound
@@ -200,8 +199,11 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 	acquired := false
 	if write {
 		for i := 0; i < casRetries && !acquired; i++ {
-			cur, ok := t.e.w.QP.CAS(node, table, stateOff, clock.Init,
+			cur, ok, err := t.casRemote(node, table, stateOff, clock.Init,
 				clock.WLocked(uint8(t.e.w.Node.ID)))
+			if err != nil {
+				return t.nodeDown()
+			}
 			if ok {
 				acquired = true
 				break
@@ -213,16 +215,21 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 			if !clock.Expired(clock.LeaseEnd(cur), t.e.w.Node.Clock.Read(), delta) {
 				return t.remoteConflict()
 			}
-			if _, ok := t.e.w.QP.CAS(node, table, stateOff, cur,
-				clock.WLocked(uint8(t.e.w.Node.ID))); ok {
+			if _, ok, err := t.casRemote(node, table, stateOff, cur,
+				clock.WLocked(uint8(t.e.w.Node.ID))); err != nil {
+				return t.nodeDown()
+			} else if ok {
 				sh.Inc(obs.EvLeaseExpire) // took over an expired lease
 				acquired = true
 			}
 		}
 	} else {
 		for i := 0; i < casRetries && !acquired; i++ {
-			cur, ok := t.e.w.QP.CAS(node, table, stateOff, clock.Init,
+			cur, ok, err := t.casRemote(node, table, stateOff, clock.Init,
 				clock.Shared(t.leaseEnd))
+			if err != nil {
+				return t.nodeDown()
+			}
 			if ok {
 				sh.Inc(obs.EvLeaseGrant)
 				r.leaseEnd = t.leaseEnd
@@ -241,8 +248,10 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 				acquired = true
 				break
 			}
-			if _, ok := t.e.w.QP.CAS(node, table, stateOff, cur,
-				clock.Shared(t.leaseEnd)); ok {
+			if _, ok, err := t.casRemote(node, table, stateOff, cur,
+				clock.Shared(t.leaseEnd)); err != nil {
+				return t.nodeDown()
+			} else if ok {
 				sh.Inc(obs.EvLeaseExpire)
 				sh.Inc(obs.EvLeaseGrant)
 				r.leaseEnd = t.leaseEnd
@@ -255,7 +264,13 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 	}
 
 	// Prefetch the record into the transaction-private buffer.
-	e, ok := host.ReadEntryRemote(t.e.w.QP, key, loc)
+	e, ok, rerr := host.ReadEntryRemoteE(t.e.w.QP, key, loc)
+	if rerr != nil {
+		if write {
+			t.unlockRemote(r)
+		}
+		return t.nodeDown()
+	}
 	if !ok {
 		// Stale location (deleted/reused entry): drop cache and retry txn.
 		if c := t.e.cacheFor(node, table); c != nil {
@@ -273,6 +288,27 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 	return nil
 }
 
+// casRemote is the acquisition-side CAS: transient faults retry with
+// backoff; a persistent failure surfaces as an error (see fault.go).
+func (t *Tx) casRemote(node, table int, off memory.Offset, old, new uint64) (uint64, bool, error) {
+	var cur uint64
+	var ok bool
+	err := t.e.verbRetry(func() error {
+		var e error
+		cur, ok, e = t.e.w.QP.TryCAS(node, table, off, old, new)
+		return e
+	})
+	return cur, ok, err
+}
+
+// nodeDown aborts the transaction because a node it touched is crashed or
+// persistently unreachable: every held lock is released (or parked for the
+// dead node) and the caller sees ErrNodeDown, which Exec does not retry.
+func (t *Tx) nodeDown() error {
+	t.releaseLocks()
+	return ErrNodeDown
+}
+
 // fail releases held locks and asks the caller to retry the transaction.
 func (t *Tx) fail() error {
 	t.releaseLocks()
@@ -287,9 +323,10 @@ func (t *Tx) remoteConflict() error {
 	return t.fail()
 }
 
-// unlockRemote releases one exclusive lock with a one-sided WRITE of INIT.
+// unlockRemote releases one exclusive lock with a one-sided owner-guarded
+// CAS. Release-side: never fails — parked for recovery if the host is down.
 func (t *Tx) unlockRemote(r *remoteRec) {
-	t.e.w.QP.Write(r.node, r.table, kvs.StateOffset(r.off), []uint64{clock.Init})
+	t.e.mustUnlock(r.node, r.table, kvs.StateOffset(r.off))
 }
 
 // releaseLocks releases every exclusive lock held by this transaction
@@ -471,10 +508,10 @@ func (t *Tx) commitRemotes() {
 			words[0] = newIncVer
 			words[1] = clock.Init
 			copy(words[2:], r.buf)
-			t.e.w.QP.Write(r.node, r.table, incverOff, words)
+			t.e.mustWrite(r.node, r.table, incverOff, words)
 		} else {
-			t.e.w.QP.Write(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
-			t.e.w.QP.Write(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
+			t.e.mustWrite(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
+			t.e.mustWrite(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
 		}
 	}
 	t.remotes = nil

@@ -79,6 +79,12 @@ type Model struct {
 	NVRAMAppendBaseNS    int64
 	NVRAMAppendPerByteNS float64
 
+	// TimeoutNS is the modeled cost of a verb that fails (lost completion,
+	// unreachable target): the issuing worker's virtual clock is charged a
+	// full local timeout before the error surfaces, as a real QP would spin
+	// on the completion queue until its timeout fires.
+	TimeoutNS int64
+
 	// Server-side NIC capacity (used by closed-form saturation analysis in
 	// the KV experiments, Figure 10): small-op rate cap and wire bandwidth.
 	// Calibrated to Figure 10(a): ~26.3 Mops small READs, ~7 GB/s.
@@ -115,6 +121,8 @@ func DefaultModel() Model {
 
 		NVRAMAppendBaseNS:    180,
 		NVRAMAppendPerByteNS: 0.12,
+
+		TimeoutNS: 1_000_000, // 1 ms QP completion timeout
 
 		NICOpCapPerSec:  27e6,
 		NICBandwidthBps: 7e9,
