@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench chaos
+.PHONY: check build vet test race bench bench-baseline batch chaos
 
-check: build vet race chaos
+check: build vet race batch chaos
 
 build:
 	go build ./...
@@ -21,6 +21,15 @@ chaos:
 	go run ./cmd/drtm-bench -exp chaos -quick
 	go test -race -run TestChaosSmallBankConservation .
 
+# Doorbell-batching gate: the async verb engine must keep its win over the
+# serial window=1 control arm (see internal/bench/batchexp.go).
+batch:
+	go run ./cmd/drtm-bench -exp batch -quick
+
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:
 	go run ./cmd/drtm-bench -exp all
+
+# Regenerate the committed batching baseline at full scale, fixed seed.
+bench-baseline:
+	go run ./cmd/drtm-bench -exp batch -seed 42 -json BENCH_baseline.json

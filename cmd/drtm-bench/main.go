@@ -5,8 +5,10 @@
 //
 //	drtm-bench -list                 # list experiment IDs
 //	drtm-bench -exp fig12            # run one experiment
+//	drtm-bench -exp fig12,batch      # run several
 //	drtm-bench -exp all              # run everything
 //	drtm-bench -exp table4 -quick    # smoke-scale run
+//	drtm-bench -exp batch -json out.json
 //
 // Reported throughput and latency come from the calibrated virtual-time
 // cost model (see DESIGN.md): correctness phenomena (conflicts, aborts,
@@ -15,9 +17,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"drtm/internal/bench"
@@ -25,10 +29,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run, or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "run at smoke-test scale")
-		seed  = flag.Int64("seed", 42, "workload seed")
+		exp      = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		quick    = flag.Bool("quick", false, "run at smoke-test scale")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		jsonPath = flag.String("json", "", "also write results as JSON to this path")
 	)
 	flag.Parse()
 
@@ -38,29 +43,55 @@ func main() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
 		}
 		if *exp == "" {
-			fmt.Println("\nrun with -exp <id> or -exp all")
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
 		}
 		return
 	}
 
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
 	opts := bench.Options{Quick: *quick, Seed: *seed}
-	run := func(e bench.Experiment) {
+	var results []*bench.Result
+	for _, e := range todo {
 		start := time.Now()
 		res := e.Run(opts)
 		res.Print(os.Stdout)
 		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		results = append(results, res)
 	}
 
-	if *exp == "all" {
-		for _, e := range bench.Experiments() {
-			run(e)
+	if *jsonPath != "" {
+		out := struct {
+			Seed    int64           `json:"seed"`
+			Quick   bool            `json:"quick"`
+			Results []*bench.Result `json:"results"`
+		}{Seed: *seed, Quick: *quick, Results: results}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
 		}
-		return
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
-	e, ok := bench.Lookup(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-		os.Exit(1)
-	}
-	run(e)
 }

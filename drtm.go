@@ -75,6 +75,9 @@ type (
 	PartitionFunc = tx.Partitioner
 	// RecoveryReport summarizes crash recovery.
 	RecoveryReport = tx.RecoveryReport
+	// Access declares one record of a transaction's read/write set for
+	// Tx.Stage, which batches the whole set through the async verb engine.
+	Access = tx.Access
 )
 
 // Common errors, re-exported.
@@ -128,6 +131,12 @@ type Options struct {
 	// FaultSeed seeds the fabric's fault-injection RNG, making a chaos
 	// run's verb-level fault sequence reproducible. Zero means seed 1.
 	FaultSeed int64
+
+	// BatchWindow bounds outstanding work requests per worker in the async
+	// verb engine's batched Start/Commit pipelines. 0 selects the default
+	// window (16); 1 serializes every verb, reproducing the pre-batching
+	// round-trip-per-op behavior.
+	BatchWindow int
 }
 
 // maxLeaseMicros bounds lease durations: the state word encodes lease end
@@ -185,6 +194,9 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.FaultSeed == 0 {
 		o.FaultSeed = 1
+	}
+	if o.BatchWindow < 0 {
+		return o, fmt.Errorf("drtm: Options.BatchWindow must be >= 0, got %d", o.BatchWindow)
 	}
 	return o, nil
 }
@@ -244,6 +256,7 @@ func Open(o Options, part PartitionFunc) (*DB, error) {
 	}
 	c := cluster.New(cfg)
 	db := &DB{C: c, RT: tx.NewRuntime(c, part), faults: rdma.NewFaultPlan(o.FaultSeed)}
+	db.RT.BatchWindow = o.BatchWindow
 	c.Fabric.SetFaultPlan(db.faults)
 	if o.FailureDetection {
 		db.RT.EnableAutoRecovery()
@@ -403,13 +416,15 @@ type Stats struct {
 	LeaseExpiries       int64 // expired leases observed and taken over/cleared
 	LeaseFails          int64 // legacy aggregate: LeaseAborts + LeaseConfirmFails
 	RemoteLockConflicts int64 // lock/lease acquisitions lost to a conflicting holder
+	LockUpgrades        int64 // shared leases upgraded in place to exclusive locks
 
 	// One-sided RDMA and messaging verbs (Section 7.1).
-	RDMAReads  int64
-	RDMAWrites int64
-	RDMACASes  int64
-	RDMAFAAs   int64
-	VerbsMsgs  int64
+	RDMAReads   int64
+	RDMAWrites  int64
+	RDMACASes   int64
+	RDMAFAAs    int64
+	VerbsMsgs   int64
+	RDMABatches int64 // doorbell batches polled by the async verb engine
 
 	// Durability and recovery (Section 4.6 / Figure 7).
 	LogRecords      int64
@@ -459,12 +474,14 @@ func newStats(sn obs.Snapshot) Stats {
 		LeaseConfirmFails:   c(obs.EvLeaseConfirmFail),
 		LeaseExpiries:       c(obs.EvLeaseExpire),
 		RemoteLockConflicts: c(obs.EvRemoteLockConflict),
+		LockUpgrades:        c(obs.EvLockUpgrade),
 
-		RDMAReads:  c(obs.EvRDMARead),
-		RDMAWrites: c(obs.EvRDMAWrite),
-		RDMACASes:  c(obs.EvRDMACAS),
-		RDMAFAAs:   c(obs.EvRDMAFAA),
-		VerbsMsgs:  c(obs.EvVerbsMsg),
+		RDMAReads:   c(obs.EvRDMARead),
+		RDMAWrites:  c(obs.EvRDMAWrite),
+		RDMACASes:   c(obs.EvRDMACAS),
+		RDMAFAAs:    c(obs.EvRDMAFAA),
+		VerbsMsgs:   c(obs.EvVerbsMsg),
+		RDMABatches: c(obs.EvRDMABatch),
 
 		LogRecords:      c(obs.EvLogRecord),
 		RecoveryRedos:   c(obs.EvRecoveryRedo),
@@ -511,11 +528,11 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "htm:     commits=%d aborts=%d (conflict=%d capacity=%d locked=%d lease=%d explicit=%d)\n",
 		s.HTMCommits, s.HTMAborts, s.ConflictAborts, s.CapacityAborts,
 		s.LockedAborts, s.LeaseAborts, s.ExplicitAborts)
-	fmt.Fprintf(&b, "lease:   grants=%d shares=%d confirms=%d confirm-fails=%d expiries=%d lock-conflicts=%d\n",
+	fmt.Fprintf(&b, "lease:   grants=%d shares=%d confirms=%d confirm-fails=%d expiries=%d lock-conflicts=%d upgrades=%d\n",
 		s.LeaseGrants, s.LeaseShares, s.LeaseConfirms, s.LeaseConfirmFails,
-		s.LeaseExpiries, s.RemoteLockConflicts)
-	fmt.Fprintf(&b, "rdma:    reads=%d writes=%d cas=%d faa=%d msgs=%d\n",
-		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs)
+		s.LeaseExpiries, s.RemoteLockConflicts, s.LockUpgrades)
+	fmt.Fprintf(&b, "rdma:    reads=%d writes=%d cas=%d faa=%d msgs=%d batches=%d\n",
+		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs, s.RDMABatches)
 	fmt.Fprintf(&b, "nvram:   log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
 		s.LogRecords, s.RecoveryRedos, s.RecoveryUnlocks)
 	fmt.Fprintf(&b, "fault:   verb-faults=%d lock-retries=%d node-down-aborts=%d detections=%d recoveries=%d recovery-time=%v\n",

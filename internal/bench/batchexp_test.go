@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"drtm/internal/vtime"
+)
+
+func TestSmokeBatch(t *testing.T) { runSmoke(t, "batch") }
+
+// The issue's acceptance bar: with batching on, the remote lock/read phase
+// of an 8-record transaction must cost under 0.6x of 8 serial round trips,
+// while window=1 must stay close to the serial round-trip count.
+func TestBatchAcceptance(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	const n = 8
+	const txns = 60
+
+	serial, _ := measureBatch(o, txns, n, 1)
+	batched, batches := measureBatch(o, txns, n, 16)
+
+	if serial <= 0 || batched <= 0 {
+		t.Fatalf("no lock-phase observations: serial=%v batched=%v", serial, batched)
+	}
+	if ratio := batched / serial; ratio >= 0.6 {
+		t.Fatalf("batched lock phase = %.2fx of serial, want < 0.6x (serial=%.0fns batched=%.0fns)",
+			ratio, serial, batched)
+	}
+
+	// window=1 should cost about n round trips: lookup READ + lease CAS +
+	// prefetch READ per record, plus per-WR doorbell and occasional chain
+	// hops (hence the loose upper bound).
+	m := vtime.DefaultModel()
+	perRecord := float64(2*m.RDMAReadBaseNS + m.RDMACASNS)
+	if est := float64(n) * perRecord; serial < 0.9*est || serial > 1.5*est {
+		t.Fatalf("window=1 lock phase %.0fns outside [0.9, 1.5]x of %d serial round trips (%.0fns)",
+			serial, n, est)
+	}
+
+	// Batching should collapse the per-record verbs into a few waves per
+	// transaction, not one poll per verb.
+	if batches >= float64(3*n)/2 {
+		t.Fatalf("batched run polled %.1f batches/txn, want far fewer than the %d verbs staged", batches, 3*n)
+	}
+}

@@ -1,0 +1,162 @@
+package kvs
+
+import (
+	"drtm/internal/memory"
+	"drtm/internal/rdma"
+)
+
+// This file is the batched remote access path on top of the rdma async verb
+// engine: many keys' bucket-chain walks advance in lockstep, with one polled
+// doorbell batch per chain level instead of one blocking round trip per
+// bucket. Cached buckets are walked without touching the fabric at all, so a
+// warm location cache still turns a lookup into zero RDMA ops.
+
+// LookupReq is one key's slot in a batched lookup. The caller fills Table,
+// Cache (may be nil) and Key; LookupBatch fills Loc/Found or Err. A verb
+// fault fails only this request — the rest of the batch completes — and is
+// not retried internally; the transaction layer owns retry policy.
+type LookupReq struct {
+	Table *Table
+	Cache Cache
+	Key   uint64
+
+	Loc   Loc
+	Found bool
+	Err   error
+}
+
+// lookupWalk is the in-flight state of one LookupReq's chain walk.
+type lookupWalk struct {
+	req   *LookupReq
+	off   memory.Offset
+	tag   uint64
+	depth int
+	buf   [BucketWords]uint64
+	wr    *rdma.WR
+}
+
+// step consumes one bucket image: it either resolves the request (entry
+// found, or chain exhausted → not found) and returns true, or advances the
+// walk to the next chain bucket and returns false.
+func (w *lookupWalk) step(words []uint64) bool {
+	loc, found, next := decodeBucket(words, w.req.Key)
+	if found {
+		w.req.Loc, w.req.Found = loc, true
+		return true
+	}
+	if next == 0 {
+		return true
+	}
+	w.off = next
+	w.tag = indirTag(uint64(next))
+	return false
+}
+
+// LookupBatch resolves every request's bucket chain concurrently: each round
+// advances all unresolved walks one level — through the location cache when
+// the bucket is cached, otherwise by posting a bucket READ — and polls the
+// outstanding READs as one doorbell batch. The requests may target different
+// tables and nodes; sq's window bounds how many READs overlap.
+func LookupBatch(sq *rdma.SendQueue, reqs []*LookupReq) {
+	active := make([]*lookupWalk, 0, len(reqs))
+	for _, r := range reqs {
+		idx := r.Table.bucketOf(r.Key)
+		active = append(active, &lookupWalk{
+			req: r,
+			off: r.Table.MainBucketOffset(idx),
+			tag: mainTag(idx),
+		})
+	}
+	for len(active) > 0 {
+		var pending []*lookupWalk
+		for _, w := range active {
+			// Drain cache hits without touching the fabric; a fully cached
+			// chain resolves here with zero work requests.
+			for w != nil {
+				if w.depth >= maxChain {
+					w = nil
+					break
+				}
+				var words []uint64
+				if w.req.Cache != nil {
+					if cached, ok := w.req.Cache.get(w.tag); ok {
+						words = cached
+					}
+				}
+				if words == nil {
+					break
+				}
+				w.depth++
+				if w.step(words) {
+					w = nil
+				}
+			}
+			if w != nil {
+				t := w.req.Table
+				w.wr = sq.PostRead(t.cfg.Node, t.cfg.RegionID, w.off, w.buf[:])
+				pending = append(pending, w)
+			}
+		}
+		if len(pending) == 0 {
+			return
+		}
+		sq.Poll()
+		active = pending[:0]
+		for _, w := range pending {
+			if err := w.wr.Err; err != nil {
+				w.req.Err = err
+				continue
+			}
+			if w.req.Cache != nil {
+				w.req.Cache.put(w.tag, w.buf[:])
+			}
+			w.depth++
+			if !w.step(w.buf[:]) {
+				active = append(active, w)
+			}
+		}
+	}
+}
+
+// PostEntryRead posts the one-sided READ that fetches the entry at loc,
+// allocating the destination words in the returned WR's Dst. After the poll,
+// decode with DecodeEntry. The batched prefetch stage of the transaction
+// layer posts one of these per staged record.
+func (t *Table) PostEntryRead(sq *rdma.SendQueue, loc Loc) *rdma.WR {
+	words := make([]uint64, EntryValueWord+t.cfg.ValueWords)
+	return sq.PostRead(t.cfg.Node, t.cfg.RegionID, loc.Off, words)
+}
+
+// DecodeEntry decodes a fetched entry image (the Dst of a PostEntryRead WR,
+// or any EntryValueWord+ValueWords window at loc.Off). ok is false when
+// incarnation checking fails — the entry died or was reused since the
+// location was observed — in which case the caller should invalidate the
+// cached chain and re-resolve the location.
+func (t *Table) DecodeEntry(words []uint64, key uint64, loc Loc) (Entry, bool) {
+	e := Entry{
+		Key:         words[EntryKeyWord],
+		Incarnation: Incarnation(words[EntryIncVerWord]),
+		Version:     Version(words[EntryIncVerWord]),
+		State:       words[EntryStateWord],
+		Value:       words[EntryValueWord:],
+	}
+	if !Live(e.Incarnation) || e.Key != key ||
+		uint64(e.Incarnation)&slotLossyMask != loc.Lossy {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Invalidate explicitly drops every cached bucket on key's chain from c.
+// The location cache normally needs no invalidation protocol (stale
+// locations are caught by incarnation checking), but a caller that has just
+// *observed* staleness uses this to stop replaying the dead location from
+// cache instead of re-fetching the whole chain remotely. The key→bucket
+// mapping needs the table's geometry, which is why the API lives on Table
+// rather than on the cache.
+func (t *Table) Invalidate(c Cache, key uint64) {
+	if c == nil {
+		return
+	}
+	cacheInvalidateChain(c, t, key)
+}

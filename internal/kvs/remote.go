@@ -60,17 +60,9 @@ func (t *Table) LookupRemoteE(qp *rdma.QP, cache Cache, key uint64) (Loc, bool, 
 			}
 		}
 
-		var next memory.Offset
-		for s := 0; s < SlotsPerBucket; s++ {
-			w0 := words[s*SlotWords]
-			switch SlotType(w0) {
-			case TypeEntry:
-				if words[s*SlotWords+1] == key {
-					return Loc{Off: SlotOffset(w0), Lossy: SlotLossyInc(w0)}, true, nil
-				}
-			case TypeHeader:
-				next = SlotOffset(w0)
-			}
+		loc, found, next := decodeBucket(words, key)
+		if found {
+			return loc, true, nil
 		}
 		if next == 0 {
 			return Loc{}, false, nil
@@ -79,6 +71,24 @@ func (t *Table) LookupRemoteE(qp *rdma.QP, cache Cache, key uint64) (Loc, bool, 
 		tag = indirTag(uint64(next))
 	}
 	return Loc{}, false, nil
+}
+
+// decodeBucket scans one bucket image for key: the entry's location if the
+// bucket holds it, and the chain's next indirect bucket offset (0 at chain
+// end). Shared by the sync chain walk and the batched lockstep walk.
+func decodeBucket(words []uint64, key uint64) (loc Loc, found bool, next memory.Offset) {
+	for s := 0; s < SlotsPerBucket; s++ {
+		w0 := words[s*SlotWords]
+		switch SlotType(w0) {
+		case TypeEntry:
+			if words[s*SlotWords+1] == key {
+				return Loc{Off: SlotOffset(w0), Lossy: SlotLossyInc(w0)}, true, 0
+			}
+		case TypeHeader:
+			next = SlotOffset(w0)
+		}
+	}
+	return Loc{}, false, next
 }
 
 // maxChain bounds bucket-chain walks against corrupted links.
@@ -102,18 +112,8 @@ func (t *Table) ReadEntryRemoteE(qp *rdma.QP, key uint64, loc Loc) (Entry, bool,
 	if err := qp.TryRead(t.cfg.Node, t.cfg.RegionID, loc.Off, words); err != nil {
 		return Entry{}, false, err
 	}
-	e := Entry{
-		Key:         words[EntryKeyWord],
-		Incarnation: Incarnation(words[EntryIncVerWord]),
-		Version:     Version(words[EntryIncVerWord]),
-		State:       words[EntryStateWord],
-		Value:       words[EntryValueWord:],
-	}
-	if !Live(e.Incarnation) || e.Key != key ||
-		uint64(e.Incarnation)&slotLossyMask != loc.Lossy {
-		return Entry{}, false, nil
-	}
-	return e, true, nil
+	e, ok := t.DecodeEntry(words, key, loc)
+	return e, ok, nil
 }
 
 // GetRemote is the full remote GET: locate (through the cache when given)

@@ -58,6 +58,7 @@ const (
 	EvLeaseConfirmFail   // lease confirmation failed outside the HTM region
 	EvLeaseExpire        // expired lease observed and taken over / cleared
 	EvRemoteLockConflict // lock/lease acquisition blocked by a conflicting holder
+	EvLockUpgrade        // shared lease upgraded in place to an exclusive lock
 
 	// One-sided RDMA and messaging verbs (Section 7.1).
 	EvRDMARead
@@ -65,6 +66,7 @@ const (
 	EvRDMACAS
 	EvRDMAFAA
 	EvVerbsMsg
+	EvRDMABatch // one polled doorbell batch (wave) of the async verb engine
 
 	// Durability (Section 4.6): one NVRAM log record appended.
 	EvLogRecord
@@ -103,11 +105,13 @@ var eventNames = [NumEvents]string{
 	EvLeaseConfirmFail:   "lease.confirm_fail",
 	EvLeaseExpire:        "lease.expire",
 	EvRemoteLockConflict: "lock.remote_conflict",
+	EvLockUpgrade:        "lock.upgrade",
 	EvRDMARead:           "rdma.read",
 	EvRDMAWrite:          "rdma.write",
 	EvRDMACAS:            "rdma.cas",
 	EvRDMAFAA:            "rdma.faa",
 	EvVerbsMsg:           "rdma.msg",
+	EvRDMABatch:          "rdma.batch",
 	EvLogRecord:          "nvram.log_record",
 	EvRecoveryRedo:       "recovery.redo",
 	EvRecoveryUnlock:     "recovery.unlock",
@@ -138,14 +142,30 @@ const (
 	PhaseCommit                  // Commit phase: remote write-back + unlock
 	PhaseTotal                   // whole transaction, Exec entry to commit
 
+	// Sub-phases of PhaseLockRemote, recorded by the batched stage pipeline
+	// (gather/issue/complete): location lookup, lock/lease acquisition, and
+	// value prefetch. Their sum ≈ PhaseLockRemote for batched transactions.
+	PhaseLookupRemote
+	PhaseAcquireRemote
+	PhasePrefetchRemote
+
+	// PhaseBatchOps is not a latency: each observation is the number of work
+	// requests in one polled doorbell batch, so the histogram is the
+	// ops-per-batch distribution of the async verb engine.
+	PhaseBatchOps
+
 	NumPhases int = iota
 )
 
 var phaseNames = [NumPhases]string{
-	PhaseLockRemote: "lock-remote",
-	PhaseHTM:        "htm-region",
-	PhaseCommit:     "commit-remotes",
-	PhaseTotal:      "total",
+	PhaseLockRemote:     "lock-remote",
+	PhaseHTM:            "htm-region",
+	PhaseCommit:         "commit-remotes",
+	PhaseTotal:          "total",
+	PhaseLookupRemote:   "lookup-remote",
+	PhaseAcquireRemote:  "acquire-remote",
+	PhasePrefetchRemote: "prefetch-remote",
+	PhaseBatchOps:       "batch-ops",
 }
 
 func (p Phase) String() string {

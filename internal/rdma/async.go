@@ -1,0 +1,220 @@
+package rdma
+
+import (
+	"drtm/internal/memory"
+	"drtm/internal/obs"
+)
+
+// This file is the asynchronous half of the fabric: a post/poll verb engine
+// modeled after real RC queue pairs. Callers build work requests (WRs),
+// post them to a SendQueue, and poll the completion queue; WRs posted
+// between polls are outstanding *concurrently*, so a polled batch charges
+// the overlap-aware cost of vtime.Model.BatchOverlapNS — the maximum
+// completion latency of the batch plus a per-WR doorbell/CQ cost — instead
+// of a full round trip per verb. A bounded window models the NIC's
+// outstanding-request limit: batches larger than the window complete in
+// window-sized waves, and a window of 1 degenerates to the old strictly
+// serial behavior.
+//
+// Fault injection is per-WR at completion time: each WR draws its own fault
+// when its wave completes, a failing WR contributes the completion timeout
+// to the wave's overlap charge and has NO side effect (fail-before-apply,
+// exactly like the sync verbs), and the other WRs of the wave complete
+// normally — partial completion, as on real hardware.
+//
+// The synchronous Try* verbs are thin wrappers: one WR, completed inline,
+// charged its own latency with the doorbell cost folded into the base verb
+// constants. Every pre-engine call site keeps compiling and keeps its cost.
+
+// OpCode identifies a work request's one-sided verb.
+type OpCode uint8
+
+const (
+	OpRead OpCode = iota
+	OpWrite
+	OpCAS
+	OpFAA
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpCAS:
+		return "CAS"
+	case OpFAA:
+		return "FAA"
+	default:
+		return "OP?"
+	}
+}
+
+// WR is one work request. The caller fills the request fields, posts it,
+// and reads the completion fields after the wave containing it is polled.
+// A WR belongs to one SendQueue at a time and must not be reposted while
+// outstanding.
+type WR struct {
+	Op           OpCode
+	Node, Region int
+	Off          memory.Offset
+	Dst          []uint64 // READ destination (len selects the size)
+	Src          []uint64 // WRITE payload
+	Old, New     uint64   // CAS arguments
+	Delta        uint64   // FAA argument
+	Token        uint64   // caller cookie, untouched by the engine
+
+	// Completion fields, valid once Poll has returned the WR.
+	Err     error  // nil, ErrNodeUnreachable, ErrTimeout or ErrNoRegion
+	Prev    uint64 // prior word value (CAS, FAA)
+	Swapped bool   // CAS succeeded
+	CostNS  int64  // this WR's own modeled completion latency
+}
+
+// complete executes one work request at completion time: per-WR fault
+// draw, side effect on success, per-verb stats, and the WR's individual
+// modeled latency in CostNS (the caller charges it, directly for sync verbs
+// or via the batch overlap rule for polled waves).
+func (q *QP) complete(wr *WR) {
+	model := &q.fabric.model
+	extra, err := q.faultCheck(wr.Node, wr.Region, wr.Op == OpRead)
+	if err != nil {
+		q.countFault()
+		wr.Err = err
+		wr.CostNS = extra + model.TimeoutNS
+		return
+	}
+	a, err := q.fabric.regionErr(wr.Node, wr.Region)
+	if err != nil {
+		wr.Err = err
+		wr.CostNS = extra
+		return
+	}
+	wr.Err = nil
+	wr.CostNS = extra
+	switch wr.Op {
+	case OpRead:
+		a.Read(wr.Dst, wr.Off)
+		n := int64(len(wr.Dst) * 8)
+		q.Stats.Reads.Add(1)
+		q.Stats.ReadBytes.Add(n)
+		q.fabric.Totals.Reads.Add(1)
+		q.fabric.Totals.ReadBytes.Add(n)
+		q.Obs.Inc(obs.EvRDMARead)
+		wr.CostNS += int64(model.RDMARead(int(n)))
+	case OpWrite:
+		a.Write(wr.Off, wr.Src)
+		n := int64(len(wr.Src) * 8)
+		q.Stats.Writes.Add(1)
+		q.Stats.WriteByts.Add(n)
+		q.fabric.Totals.Writes.Add(1)
+		q.fabric.Totals.WriteByts.Add(n)
+		q.Obs.Inc(obs.EvRDMAWrite)
+		wr.CostNS += int64(model.RDMAWrite(int(n)))
+	case OpCAS:
+		wr.Prev, wr.Swapped = a.CAS(wr.Off, wr.Old, wr.New)
+		q.Stats.CASes.Add(1)
+		q.fabric.Totals.CASes.Add(1)
+		q.Obs.Inc(obs.EvRDMACAS)
+		wr.CostNS += model.RDMACASNS
+	case OpFAA:
+		wr.Prev = a.FAA(wr.Off, wr.Delta)
+		q.Stats.FAAs.Add(1)
+		q.fabric.Totals.FAAs.Add(1)
+		q.Obs.Inc(obs.EvRDMAFAA)
+		wr.CostNS += model.RDMACASNS
+	}
+}
+
+// DefaultWindow is the default bound on outstanding WRs per SendQueue,
+// sized like a small RC QP send queue.
+const DefaultWindow = 16
+
+// SendQueue is a worker-private post/poll queue on top of a QP. Post
+// appends work requests without touching the fabric; Poll flushes them in
+// window-sized waves (ringing one logical doorbell per destination chain),
+// applies each WR's effect, and charges the overlap-aware batch cost.
+// Like the QP itself it is single-goroutine.
+type SendQueue struct {
+	qp      *QP
+	window  int
+	pending []*WR
+}
+
+// NewSendQueue creates a send queue with the given outstanding-WR window;
+// window <= 0 selects DefaultWindow, window 1 serializes every WR.
+func (q *QP) NewSendQueue(window int) *SendQueue {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &SendQueue{qp: q, window: window}
+}
+
+// QP returns the underlying queue pair.
+func (sq *SendQueue) QP() *QP { return sq.qp }
+
+// Window returns the outstanding-WR bound.
+func (sq *SendQueue) Window() int { return sq.window }
+
+// Pending returns the number of posted, not-yet-polled WRs.
+func (sq *SendQueue) Pending() int { return len(sq.pending) }
+
+// Post enqueues a prepared work request and returns it.
+func (sq *SendQueue) Post(wr *WR) *WR {
+	sq.pending = append(sq.pending, wr)
+	return wr
+}
+
+// PostRead posts a one-sided READ of len(dst) words into dst.
+func (sq *SendQueue) PostRead(node, region int, off memory.Offset, dst []uint64) *WR {
+	return sq.Post(&WR{Op: OpRead, Node: node, Region: region, Off: off, Dst: dst})
+}
+
+// PostWrite posts a one-sided WRITE of src.
+func (sq *SendQueue) PostWrite(node, region int, off memory.Offset, src []uint64) *WR {
+	return sq.Post(&WR{Op: OpWrite, Node: node, Region: region, Off: off, Src: src})
+}
+
+// PostCAS posts a one-sided atomic compare-and-swap of a single word.
+func (sq *SendQueue) PostCAS(node, region int, off memory.Offset, old, new uint64) *WR {
+	return sq.Post(&WR{Op: OpCAS, Node: node, Region: region, Off: off, Old: old, New: new})
+}
+
+// PostFAA posts a one-sided atomic fetch-and-add.
+func (sq *SendQueue) PostFAA(node, region int, off memory.Offset, delta uint64) *WR {
+	return sq.Post(&WR{Op: OpFAA, Node: node, Region: region, Off: off, Delta: delta})
+}
+
+// Poll flushes every pending WR and waits for all completions, returning
+// the WRs in post order with their completion fields filled. WRs complete
+// in waves of at most Window outstanding requests; each wave charges
+// max-of-completions plus the per-WR doorbell cost (Model.BatchOverlapNS)
+// and yields once, so overlapped verbs cost one scheduling point instead of
+// one per round trip. Within a wave side effects apply in post order, which
+// preserves the QP's in-order execution guarantee for same-destination
+// chains (e.g. value WRITE before unlock WRITE).
+func (sq *SendQueue) Poll() []*WR {
+	wrs := sq.pending
+	sq.pending = nil
+	costs := make([]int64, 0, sq.window)
+	for start := 0; start < len(wrs); start += sq.window {
+		end := start + sq.window
+		if end > len(wrs) {
+			end = len(wrs)
+		}
+		wave := wrs[start:end]
+		costs = costs[:0]
+		for _, wr := range wave {
+			sq.qp.complete(wr)
+			costs = append(costs, wr.CostNS)
+		}
+		sq.qp.Stats.Batches.Add(1)
+		sq.qp.fabric.Totals.Batches.Add(1)
+		sq.qp.Obs.Inc(obs.EvRDMABatch)
+		sq.qp.Obs.Observe(obs.PhaseBatchOps, int64(len(wave)))
+		sq.qp.charge(sq.qp.fabric.model.BatchOverlapNS(costs))
+		netYield()
+	}
+	return wrs
+}

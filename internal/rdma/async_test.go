@@ -1,0 +1,153 @@
+package rdma
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drtm/internal/memory"
+	"drtm/internal/vtime"
+)
+
+// Golden overlap charging: a polled wave of N same-destination READs costs
+// the slowest completion plus one doorbell per WR, not N round trips.
+func TestBatchOverlapGolden(t *testing.T) {
+	const n = 8
+	f := newTestFabric(2)
+	var clk vtime.Clock
+	qp := f.NewQP(0, &clk)
+	sq := qp.NewSendQueue(n)
+
+	for i := 0; i < n; i++ {
+		sq.PostRead(1, 0, 0, make([]uint64, 8))
+	}
+	wrs := sq.Poll()
+	if len(wrs) != n {
+		t.Fatalf("Poll returned %d WRs, want %d", len(wrs), n)
+	}
+	m := f.Model()
+	want := m.RDMARead(64) + time.Duration(n*m.DoorbellNS)
+	if got := clk.Now(); got != want {
+		t.Fatalf("batched charge = %v, want max+N*doorbell = %v", got, want)
+	}
+
+	// The window=1 control arm degenerates to one round trip per WR.
+	clk.Reset()
+	serial := qp.NewSendQueue(1)
+	for i := 0; i < n; i++ {
+		serial.PostRead(1, 0, 0, make([]uint64, 8))
+	}
+	serial.Poll()
+	want = time.Duration(n) * (m.RDMARead(64) + time.Duration(m.DoorbellNS))
+	if got := clk.Now(); got != want {
+		t.Fatalf("window=1 charge = %v, want N serial round trips = %v", got, want)
+	}
+}
+
+// Posting more WRs than the window splits the queue into waves in post
+// order, each polled (and charged) as its own doorbell batch.
+func TestBatchWavesRespectWindow(t *testing.T) {
+	f := newTestFabric(2)
+	var clk vtime.Clock
+	qp := f.NewQP(0, &clk)
+	sq := qp.NewSendQueue(4)
+
+	for i := 0; i < 10; i++ {
+		sq.PostRead(1, 0, 0, make([]uint64, 1))
+	}
+	sq.Poll()
+	if got := qp.Stats.Batches.Load(); got != 3 {
+		t.Fatalf("Batches = %d, want 3 waves of (4,4,2)", got)
+	}
+	m := f.Model()
+	read := m.RDMARead(8)
+	want := 2*(read+time.Duration(4*m.DoorbellNS)) + read + time.Duration(2*m.DoorbellNS)
+	if got := clk.Now(); got != want {
+		t.Fatalf("charge = %v, want %v", got, want)
+	}
+	if sq.Pending() != 0 {
+		t.Fatalf("Pending = %d after Poll, want 0", sq.Pending())
+	}
+}
+
+// Faults act per WR at completion time: inside one polled wave, failed WRs
+// report ErrTimeout with no memory side effect while their batch-mates
+// land, and the wave's charge absorbs the timeout.
+func TestBatchPartialCompletionFault(t *testing.T) {
+	f := newTestFabric(2)
+	plan := NewFaultPlan(7)
+	plan.NodeRule(1, FaultRule{FailProb: 0.5})
+	f.SetFaultPlan(plan)
+	var clk vtime.Clock
+	qp := f.NewQP(0, &clk)
+	sq := qp.NewSendQueue(16)
+
+	for i := 0; i < 16; i++ {
+		sq.PostWrite(1, 0, memory.Offset(i), []uint64{uint64(100 + i)})
+	}
+	wrs := sq.Poll()
+
+	var failed, landed int
+	probe := f.NewQP(0, nil) // fault-free reader
+	plan.Clear()
+	for i, wr := range wrs {
+		var got [1]uint64
+		probe.Read(1, 0, memory.Offset(i), got[:])
+		if wr.Err != nil {
+			failed++
+			if got[0] != 0 {
+				t.Fatalf("WR %d failed with %v but wrote %d", i, wr.Err, got[0])
+			}
+		} else {
+			landed++
+			if got[0] != uint64(100+i) {
+				t.Fatalf("WR %d completed but memory = %d, want %d", i, got[0], 100+i)
+			}
+		}
+	}
+	if failed == 0 || landed == 0 {
+		t.Fatalf("want a partially completed wave, got failed=%d landed=%d", failed, landed)
+	}
+	// A failed WR charges the full modeled timeout, which dominates the wave.
+	if got, min := clk.Now(), time.Duration(f.Model().TimeoutNS); got < min {
+		t.Fatalf("wave with faults charged %v, want >= timeout %v", got, min)
+	}
+}
+
+// Concurrent posters over independent send queues to a shared destination:
+// exercised under -race by `make race`.
+func TestBatchConcurrentSendQueues(t *testing.T) {
+	f := newTestFabric(3)
+	plan := NewFaultPlan(11)
+	plan.NodeRule(2, FaultRule{FailProb: 0.2})
+	f.SetFaultPlan(plan)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var clk vtime.Clock
+			sq := f.NewQP(g%2, &clk).NewSendQueue(8)
+			for round := 0; round < 50; round++ {
+				for i := 0; i < 8; i++ {
+					sq.PostFAA(2, 0, 0, 1)
+				}
+				for _, wr := range sq.Poll() {
+					if wr.Err != nil && wr.Err != ErrTimeout {
+						t.Errorf("goroutine %d: unexpected error %v", g, wr.Err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	plan.Clear()
+	var got [1]uint64
+	f.NewQP(0, nil).Read(2, 0, 0, got[:])
+	faults := f.Totals.Faults.Load()
+	if want := uint64(4*50*8) - uint64(faults); got[0] != want {
+		t.Fatalf("FAA sum = %d, want %d (1600 posts - %d faults)", got[0], want, faults)
+	}
+}

@@ -67,6 +67,7 @@ type Counters struct {
 	WriteByts obs.Counter
 	Msgs      obs.Counter
 	Faults    obs.Counter
+	Batches   obs.Counter // polled SendQueue waves (doorbell batches)
 }
 
 // Add folds src into c (used to aggregate per-QP counters).
@@ -79,6 +80,7 @@ func (c *Counters) Add(src *Counters) {
 	c.WriteByts.Add(src.WriteByts.Load())
 	c.Msgs.Add(src.Msgs.Load())
 	c.Faults.Add(src.Faults.Load())
+	c.Batches.Add(src.Batches.Load())
 }
 
 // Handler serves two-sided verbs requests on an endpoint.
@@ -215,42 +217,50 @@ func (q *QP) charge(d int64) {
 // transactions with large local read sets.
 func netYield() { runtime.Gosched() }
 
-// fault runs the fail-before-apply fault check for a verb targeting
-// (node, region): a verb that fails never reached the target, so it has no
-// side effect (the request, not the ack, is lost). A failing verb charges
-// the full modeled completion timeout to the issuing worker's clock. read
-// selects the NVRAM carve-out: READs of durable regions survive the target
-// being down.
-func (q *QP) fault(node, region int, read bool) error {
+// faultCheck evaluates the fail-before-apply fault model for one verb (or
+// one work request of a batch) targeting (node, region) WITHOUT charging
+// the clock: it returns any injected extra latency and the failure, and the
+// caller decides how the cost lands — the sync wrappers charge it directly,
+// the async engine folds it into the batch's overlap charge. A verb that
+// fails never reached the target, so it has no side effect (the request,
+// not the ack, is lost). read selects the NVRAM carve-out: READs of durable
+// regions survive the target being down.
+func (q *QP) faultCheck(node, region int, read bool) (extraNS int64, err error) {
 	f := q.fabric
 	ep := f.eps[node]
 	if ep.down.Load() && !(read && ep.durable[region]) {
-		q.countFault()
-		q.charge(f.model.TimeoutNS)
-		netYield()
-		return ErrNodeUnreachable
+		return 0, ErrNodeUnreachable
 	}
 	// Fail-stop covers the source too: a crashed machine cannot issue
 	// verbs. In the simulator a crashed node's worker goroutines keep
 	// running; failing their verbs here keeps those zombies from mutating
 	// live nodes' memory behind recovery's back.
 	if src := f.eps[q.local]; src.down.Load() {
-		q.countFault()
-		q.charge(f.model.TimeoutNS)
-		netYield()
-		return ErrNodeUnreachable
+		return 0, ErrNodeUnreachable
 	}
 	if p := f.plan.Load(); p != nil {
 		extra, fail := p.draw(q.local, node)
-		if extra > 0 {
-			q.charge(extra)
-		}
 		if fail {
-			q.countFault()
-			q.charge(f.model.TimeoutNS)
-			netYield()
-			return ErrTimeout
+			return extra, ErrTimeout
 		}
+		return extra, nil
+	}
+	return 0, nil
+}
+
+// fault is the sync-path fault check: a failing verb charges the full
+// modeled completion timeout to the issuing worker's clock, as a real QP
+// would spin on the completion queue until its timeout fires.
+func (q *QP) fault(node, region int, read bool) error {
+	extra, err := q.faultCheck(node, region, read)
+	if err != nil {
+		q.countFault()
+		q.charge(extra + q.fabric.model.TimeoutNS)
+		netYield()
+		return err
+	}
+	if extra > 0 {
+		q.charge(extra)
 	}
 	return nil
 }
@@ -269,83 +279,46 @@ const probeRegion = -1
 // region, off) into dst. Per-cache-line consistency only, as on real
 // hardware. Fails with ErrNodeUnreachable / ErrTimeout / ErrNoRegion; dst is
 // untouched on error.
+//
+// The sync Try* verbs are one-WR wrappers over the async engine's
+// completion path: the WR completes inline and its individual latency is
+// charged directly (no doorbell overlap — a lone verb is a full round trip,
+// exactly the pre-engine cost).
 func (q *QP) TryRead(node, region int, off memory.Offset, dst []uint64) error {
-	if err := q.fault(node, region, true); err != nil {
-		return err
-	}
-	a, err := q.fabric.regionErr(node, region)
-	if err != nil {
-		return err
-	}
-	a.Read(dst, off)
-	n := int64(len(dst) * 8)
-	q.Stats.Reads.Add(1)
-	q.Stats.ReadBytes.Add(n)
-	q.fabric.Totals.Reads.Add(1)
-	q.fabric.Totals.ReadBytes.Add(n)
-	q.Obs.Inc(obs.EvRDMARead)
-	q.charge(int64(q.fabric.model.RDMARead(int(n))))
+	wr := WR{Op: OpRead, Node: node, Region: region, Off: off, Dst: dst}
+	q.complete(&wr)
+	q.charge(wr.CostNS)
 	netYield()
-	return nil
+	return wr.Err
 }
 
 // TryWrite performs a one-sided RDMA WRITE of src to (node, region, off).
 func (q *QP) TryWrite(node, region int, off memory.Offset, src []uint64) error {
-	if err := q.fault(node, region, false); err != nil {
-		return err
-	}
-	a, err := q.fabric.regionErr(node, region)
-	if err != nil {
-		return err
-	}
-	a.Write(off, src)
-	n := int64(len(src) * 8)
-	q.Stats.Writes.Add(1)
-	q.Stats.WriteByts.Add(n)
-	q.fabric.Totals.Writes.Add(1)
-	q.fabric.Totals.WriteByts.Add(n)
-	q.Obs.Inc(obs.EvRDMAWrite)
-	q.charge(int64(q.fabric.model.RDMAWrite(int(n))))
+	wr := WR{Op: OpWrite, Node: node, Region: region, Off: off, Src: src}
+	q.complete(&wr)
+	q.charge(wr.CostNS)
 	netYield()
-	return nil
+	return wr.Err
 }
 
 // TryCAS performs a one-sided atomic compare-and-swap on a single word,
 // returning the prior value and whether the swap happened.
 func (q *QP) TryCAS(node, region int, off memory.Offset, old, new uint64) (uint64, bool, error) {
-	if err := q.fault(node, region, false); err != nil {
-		return 0, false, err
-	}
-	a, err := q.fabric.regionErr(node, region)
-	if err != nil {
-		return 0, false, err
-	}
-	prev, ok := a.CAS(off, old, new)
-	q.Stats.CASes.Add(1)
-	q.fabric.Totals.CASes.Add(1)
-	q.Obs.Inc(obs.EvRDMACAS)
-	q.charge(q.fabric.model.RDMACASNS)
+	wr := WR{Op: OpCAS, Node: node, Region: region, Off: off, Old: old, New: new}
+	q.complete(&wr)
+	q.charge(wr.CostNS)
 	netYield()
-	return prev, ok, nil
+	return wr.Prev, wr.Swapped, wr.Err
 }
 
 // TryFAA performs a one-sided atomic fetch-and-add, returning the prior
 // value.
 func (q *QP) TryFAA(node, region int, off memory.Offset, delta uint64) (uint64, error) {
-	if err := q.fault(node, region, false); err != nil {
-		return 0, err
-	}
-	a, err := q.fabric.regionErr(node, region)
-	if err != nil {
-		return 0, err
-	}
-	prev := a.FAA(off, delta)
-	q.Stats.FAAs.Add(1)
-	q.fabric.Totals.FAAs.Add(1)
-	q.Obs.Inc(obs.EvRDMAFAA)
-	q.charge(q.fabric.model.RDMACASNS)
+	wr := WR{Op: OpFAA, Node: node, Region: region, Off: off, Delta: delta}
+	q.complete(&wr)
+	q.charge(wr.CostNS)
 	netYield()
-	return prev, nil
+	return wr.Prev, wr.Err
 }
 
 // Probe issues a minimal zero-byte READ against node to test reachability:

@@ -9,6 +9,7 @@ import (
 	"drtm/internal/clock"
 	"drtm/internal/cluster"
 	"drtm/internal/htm"
+	"drtm/internal/obs"
 	"drtm/internal/rdma"
 )
 
@@ -221,18 +222,75 @@ func TestGlobalAtomicsUsesLocalCAS(t *testing.T) {
 	}
 }
 
-// TestUpgradeReadToWriteRejected: staging a write after a read of the same
-// remote record is a conflict (the protocol requires declaring the stronger
-// intent first).
-func TestUpgradeReadToWriteRejected(t *testing.T) {
+// TestUpgradeReadToWrite: staging a write after a read of the same remote
+// record upgrades the shared lease to an exclusive lock in place with a
+// single CAS, instead of aborting the transaction.
+func TestUpgradeReadToWrite(t *testing.T) {
 	rt, stop := newRig(t, 2, 1, 4, nil)
 	defer stop()
 	tx := rt.Executor(0, 0).newTx()
 	if err := tx.stageRemote(tblAccounts, 1, 1, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := tx.stageRemote(tblAccounts, 1, 1, true); !errors.Is(err, ErrRetry) {
-		t.Fatalf("upgrade = %v, want ErrRetry", err)
+	host := rt.C.Node(1).Unordered(tblAccounts)
+	off, _ := host.LookupLocal(1)
+	if s := host.Arena().LoadWord(off + 2); clock.IsWriteLocked(s) {
+		t.Fatalf("read staged an exclusive lock: %x", s)
+	}
+	if err := tx.stageRemote(tblAccounts, 1, 1, true); err != nil {
+		t.Fatalf("upgrade = %v, want success", err)
+	}
+	if s := host.Arena().LoadWord(off + 2); !clock.IsWriteLocked(s) {
+		t.Fatalf("upgrade did not install the exclusive lock: %x", s)
+	}
+	r := tx.rIndex[refKey{tblAccounts, 1}]
+	if r == nil || !r.write {
+		t.Fatal("staged record not marked exclusive after upgrade")
+	}
+	if got := rt.C.Obs.Total(obs.EvLockUpgrade); got != 1 {
+		t.Fatalf("lock.upgrade = %d, want 1", got)
+	}
+	if len(tx.remotes) != 1 {
+		t.Fatalf("remotes = %d, want 1 (no duplicate staging)", len(tx.remotes))
+	}
+	tx.releaseLocks()
+	if s := host.Arena().LoadWord(off + 2); s != clock.Init {
+		t.Fatalf("release after upgrade leaked the lock: %x", s)
+	}
+}
+
+// TestUpgradeCommitsFreshValue: an end-to-end read-then-write upgrade
+// commits through the exclusive lock and publishes the new value.
+func TestUpgradeCommitsFreshValue(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 4, nil)
+	defer stop()
+	e := rt.Executor(0, 0)
+	err := e.Exec(func(tx *Tx) error {
+		if err := tx.R(tblAccounts, 1); err != nil { // remote read first
+			return err
+		}
+		if err := tx.W(tblAccounts, 1); err != nil { // then upgrade
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			v, err := lc.Read(tblAccounts, 1)
+			if err != nil {
+				return err
+			}
+			return lc.Write(tblAccounts, 1, []uint64{v[0] + 23, v[1]})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := rt.C.Node(1).Unordered(tblAccounts)
+	v, _ := host.Get(1)
+	if v[0] != 1023 {
+		t.Fatalf("upgraded write = %d, want 1023", v[0])
+	}
+	off, _ := host.LookupLocal(1)
+	if s := host.Arena().LoadWord(off + 2); s != clock.Init {
+		t.Fatalf("record left locked after upgraded commit: %x", s)
 	}
 }
 
@@ -348,5 +406,99 @@ func TestDeferredOrderedInsertShipsRemote(t *testing.T) {
 	}
 	if _, ok := rt.C.Node(1).Ordered(tblOrders).Get(101); ok {
 		t.Fatal("shipped ordered delete failed")
+	}
+}
+
+// TestBatchedStageFaultsReleaseLocks drives the batched gather/issue/complete
+// pipeline under per-WR transient faults: waves complete partially, some
+// transactions abort with ErrNodeDown mid-batch, and every lock acquired
+// before the abort must still be released. Run under -race by `make race`.
+func TestBatchedStageFaultsReleaseLocks(t *testing.T) {
+	const keys = 16
+	rt, stop := newRig(t, 2, 2, keys, nil)
+	defer stop()
+	rt.BatchWindow = 16
+	plan := rdma.NewFaultPlan(5)
+	rt.C.Fabric.SetFaultPlan(plan)
+	plan.NodeRule(1, rdma.FaultRule{FailProb: 0.15})
+
+	var commits int64
+	var mu sync.Mutex
+	ws := rt.C.Workers()
+	var wg sync.WaitGroup
+	for _, wk := range ws {
+		wg.Add(1)
+		go func(node, worker int) {
+			defer wg.Done()
+			e := rt.Executor(node, worker)
+			n := 0
+			for i := 0; i < 40; i++ {
+				// 4 distinct writes homed on the OTHER node (key parity
+				// selects the home), so node-0 workers always cross the
+				// flaky fabric path to node 1.
+				accs := make([]Access, 4)
+				for j := range accs {
+					k := uint64(((i + j*3) % 8) * 2) // 0,2,..,14, distinct per j
+					if node == 0 {
+						k++ // odd keys are homed on node 1
+					} else {
+						k += 2 // even keys are homed on node 0
+					}
+					accs[j] = Access{Table: tblAccounts, Key: k, Write: true}
+				}
+				err := e.Exec(func(tx *Tx) error {
+					if err := tx.Stage(accs...); err != nil {
+						return err
+					}
+					return tx.Execute(func(lc *Local) error {
+						for _, a := range accs {
+							v, err := lc.Read(tblAccounts, a.Key)
+							if err != nil {
+								return err
+							}
+							if err := lc.Write(tblAccounts, a.Key, []uint64{v[0] + 1, v[1]}); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				})
+				switch {
+				case err == nil:
+					n++
+				case errors.Is(err, ErrNodeDown):
+					// A lookup/prefetch WR in some wave drew a fault; the
+					// transaction aborted and released its locks.
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+			mu.Lock()
+			commits += int64(n)
+			mu.Unlock()
+		}(wk.Node.ID, wk.ID)
+	}
+	wg.Wait()
+
+	if rt.C.Fabric.Totals.Faults.Load() == 0 {
+		t.Fatal("fault plan injected nothing; the test exercised no partial completions")
+	}
+	plan.Clear()
+	var sum uint64
+	for k := 1; k <= keys; k++ {
+		host := rt.C.Node(k % 2).Unordered(tblAccounts)
+		off, ok := host.LookupLocal(uint64(k))
+		if !ok {
+			t.Fatalf("key %d vanished", k)
+		}
+		if s := host.Arena().LoadWord(off + 2); s != clock.Init {
+			t.Fatalf("key %d state = %x after all txns done, want released (Init)", k, s)
+		}
+		v, _ := host.Get(uint64(k))
+		sum += v[0] - 1000
+	}
+	if sum != uint64(commits)*4 {
+		t.Fatalf("sum of increments = %d, want commits*4 = %d", sum, commits*4)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"drtm/internal/cluster"
 	"drtm/internal/kvs"
 	"drtm/internal/obs"
+	"drtm/internal/rdma"
 	"drtm/internal/vtime"
 )
 
@@ -154,6 +155,12 @@ type Runtime struct {
 	// killing read-read sharing across machines.
 	NoReadLease bool
 
+	// BatchWindow bounds outstanding work requests per worker send queue in
+	// the batched Start/Commit pipelines. 0 selects rdma.DefaultWindow; 1
+	// serializes every verb (the pre-batching behavior, used as the control
+	// arm of the `batch` experiment).
+	BatchWindow int
+
 	Stats Stats
 
 	// pending parks release-side steps (unlocks, commit write-backs,
@@ -258,6 +265,22 @@ type Executor struct {
 	rng *rand.Rand
 
 	txSeq uint64 // local transaction sequence, for log record IDs
+
+	sq *rdma.SendQueue // lazily created post/poll queue for batched phases
+}
+
+// sendq returns the worker's send queue, (re)created to match the runtime's
+// current BatchWindow. The queue is always drained between uses (every
+// pipeline stage polls what it posts), so swapping it is safe.
+func (e *Executor) sendq() *rdma.SendQueue {
+	w := e.rt.BatchWindow
+	if w <= 0 {
+		w = rdma.DefaultWindow
+	}
+	if e.sq == nil || e.sq.Window() != w {
+		e.sq = e.w.QP.NewSendQueue(w)
+	}
+	return e.sq
 }
 
 // Worker exposes the underlying worker context.

@@ -1,0 +1,383 @@
+package tx
+
+import (
+	"fmt"
+
+	"drtm/internal/clock"
+	"drtm/internal/kvs"
+	"drtm/internal/memory"
+	"drtm/internal/obs"
+	"drtm/internal/rdma"
+)
+
+// casRetries bounds lock/lease CAS rounds per record before the acquisition
+// is declared lost to a conflicting racer.
+const casRetries = 8
+
+// Batched Start phase (REMOTE_READ / REMOTE_WRITE of Figure 5, pipelined).
+//
+// The serial path paid ~3 round trips per remote record: lookup READ(s),
+// lock/lease CAS, prefetch READ — each blocking on the fabric. This file
+// splits staging into gather/issue/complete over the rdma async verb
+// engine: independent records' verbs of the same stage are posted together
+// and polled as doorbell batches, so an N-record Start phase costs roughly
+// max-of-round-trips per stage instead of the sum. Dependent verbs (a
+// record's CAS after its lookup, a takeover CAS after seeing an expired
+// lease) still order across polls, exactly as completions gate reposting on
+// a real QP.
+//
+// The per-record lock/lease decision logic is the same state machine as the
+// serial loop it replaces; conflicts and node failures are detected per
+// completion and resolve after the wave is fully processed, so every lock
+// that was actually acquired is registered and released on abort.
+
+// Access declares one record access for batched staging.
+type Access struct {
+	Table int
+	Key   uint64
+	Write bool
+}
+
+// Stage declares a set of accesses at once. Local records are declared for
+// the HTM region; remote records run the batched gather/issue/complete
+// pipeline, overlapping their lookup READs, lock/lease CASes and prefetch
+// READs across records. Semantically equivalent to calling R/W per access.
+func (t *Tx) Stage(accs ...Access) error {
+	var reqs []*stageReq
+	var seen map[refKey]*stageReq
+	for _, a := range accs {
+		node := t.home(a.Table, a.Key)
+		if node == t.e.w.Node.ID {
+			t.declareLocal(a.Table, a.Key, a.Write)
+			continue
+		}
+		write := a.Write || t.e.rt.NoReadLease
+		k := refKey{a.Table, a.Key}
+		if seen == nil {
+			seen = make(map[refKey]*stageReq, len(accs))
+		}
+		if s, ok := seen[k]; ok {
+			if write && !s.write {
+				s.write = true // strengthen before issue: free upgrade
+			}
+			continue
+		}
+		s, err := t.gatherRemote(a.Table, a.Key, node, write)
+		if err != nil {
+			return err
+		}
+		if s != nil {
+			seen[k] = s
+			reqs = append(reqs, s)
+		}
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	return t.stageBatch(reqs)
+}
+
+// stageRemote stages one remote record — the serial entry point kept for
+// R/W and Probe.Stage; a batch of one runs the same pipeline.
+func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
+	s, err := t.gatherRemote(table, key, node, write)
+	if err != nil || s == nil {
+		return err
+	}
+	return t.stageBatch([]*stageReq{s})
+}
+
+// stageReq is one remote record's slot in the staging pipeline.
+type stageReq struct {
+	k     refKey
+	node  int
+	table int
+	key   uint64
+	write bool
+
+	host  *kvs.Table
+	cache kvs.Cache
+	r     *remoteRec
+
+	// upgrade marks a record already staged with a shared lease that now
+	// needs an exclusive lock: the pipeline CASes the lease word to the lock
+	// word in place (release is implicit — an unupgraded lease just expires).
+	upgrade bool
+
+	lr       kvs.LookupReq
+	loc      kvs.Loc
+	stateOff memory.Offset
+
+	// Lock/lease acquisition state machine: the (old, new) pair armed for
+	// the next CAS round, whether that CAS is an expired-lease takeover, and
+	// how many takeover rounds were lost to racers.
+	old, new  uint64
+	takeover  bool
+	iters     int
+	acquired  bool
+	needFetch bool
+	entryWR   *rdma.WR
+}
+
+// gatherRemote dedupes one remote access against the staged set and builds
+// its pipeline request; a nil request means the access is already satisfied.
+func (t *Tx) gatherRemote(table int, key uint64, node int, write bool) (*stageReq, error) {
+	k := refKey{table, key}
+	if r, ok := t.rIndex[k]; ok {
+		if !write || r.write {
+			return nil, nil
+		}
+		return &stageReq{
+			k: k, node: r.node, table: table, key: key, write: true,
+			host:  t.e.rt.C.Node(r.node).Unordered(table),
+			cache: t.e.cacheFor(r.node, table),
+			r:     r, upgrade: true,
+		}, nil
+	}
+	meta := t.e.rt.Meta(table)
+	if meta.Kind == Ordered {
+		return nil, fmt.Errorf("tx: remote access to ordered table %d must be shipped (Section 6.5)", table)
+	}
+	return &stageReq{
+		k: k, node: node, table: table, key: key, write: write,
+		host:  t.e.rt.C.Node(node).Unordered(table),
+		cache: t.e.cacheFor(node, table),
+	}, nil
+}
+
+// stageBatch runs the three pipelined stages — location lookup, lock/lease
+// acquisition, value prefetch — for all requests, polling each stage's
+// outstanding verbs as doorbell batches.
+func (t *Tx) stageBatch(reqs []*stageReq) error {
+	startv := int64(t.e.w.VClock.Now())
+	defer func() { t.vLock += int64(t.e.w.VClock.Now()) - startv }()
+	sh := t.e.w.Obs
+	sq := t.e.sendq()
+
+	// ---- lookup: batched bucket-chain walks --------------------------------
+	lstart := int64(t.e.w.VClock.Now())
+	lookups := 0
+	for _, s := range reqs {
+		if s.upgrade {
+			// Location known from the staged record.
+			s.loc = kvs.Loc{Off: s.r.off, Lossy: s.r.lossy}
+			s.stateOff = kvs.StateOffset(s.r.off)
+			continue
+		}
+		s.lr = kvs.LookupReq{Table: s.host, Cache: s.cache, Key: s.key}
+		lookups++
+	}
+	if lookups > 0 {
+		lreqs := make([]*kvs.LookupReq, 0, lookups)
+		for _, s := range reqs {
+			if !s.upgrade {
+				lreqs = append(lreqs, &s.lr)
+			}
+		}
+		kvs.LookupBatch(sq, lreqs)
+	}
+	notFound := false
+	for _, s := range reqs {
+		if s.upgrade {
+			continue
+		}
+		if s.lr.Err != nil {
+			sh.Observe(obs.PhaseLookupRemote, int64(t.e.w.VClock.Now())-lstart)
+			return t.nodeDown()
+		}
+		if !s.lr.Found {
+			notFound = true
+			continue
+		}
+		s.loc = s.lr.Loc
+		s.stateOff = kvs.StateOffset(s.loc.Off)
+		s.r = &remoteRec{
+			table: s.table, node: s.node, key: s.key,
+			off: s.loc.Off, lossy: s.loc.Lossy, write: s.write,
+		}
+	}
+	sh.Observe(obs.PhaseLookupRemote, int64(t.e.w.VClock.Now())-lstart)
+	if notFound {
+		t.releaseLocks()
+		return ErrNotFound
+	}
+
+	// ---- acquire: batched lock/lease CAS rounds ----------------------------
+	astart := int64(t.e.w.VClock.Now())
+	me := uint8(t.e.w.Node.ID)
+	delta := t.e.rt.C.Delta()
+	for _, s := range reqs {
+		switch {
+		case s.upgrade:
+			s.old, s.new = clock.Shared(s.r.leaseEnd), clock.WLocked(me)
+		case s.write:
+			s.old, s.new = clock.Init, clock.WLocked(me)
+		default:
+			s.old, s.new = clock.Init, clock.Shared(t.leaseEnd)
+		}
+	}
+	active := append([]*stageReq(nil), reqs...)
+	conflict, down := false, false
+	wrs := make([]*rdma.WR, 0, len(active))
+	for len(active) > 0 && !conflict && !down {
+		wrs = wrs[:0]
+		for _, s := range active {
+			wrs = append(wrs, sq.PostCAS(s.node, s.table, s.stateOff, s.old, s.new))
+		}
+		sq.Poll()
+		next := active[:0]
+		for i, s := range active {
+			wr := wrs[i]
+			cur, swapped, err := wr.Prev, wr.Swapped, wr.Err
+			if err != nil {
+				// Re-attempt with the bounded sync retry policy, matching
+				// the serial path's casRemote.
+				cur, swapped, err = t.casRemote(s.node, s.table, s.stateOff, s.old, s.new)
+				if err != nil {
+					down = true
+					continue
+				}
+			}
+			again, conf := s.onCAS(t, cur, swapped, delta)
+			if conf {
+				conflict = true
+			} else if again {
+				next = append(next, s)
+			}
+		}
+		active = next
+	}
+	sh.Observe(obs.PhaseAcquireRemote, int64(t.e.w.VClock.Now())-astart)
+	if down {
+		return t.nodeDown()
+	}
+	if conflict {
+		return t.remoteConflict()
+	}
+
+	// ---- prefetch: batched entry READs -------------------------------------
+	pstart := int64(t.e.w.VClock.Now())
+	fetches := 0
+	for _, s := range reqs {
+		if s.needFetch {
+			s.entryWR = s.host.PostEntryRead(sq, s.loc)
+			fetches++
+		}
+	}
+	if fetches > 0 {
+		sq.Poll()
+	}
+	stale := false
+	for _, s := range reqs {
+		if s.entryWR == nil {
+			continue
+		}
+		if s.entryWR.Err != nil {
+			down = true
+			continue
+		}
+		e, ok := s.host.DecodeEntry(s.entryWR.Dst, s.key, s.loc)
+		if !ok {
+			// Stale location (deleted/reused entry): explicitly drop the
+			// cached chain so the retry re-resolves it, then retry the txn.
+			s.host.Invalidate(s.cache, s.key)
+			stale = true
+			continue
+		}
+		s.r.buf = append(s.r.buf[:0], e.Value...)
+		s.r.version = e.Version
+	}
+	sh.Observe(obs.PhasePrefetchRemote, int64(t.e.w.VClock.Now())-pstart)
+	if down {
+		return t.nodeDown()
+	}
+	if stale {
+		return t.fail()
+	}
+	return nil
+}
+
+// onCAS consumes one lock/lease CAS completion: it either resolves the
+// request (acquired, or lost to a conflicting holder) or arms the next CAS
+// round. Returns again=true when another round is needed and conflict=true
+// when the record is held by a live conflicting owner (or the CAS budget
+// ran out racing one). The decision logic matches the serial loop this
+// replaces, including the obs lease events.
+func (s *stageReq) onCAS(t *Tx, cur uint64, swapped bool, delta uint64) (again, conflict bool) {
+	sh := t.e.w.Obs
+	if swapped {
+		s.finishAcquire(t)
+		return false, false
+	}
+	if clock.IsWriteLocked(cur) {
+		return false, true
+	}
+	end := clock.LeaseEnd(cur)
+	now := t.e.w.Node.Clock.Read()
+	expired := clock.Expired(end, now, delta)
+	if !expired {
+		if s.write {
+			// Writers (and upgrades) must wait out an unexpired lease.
+			return false, true
+		}
+		// Share the existing unexpired lease (Figure 5).
+		sh.Inc(obs.EvLeaseShare)
+		s.r.leaseEnd = end
+		s.register(t)
+		return false, false
+	}
+	if s.takeover {
+		// Lost the takeover race; restart from the free-word CAS.
+		s.iters++
+		if s.iters >= casRetries {
+			return false, true
+		}
+		s.takeover = false
+		if s.write {
+			s.old, s.new = clock.Init, clock.WLocked(uint8(t.e.w.Node.ID))
+		} else {
+			s.old, s.new = clock.Init, clock.Shared(t.leaseEnd)
+		}
+		return true, false
+	}
+	// Expired lease observed: take it over in place.
+	s.takeover = true
+	s.old = cur
+	if s.write {
+		s.new = clock.WLocked(uint8(t.e.w.Node.ID))
+	} else {
+		s.new = clock.Shared(t.leaseEnd)
+	}
+	return true, false
+}
+
+// finishAcquire registers a CAS-won acquisition (exclusive lock, fresh
+// lease, or in-place upgrade) and queues the record for prefetch.
+func (s *stageReq) finishAcquire(t *Tx) {
+	sh := t.e.w.Obs
+	if s.takeover {
+		sh.Inc(obs.EvLeaseExpire)
+	}
+	if s.upgrade {
+		// The shared lease is now an exclusive lock; re-prefetch below — the
+		// buffered value may predate a writer that took over the old lease.
+		s.r.write = true
+		s.r.leaseEnd = 0
+		sh.Inc(obs.EvLockUpgrade)
+		s.needFetch = true
+		return
+	}
+	if !s.write {
+		sh.Inc(obs.EvLeaseGrant)
+		s.r.leaseEnd = t.leaseEnd
+	}
+	s.register(t)
+}
+
+// register adds the record to the transaction's staged set so commit and
+// abort both cover it, and queues the prefetch READ.
+func (s *stageReq) register(t *Tx) {
+	t.rIndex[s.k] = s.r
+	t.remotes = append(t.remotes, s.r)
+	s.needFetch = true
+}

@@ -2,13 +2,13 @@ package tx
 
 import (
 	"errors"
-	"fmt"
 
 	"drtm/internal/clock"
 	"drtm/internal/htm"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
 	"drtm/internal/obs"
+	"drtm/internal/rdma"
 )
 
 // Explicit HTM abort codes used by the protocol (XABORT imm8 values).
@@ -22,6 +22,7 @@ type remoteRec struct {
 	table, node int
 	key         uint64
 	off         memory.Offset // entry offset in the owner's arena
+	lossy       uint64        // lossy incarnation from the locator (staleness check)
 	buf         []uint64      // prefetched value (transaction-private)
 	version     uint32        // version observed at fetch
 	leaseEnd    uint64        // granted lease end (reads)
@@ -160,132 +161,6 @@ func (t *Tx) declareLocal(table int, key uint64, write bool) {
 	}
 	t.lIndex[k] = len(t.locals)
 	t.locals = append(t.locals, localRec{table: table, key: key, write: write})
-}
-
-// stageRemote implements REMOTE_READ / REMOTE_WRITE of Figure 5.
-func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
-	startv := int64(t.e.w.VClock.Now())
-	defer func() { t.vLock += int64(t.e.w.VClock.Now()) - startv }()
-	sh := t.e.w.Obs
-	k := refKey{table, key}
-	if r, ok := t.rIndex[k]; ok {
-		if write && !r.write {
-			// Upgrade read->write is not supported mid-stage; workloads
-			// declare the stronger intent first. Treat as conflict.
-			return t.fail()
-		}
-		return nil
-	}
-	meta := t.e.rt.Meta(table)
-	if meta.Kind == Ordered {
-		return fmt.Errorf("tx: remote access to ordered table %d must be shipped (Section 6.5)", table)
-	}
-
-	host := t.e.rt.C.Node(node).Unordered(table)
-	loc, ok, lerr := host.LookupRemoteE(t.e.w.QP, t.e.cacheFor(node, table), key)
-	if lerr != nil {
-		return t.nodeDown()
-	}
-	if !ok {
-		t.releaseLocks()
-		return ErrNotFound
-	}
-	stateOff := kvs.StateOffset(loc.Off)
-	delta := t.e.rt.C.Delta()
-
-	r := &remoteRec{table: table, node: node, key: key, off: loc.Off, write: write}
-
-	const casRetries = 8
-	acquired := false
-	if write {
-		for i := 0; i < casRetries && !acquired; i++ {
-			cur, ok, err := t.casRemote(node, table, stateOff, clock.Init,
-				clock.WLocked(uint8(t.e.w.Node.ID)))
-			if err != nil {
-				return t.nodeDown()
-			}
-			if ok {
-				acquired = true
-				break
-			}
-			if clock.IsWriteLocked(cur) {
-				return t.remoteConflict()
-			}
-			// Shared lease present: writers must wait for expiry.
-			if !clock.Expired(clock.LeaseEnd(cur), t.e.w.Node.Clock.Read(), delta) {
-				return t.remoteConflict()
-			}
-			if _, ok, err := t.casRemote(node, table, stateOff, cur,
-				clock.WLocked(uint8(t.e.w.Node.ID))); err != nil {
-				return t.nodeDown()
-			} else if ok {
-				sh.Inc(obs.EvLeaseExpire) // took over an expired lease
-				acquired = true
-			}
-		}
-	} else {
-		for i := 0; i < casRetries && !acquired; i++ {
-			cur, ok, err := t.casRemote(node, table, stateOff, clock.Init,
-				clock.Shared(t.leaseEnd))
-			if err != nil {
-				return t.nodeDown()
-			}
-			if ok {
-				sh.Inc(obs.EvLeaseGrant)
-				r.leaseEnd = t.leaseEnd
-				acquired = true
-				break
-			}
-			if clock.IsWriteLocked(cur) {
-				return t.remoteConflict()
-			}
-			end := clock.LeaseEnd(cur)
-			now := t.e.w.Node.Clock.Read()
-			if !clock.Expired(end, now, delta) {
-				// Share the existing unexpired lease (Figure 5).
-				sh.Inc(obs.EvLeaseShare)
-				r.leaseEnd = end
-				acquired = true
-				break
-			}
-			if _, ok, err := t.casRemote(node, table, stateOff, cur,
-				clock.Shared(t.leaseEnd)); err != nil {
-				return t.nodeDown()
-			} else if ok {
-				sh.Inc(obs.EvLeaseExpire)
-				sh.Inc(obs.EvLeaseGrant)
-				r.leaseEnd = t.leaseEnd
-				acquired = true
-			}
-		}
-	}
-	if !acquired {
-		return t.remoteConflict()
-	}
-
-	// Prefetch the record into the transaction-private buffer.
-	e, ok, rerr := host.ReadEntryRemoteE(t.e.w.QP, key, loc)
-	if rerr != nil {
-		if write {
-			t.unlockRemote(r)
-		}
-		return t.nodeDown()
-	}
-	if !ok {
-		// Stale location (deleted/reused entry): drop cache and retry txn.
-		if c := t.e.cacheFor(node, table); c != nil {
-			host.GetRemote(t.e.w.QP, c, key) // refresh/invalidate path
-		}
-		if write {
-			t.unlockRemote(r)
-		}
-		return t.fail()
-	}
-	r.buf = append([]uint64(nil), e.Value...)
-	r.version = e.Version
-	t.rIndex[k] = r
-	t.remotes = append(t.remotes, r)
-	return nil
 }
 
 // casRemote is the acquisition-side CAS: transient faults retry with
@@ -483,35 +358,73 @@ func (t *Tx) confirmLeases(htx *htm.Txn) {
 }
 
 // commitRemotes writes back dirty remote records and releases exclusive
-// locks (REMOTE_WRITE_BACK in Figure 5). The version word, the state word
-// (reset to INIT = unlock) and the value are contiguous in the entry, so a
-// record whose entry fits one cache line commits with a single RDMA WRITE;
-// larger records write the value first and unlock second, so no reader can
-// lease a half-written record.
+// locks (REMOTE_WRITE_BACK in Figure 5), batching the verbs per poll. The
+// version word, the state word (reset to INIT = unlock) and the value are
+// contiguous in the entry, so a record whose entry fits one cache line
+// commits with a single RDMA WRITE; larger records write the value in a
+// first polled batch and unlock in a second, so no reader can lease a
+// half-written record — the poll between the batches is the ordering point
+// the serial path got from blocking on each WRITE.
+//
+// These are release-side verbs (they run after the serialization point):
+// a work request that fails at completion falls back to the corresponding
+// must* helper, which retries timeouts without bound and parks writes to an
+// unreachable node for recovery, exactly as before.
 func (t *Tx) commitRemotes() {
+	type commitOp struct {
+		r    *remoteRec
+		off  memory.Offset
+		data []uint64 // WRITE payload; nil for a plain unlock CAS
+		wr   *rdma.WR
+	}
+	sq := t.e.sendq()
+	var value, release []commitOp
 	for _, r := range t.remotes {
 		if !r.write {
 			continue
 		}
 		incverOff := kvs.IncVerOffset(r.off)
-		host := t.e.rt.C.Node(r.node).Unordered(r.table)
-		inc := t.readIncarnation(host, r)
-		newIncVer := kvs.PackIncVer(inc, r.version+1)
 		if !r.dirty {
-			// Clean write lock: just unlock.
-			t.unlockRemote(r)
+			// Clean write lock: just unlock (owner-guarded CAS).
+			release = append(release, commitOp{r: r, off: kvs.StateOffset(r.off)})
 			continue
 		}
+		host := t.e.rt.C.Node(r.node).Unordered(r.table)
+		newIncVer := kvs.PackIncVer(t.readIncarnation(host, r), r.version+1)
 		span := 2 + len(r.buf) // incver, state, value...
 		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
 			words := make([]uint64, span)
 			words[0] = newIncVer
 			words[1] = clock.Init
 			copy(words[2:], r.buf)
-			t.e.mustWrite(r.node, r.table, incverOff, words)
+			release = append(release, commitOp{r: r, off: incverOff, data: words})
 		} else {
-			t.e.mustWrite(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
-			t.e.mustWrite(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
+			value = append(value, commitOp{r: r, off: kvs.ValueOffset(r.off), data: r.buf})
+			release = append(release, commitOp{r: r, off: incverOff,
+				data: []uint64{newIncVer, clock.Init}})
+		}
+	}
+	for _, phase := range [][]commitOp{value, release} {
+		for i := range phase {
+			op := &phase[i]
+			if op.data != nil {
+				op.wr = sq.PostWrite(op.r.node, op.r.table, op.off, op.data)
+			} else {
+				op.wr = sq.PostCAS(op.r.node, op.r.table, op.off,
+					clock.WLocked(uint8(t.e.w.Node.ID)), clock.Init)
+			}
+		}
+		sq.Poll()
+		for i := range phase {
+			op := &phase[i]
+			if op.wr.Err == nil {
+				continue
+			}
+			if op.data != nil {
+				t.e.mustWrite(op.r.node, op.r.table, op.off, op.data)
+			} else {
+				t.e.mustUnlock(op.r.node, op.r.table, op.off)
+			}
 		}
 	}
 	t.remotes = nil

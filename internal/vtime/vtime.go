@@ -85,6 +85,13 @@ type Model struct {
 	// on the completion queue until its timeout fires.
 	TimeoutNS int64
 
+	// DoorbellNS is the per-work-request CPU cost of the async verb engine:
+	// building the WQE, ringing the doorbell (MMIO) and later consuming the
+	// completion from the CQ. Work requests posted in one batch overlap in
+	// the fabric, so a polled batch charges the *maximum* completion latency
+	// plus this per-WR posting cost — see BatchOverlapNS.
+	DoorbellNS int64
+
 	// Server-side NIC capacity (used by closed-form saturation analysis in
 	// the KV experiments, Figure 10): small-op rate cap and wire bandwidth.
 	// Calibrated to Figure 10(a): ~26.3 Mops small READs, ~7 GB/s.
@@ -124,6 +131,8 @@ func DefaultModel() Model {
 
 		TimeoutNS: 1_000_000, // 1 ms QP completion timeout
 
+		DoorbellNS: 200, // WQE build + doorbell MMIO + CQ poll per WR
+
 		NICOpCapPerSec:  27e6,
 		NICBandwidthBps: 7e9,
 	}
@@ -152,6 +161,22 @@ func (m *Model) IPoIBMsg(n int) time.Duration {
 	return time.Duration(m.IPoIBMsgBaseNS + int64(float64(n)*m.IPoIBMsgPerByteNS))
 }
 
+// BatchOverlapNS returns the modeled wall time of polling one batch of
+// outstanding work requests to completion: the requests are in flight
+// concurrently, so the batch completes when its slowest member does, plus
+// the per-WR CPU/doorbell cost of posting and reaping each request. This is
+// the overlap-aware charging rule of the async verb engine; a batch of one
+// WR still pays one doorbell.
+func (m *Model) BatchOverlapNS(costs []int64) int64 {
+	var max int64
+	for _, c := range costs {
+		if c > max {
+			max = c
+		}
+	}
+	return max + int64(len(costs))*m.DoorbellNS
+}
+
 // NVRAMAppend returns the cost of persisting n bytes to emulated NVRAM.
 func (m *Model) NVRAMAppend(n int) time.Duration {
 	return time.Duration(m.NVRAMAppendBaseNS + int64(float64(n)*m.NVRAMAppendPerByteNS))
@@ -161,9 +186,9 @@ func (m *Model) NVRAMAppend(n int) time.Duration {
 func (m *Model) String() string {
 	return fmt.Sprintf(
 		"cost model: rdma{read %dns+%.2fns/B, write %dns+%.2fns/B, cas %dns} "+
-			"localCAS %dns verbs %dns ipoib %dns htm{begin %d commit %d} "+
+			"localCAS %dns doorbell %dns verbs %dns ipoib %dns htm{begin %d commit %d} "+
 			"hash %dns btree %dns nvram %dns",
 		m.RDMAReadBaseNS, m.RDMAReadPerByteNS, m.RDMAWriteBaseNS, m.RDMAWritePerByteNS,
-		m.RDMACASNS, m.LocalCASNS, m.VerbsMsgBaseNS, m.IPoIBMsgBaseNS,
+		m.RDMACASNS, m.LocalCASNS, m.DoorbellNS, m.VerbsMsgBaseNS, m.IPoIBMsgBaseNS,
 		m.HTMBeginNS, m.HTMCommitNS, m.HashProbeNS, m.BTreeOpNS, m.NVRAMAppendBaseNS)
 }
