@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench bench-baseline batch chaos
+.PHONY: check build vet test race bench bench-baseline batch chaos occ
 
-check: build vet race batch chaos
+check: build vet race batch occ chaos
 
 build:
 	go build ./...
@@ -26,10 +26,16 @@ chaos:
 batch:
 	go run ./cmd/drtm-bench -exp batch -quick
 
+# Speculative-read gate: the one-RTT OCC arm must keep its low-contention
+# win over lease CAS and show the write-ratio crossover (occexp_test.go).
+occ:
+	go run ./cmd/drtm-bench -exp occ -quick
+	go test -run TestOCCAcceptance ./internal/bench/
+
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:
 	go run ./cmd/drtm-bench -exp all
 
-# Regenerate the committed batching baseline at full scale, fixed seed.
+# Regenerate the committed baseline tables at full scale, fixed seed.
 bench-baseline:
-	go run ./cmd/drtm-bench -exp batch -seed 42 -json BENCH_baseline.json
+	go run ./cmd/drtm-bench -exp batch,occ -seed 42 -json BENCH_baseline.json

@@ -137,6 +137,17 @@ type Options struct {
 	// window (16); 1 serializes every verb, reproducing the pre-batching
 	// round-trip-per-op behavior.
 	BatchWindow int
+
+	// SpeculativeReads selects the speculative (OCC) read arm: remote
+	// read-set records are fetched with a single one-sided READ — no lease
+	// CAS — and re-validated at commit time in one doorbell-batched wave of
+	// version re-READs; any version bump or live exclusive lock retries the
+	// transaction. This trades the Start phase's RDMA CAS (~14.5µs modeled)
+	// for an extra READ (~1.5µs) per read record, winning at low write
+	// contention and losing to validation aborts as contention rises (see
+	// the `occ` experiment in EXPERIMENTS.md). The software fallback path
+	// always uses leases regardless of this flag.
+	SpeculativeReads bool
 }
 
 // maxLeaseMicros bounds lease durations: the state word encodes lease end
@@ -257,6 +268,7 @@ func Open(o Options, part PartitionFunc) (*DB, error) {
 	c := cluster.New(cfg)
 	db := &DB{C: c, RT: tx.NewRuntime(c, part), faults: rdma.NewFaultPlan(o.FaultSeed)}
 	db.RT.BatchWindow = o.BatchWindow
+	db.RT.SpeculativeReads = o.SpeculativeReads
 	c.Fabric.SetFaultPlan(db.faults)
 	if o.FailureDetection {
 		db.RT.EnableAutoRecovery()
@@ -418,6 +430,10 @@ type Stats struct {
 	RemoteLockConflicts int64 // lock/lease acquisitions lost to a conflicting holder
 	LockUpgrades        int64 // shared leases upgraded in place to exclusive locks
 
+	// Speculative (OCC) read-arm events (Options.SpeculativeReads).
+	SpecReads         int64 // records fetched with a versioned READ, no lock
+	SpecValidateFails int64 // commit-time validations that found a version bump or live lock
+
 	// One-sided RDMA and messaging verbs (Section 7.1).
 	RDMAReads   int64
 	RDMAWrites  int64
@@ -444,9 +460,12 @@ type Stats struct {
 	// lock/lease + prefetch), the HTM region (attempts plus fallback body),
 	// the Commit phase (remote write-back + unlock), and the whole
 	// transaction. Only committed read-write transactions are recorded.
+	// ValidateLatency covers the speculative arm's commit-time validation
+	// wave (a sub-phase of the HTM region, or of RO confirm).
 	LockRemoteLatency Latency
 	HTMRegionLatency  Latency
 	CommitLatency     Latency
+	ValidateLatency   Latency
 	TotalLatency      Latency
 
 	snap obs.Snapshot
@@ -476,6 +495,9 @@ func newStats(sn obs.Snapshot) Stats {
 		RemoteLockConflicts: c(obs.EvRemoteLockConflict),
 		LockUpgrades:        c(obs.EvLockUpgrade),
 
+		SpecReads:         c(obs.EvSpecRead),
+		SpecValidateFails: c(obs.EvSpecValidateFail),
+
 		RDMAReads:   c(obs.EvRDMARead),
 		RDMAWrites:  c(obs.EvRDMAWrite),
 		RDMACASes:   c(obs.EvRDMACAS),
@@ -498,6 +520,7 @@ func newStats(sn obs.Snapshot) Stats {
 		LockRemoteLatency: latencyOf(sn.Phases[obs.PhaseLockRemote]),
 		HTMRegionLatency:  latencyOf(sn.Phases[obs.PhaseHTM]),
 		CommitLatency:     latencyOf(sn.Phases[obs.PhaseCommit]),
+		ValidateLatency:   latencyOf(sn.Phases[obs.PhaseValidate]),
 		TotalLatency:      latencyOf(sn.Phases[obs.PhaseTotal]),
 
 		snap: sn,
@@ -531,6 +554,7 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "lease:   grants=%d shares=%d confirms=%d confirm-fails=%d expiries=%d lock-conflicts=%d upgrades=%d\n",
 		s.LeaseGrants, s.LeaseShares, s.LeaseConfirms, s.LeaseConfirmFails,
 		s.LeaseExpiries, s.RemoteLockConflicts, s.LockUpgrades)
+	fmt.Fprintf(&b, "spec:    reads=%d validate-fails=%d\n", s.SpecReads, s.SpecValidateFails)
 	fmt.Fprintf(&b, "rdma:    reads=%d writes=%d cas=%d faa=%d msgs=%d batches=%d\n",
 		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs, s.RDMABatches)
 	fmt.Fprintf(&b, "nvram:   log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
@@ -545,6 +569,7 @@ func (s Stats) String() string {
 		{"lock-remote", s.LockRemoteLatency},
 		{"htm-region", s.HTMRegionLatency},
 		{"commit-remotes", s.CommitLatency},
+		{"validate", s.ValidateLatency},
 		{"total", s.TotalLatency},
 	} {
 		fmt.Fprintf(&b, "latency: %-14s n=%-8d p50=%-10v p95=%-10v p99=%-10v max=%v\n",

@@ -1,0 +1,56 @@
+package bench
+
+import "testing"
+
+func TestSmokeOCC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("occ experiment is slow")
+	}
+	runSmoke(t, "occ")
+}
+
+// TestOCCAcceptance pins the two qualitative claims of the speculative read
+// arm: at low contention the spec Start phase dodges the CAS tax (>=2.5x
+// cheaper per record), and as the write ratio climbs the spec arm pays for
+// its optimism with commit-time validation failures and retries — the
+// crossover that makes lease locks the right call for write-hot workloads.
+func TestOCCAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("occ acceptance is slow")
+	}
+	o := Options{Quick: true, Seed: 1}
+
+	// Uncontended cost: the spec arm must cut the Start phase to <=0.4x of
+	// the lease arm, i.e. >=2.5x cheaper per read-set record.
+	const nrec = 8
+	lease := measureOCCCost(o, 60, nrec, false)
+	spec := measureOCCCost(o, 60, nrec, true)
+	if lease.lockNS <= 0 || spec.lockNS <= 0 {
+		t.Fatalf("missing lock-phase samples: lease=%v spec=%v", lease.lockNS, spec.lockNS)
+	}
+	if spec.lockNS > 0.4*lease.lockNS {
+		t.Errorf("spec start phase %.0fns > 0.4x lease %.0fns", spec.lockNS, lease.lockNS)
+	}
+	if spec.specReads == 0 {
+		t.Error("spec arm recorded no speculative reads")
+	}
+	if spec.specFailsPerTx != 0 {
+		t.Errorf("uncontended spec run had %.3f validate-fails/txn, want 0", spec.specFailsPerTx)
+	}
+
+	// Crossover: under a skewed write-heavy mix the spec arm's validation
+	// failures appear and its retry rate exceeds the read-only case.
+	specRO := measureOCC(o, 60, 0.99, 0, true)
+	specRW := measureOCC(o, 60, 0.99, 75, true)
+	if specRO.specFailsPerTx != 0 {
+		t.Errorf("read-only sweep had %.3f validate-fails/txn, want 0", specRO.specFailsPerTx)
+	}
+	if specRW.specFailsPerTx <= specRO.specFailsPerTx {
+		t.Errorf("validate-fail rate did not rise with write ratio: w=0 %.3f, w=75 %.3f",
+			specRO.specFailsPerTx, specRW.specFailsPerTx)
+	}
+	if specRW.retriesPerTx <= specRO.retriesPerTx {
+		t.Errorf("retry rate did not rise with write ratio: w=0 %.3f, w=75 %.3f",
+			specRO.retriesPerTx, specRW.retriesPerTx)
+	}
+}

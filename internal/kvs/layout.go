@@ -45,11 +45,23 @@ const (
 )
 
 // Entry word indices relative to the entry offset.
+//
+// The incarnation|version word doubles as the speculative read arm's
+// validation anchor: every committed write — HTM-local (Table.WriteTx /
+// tx.Local.Write), remote write-back, and the software fallback's publish —
+// bumps the 32-bit version while holding the entry's write protection, so a
+// reader that observes an unchanged version word with an unlocked state word
+// has observed a stable `version ‖ state ‖ value` image. Keeping it adjacent
+// to the state word lets one 2-word READ (see PostHeaderRead) fetch both.
 const (
 	EntryKeyWord    = 0
 	EntryIncVerWord = 1
 	EntryStateWord  = 2
 	EntryValueWord  = 3
+
+	// EntryHeaderWords spans the incarnation|version and state words — the
+	// window re-READ by speculative commit-time validation.
+	EntryHeaderWords = 2
 )
 
 // slot word 0 packing: type in bits 63..62, lossy incarnation in bits

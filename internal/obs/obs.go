@@ -60,6 +60,11 @@ const (
 	EvRemoteLockConflict // lock/lease acquisition blocked by a conflicting holder
 	EvLockUpgrade        // shared lease upgraded in place to an exclusive lock
 
+	// Speculative (OCC) read-arm events: version-validated reads that skip
+	// the lease CAS entirely (Runtime.SpeculativeReads).
+	EvSpecRead         // record fetched with a single versioned READ, no lock
+	EvSpecValidateFail // commit-time validation found a version bump or live lock
+
 	// One-sided RDMA and messaging verbs (Section 7.1).
 	EvRDMARead
 	EvRDMAWrite
@@ -106,6 +111,8 @@ var eventNames = [NumEvents]string{
 	EvLeaseExpire:        "lease.expire",
 	EvRemoteLockConflict: "lock.remote_conflict",
 	EvLockUpgrade:        "lock.upgrade",
+	EvSpecRead:           "spec.read",
+	EvSpecValidateFail:   "spec.validate_fail",
 	EvRDMARead:           "rdma.read",
 	EvRDMAWrite:          "rdma.write",
 	EvRDMACAS:            "rdma.cas",
@@ -149,6 +156,11 @@ const (
 	PhaseAcquireRemote
 	PhasePrefetchRemote
 
+	// PhaseValidate times the speculative read arm's commit-time validation
+	// wave: the batched version re-READs plus the in-region compares. It is
+	// a sub-phase of PhaseHTM (read-write) or of the read-only confirm.
+	PhaseValidate
+
 	// PhaseBatchOps is not a latency: each observation is the number of work
 	// requests in one polled doorbell batch, so the histogram is the
 	// ops-per-batch distribution of the async verb engine.
@@ -165,6 +177,7 @@ var phaseNames = [NumPhases]string{
 	PhaseLookupRemote:   "lookup-remote",
 	PhaseAcquireRemote:  "acquire-remote",
 	PhasePrefetchRemote: "prefetch-remote",
+	PhaseValidate:       "validate",
 	PhaseBatchOps:       "batch-ops",
 }
 
@@ -509,6 +522,7 @@ const (
 	CauseExplicit            // other explicit abort
 	CauseRemote              // remote lock/lease acquisition conflict
 	CauseUser                // user abort / user error
+	CauseSpec                // speculative read validation failed at commit
 )
 
 func (c AbortCause) String() string {
@@ -529,6 +543,8 @@ func (c AbortCause) String() string {
 		return "remote-lock"
 	case CauseUser:
 		return "user"
+	case CauseSpec:
+		return "spec-validate"
 	default:
 		return fmt.Sprintf("AbortCause(%d)", int(c))
 	}

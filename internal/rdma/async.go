@@ -70,6 +70,12 @@ type WR struct {
 	Prev    uint64 // prior word value (CAS, FAA)
 	Swapped bool   // CAS succeeded
 	CostNS  int64  // this WR's own modeled completion latency
+
+	// pooled marks WRs allocated by the queue's Post* helpers: they are
+	// recycled when the next batch starts posting, so a completed WR (and
+	// Poll's returned slice) stays readable only until the first Post that
+	// follows its Poll. WRs built and posted by the caller are never pooled.
+	pooled bool
 }
 
 // complete executes one work request at completion time: per-WR fault
@@ -140,6 +146,15 @@ type SendQueue struct {
 	qp      *QP
 	window  int
 	pending []*WR
+
+	// WR pool: done holds the last batch's queue-allocated WRs until the
+	// next batch starts posting, then they move to free for reuse. spare
+	// double-buffers the pending slice so Poll's returned slice survives
+	// one full batch cycle.
+	done  []*WR
+	free  []*WR
+	spare []*WR
+	costs []int64
 }
 
 // NewSendQueue creates a send queue with the given outstanding-WR window;
@@ -162,28 +177,57 @@ func (sq *SendQueue) Pending() int { return len(sq.pending) }
 
 // Post enqueues a prepared work request and returns it.
 func (sq *SendQueue) Post(wr *WR) *WR {
+	if len(sq.pending) == 0 && len(sq.done) > 0 {
+		// A new batch begins: the previous batch's completions are now
+		// consumed (see WR.pooled), so its queue-allocated WRs recycle.
+		sq.free = append(sq.free, sq.done...)
+		sq.done = sq.done[:0]
+	}
 	sq.pending = append(sq.pending, wr)
 	return wr
 }
 
+// getWR pops a pooled work request (or allocates the pool's next one).
+func (sq *SendQueue) getWR() *WR {
+	if len(sq.pending) == 0 && len(sq.done) > 0 {
+		sq.free = append(sq.free, sq.done...)
+		sq.done = sq.done[:0]
+	}
+	if n := len(sq.free); n > 0 {
+		wr := sq.free[n-1]
+		sq.free = sq.free[:n-1]
+		*wr = WR{pooled: true}
+		return wr
+	}
+	return &WR{pooled: true}
+}
+
 // PostRead posts a one-sided READ of len(dst) words into dst.
 func (sq *SendQueue) PostRead(node, region int, off memory.Offset, dst []uint64) *WR {
-	return sq.Post(&WR{Op: OpRead, Node: node, Region: region, Off: off, Dst: dst})
+	wr := sq.getWR()
+	wr.Op, wr.Node, wr.Region, wr.Off, wr.Dst = OpRead, node, region, off, dst
+	return sq.Post(wr)
 }
 
 // PostWrite posts a one-sided WRITE of src.
 func (sq *SendQueue) PostWrite(node, region int, off memory.Offset, src []uint64) *WR {
-	return sq.Post(&WR{Op: OpWrite, Node: node, Region: region, Off: off, Src: src})
+	wr := sq.getWR()
+	wr.Op, wr.Node, wr.Region, wr.Off, wr.Src = OpWrite, node, region, off, src
+	return sq.Post(wr)
 }
 
 // PostCAS posts a one-sided atomic compare-and-swap of a single word.
 func (sq *SendQueue) PostCAS(node, region int, off memory.Offset, old, new uint64) *WR {
-	return sq.Post(&WR{Op: OpCAS, Node: node, Region: region, Off: off, Old: old, New: new})
+	wr := sq.getWR()
+	wr.Op, wr.Node, wr.Region, wr.Off, wr.Old, wr.New = OpCAS, node, region, off, old, new
+	return sq.Post(wr)
 }
 
 // PostFAA posts a one-sided atomic fetch-and-add.
 func (sq *SendQueue) PostFAA(node, region int, off memory.Offset, delta uint64) *WR {
-	return sq.Post(&WR{Op: OpFAA, Node: node, Region: region, Off: off, Delta: delta})
+	wr := sq.getWR()
+	wr.Op, wr.Node, wr.Region, wr.Off, wr.Delta = OpFAA, node, region, off, delta
+	return sq.Post(wr)
 }
 
 // Poll flushes every pending WR and waits for all completions, returning
@@ -196,8 +240,10 @@ func (sq *SendQueue) PostFAA(node, region int, off memory.Offset, delta uint64) 
 // chains (e.g. value WRITE before unlock WRITE).
 func (sq *SendQueue) Poll() []*WR {
 	wrs := sq.pending
-	sq.pending = nil
-	costs := make([]int64, 0, sq.window)
+	sq.pending = sq.spare[:0]
+	sq.spare = wrs
+	costs := sq.costs[:0]
+	defer func() { sq.costs = costs[:0] }()
 	for start := 0; start < len(wrs); start += sq.window {
 		end := start + sq.window
 		if end > len(wrs) {
@@ -215,6 +261,11 @@ func (sq *SendQueue) Poll() []*WR {
 		sq.qp.Obs.Observe(obs.PhaseBatchOps, int64(len(wave)))
 		sq.qp.charge(sq.qp.fabric.model.BatchOverlapNS(costs))
 		netYield()
+	}
+	for _, wr := range wrs {
+		if wr.pooled {
+			sq.done = append(sq.done, wr)
+		}
 	}
 	return wrs
 }

@@ -28,6 +28,7 @@ package rdma
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"drtm/internal/memory"
@@ -86,13 +87,43 @@ func (c *Counters) Add(src *Counters) {
 // Handler serves two-sided verbs requests on an endpoint.
 type Handler func(from int, req any) any
 
+// regionTable is an endpoint's immutable snapshot of registered regions.
+// Registration replaces the whole table copy-on-write, so the verb path —
+// which may run concurrently on detector/recovery goroutines while a late
+// table is being defined — reads it with one atomic load and no lock.
+type regionTable struct {
+	arenas  map[int]*memory.Arena
+	durable map[int]bool // regions that stay readable after a crash (NVRAM)
+}
+
 // Endpoint is a node's attachment to the fabric.
 type Endpoint struct {
 	id      int
-	regions map[int]*memory.Arena
-	durable map[int]bool // regions that stay readable after a crash (NVRAM)
+	regions atomic.Pointer[regionTable]
+	regMu   sync.Mutex // serializes copy-on-write registration
 	handler atomic.Pointer[Handler]
 	down    atomic.Bool
+}
+
+func (ep *Endpoint) register(regionID int, a *memory.Arena, durable bool) {
+	ep.regMu.Lock()
+	defer ep.regMu.Unlock()
+	old := ep.regions.Load()
+	next := &regionTable{
+		arenas:  make(map[int]*memory.Arena, len(old.arenas)+1),
+		durable: make(map[int]bool, len(old.durable)+1),
+	}
+	for k, v := range old.arenas {
+		next.arenas[k] = v
+	}
+	for k, v := range old.durable {
+		next.durable[k] = v
+	}
+	next.arenas[regionID] = a
+	if durable {
+		next.durable[regionID] = true
+	}
+	ep.regions.Store(next)
 }
 
 // Fabric connects the endpoints of a cluster.
@@ -108,11 +139,12 @@ type Fabric struct {
 func NewFabric(n int, model vtime.Model, atomicity AtomicityLevel) *Fabric {
 	f := &Fabric{model: model, atomicity: atomicity}
 	for i := 0; i < n; i++ {
-		f.eps = append(f.eps, &Endpoint{
-			id:      i,
-			regions: make(map[int]*memory.Arena),
+		ep := &Endpoint{id: i}
+		ep.regions.Store(&regionTable{
+			arenas:  make(map[int]*memory.Arena),
 			durable: make(map[int]bool),
 		})
+		f.eps = append(f.eps, ep)
 	}
 	return f
 }
@@ -148,16 +180,16 @@ func (f *Fabric) Endpoint(node int) *Endpoint {
 }
 
 // Register exposes an arena as a remotely accessible region of a node.
+// Safe to call while traffic is live (tables may be defined after the
+// cluster — and its detector goroutines — have started).
 func (f *Fabric) Register(node, regionID int, a *memory.Arena) {
-	f.eps[node].regions[regionID] = a
+	f.eps[node].register(regionID, a, false)
 }
 
 // RegisterDurable registers an arena as an NVRAM-backed region: like
 // Register, but READs of the region keep succeeding while the node is down.
-// Must be called before traffic starts, like Register.
 func (f *Fabric) RegisterDurable(node, regionID int, a *memory.Arena) {
-	f.eps[node].regions[regionID] = a
-	f.eps[node].durable[regionID] = true
+	f.eps[node].register(regionID, a, true)
 }
 
 // Serve installs the two-sided verbs handler for a node.
@@ -166,7 +198,7 @@ func (f *Fabric) Serve(node int, h Handler) {
 }
 
 func (f *Fabric) region(node, regionID int) *memory.Arena {
-	a, ok := f.eps[node].regions[regionID]
+	a, ok := f.eps[node].regions.Load().arenas[regionID]
 	if !ok {
 		panic(fmt.Sprintf("rdma: node %d has no region %d", node, regionID))
 	}
@@ -174,7 +206,7 @@ func (f *Fabric) region(node, regionID int) *memory.Arena {
 }
 
 func (f *Fabric) regionErr(node, regionID int) (*memory.Arena, error) {
-	a, ok := f.eps[node].regions[regionID]
+	a, ok := f.eps[node].regions.Load().arenas[regionID]
 	if !ok {
 		return nil, fmt.Errorf("%w: node %d region %d", ErrNoRegion, node, regionID)
 	}
@@ -228,7 +260,7 @@ func netYield() { runtime.Gosched() }
 func (q *QP) faultCheck(node, region int, read bool) (extraNS int64, err error) {
 	f := q.fabric
 	ep := f.eps[node]
-	if ep.down.Load() && !(read && ep.durable[region]) {
+	if ep.down.Load() && !(read && ep.regions.Load().durable[region]) {
 		return 0, ErrNodeUnreachable
 	}
 	// Fail-stop covers the source too: a crashed machine cannot issue

@@ -86,7 +86,7 @@ func TestCostCharging(t *testing.T) {
 // write from another node aborts a conflicting HTM transaction on the host.
 func TestRDMAAbortsHTM(t *testing.T) {
 	f := newTestFabric(2)
-	hostArena := f.Endpoint(1).regions[0]
+	hostArena := f.Endpoint(1).regions.Load().arenas[0]
 	eng := htm.NewEngine(htm.Config{})
 	qp := f.NewQP(0, nil)
 

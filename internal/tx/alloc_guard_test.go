@@ -1,0 +1,42 @@
+//go:build !race
+
+package tx
+
+import "testing"
+
+// TestExecAllocSteadyState pins the pooled hot path: once the executor's
+// pools are warm, a committed transaction must stay under a small allocation
+// budget (the pre-pooling path allocated 24/53 objects per local/remote
+// transaction; the pools brought that to ~15/17, dominated by the HTM engine
+// and closure captures). Excluded under -race: the detector adds shadow
+// allocations.
+func TestExecAllocSteadyState(t *testing.T) {
+	rt, stop := newRig(t, 2, 1, 8, nil)
+	defer stop()
+	rt.SpeculativeReads = true
+	e := rt.Executor(0, 0)
+	for i := 0; i < 16; i++ { // warm the pools
+		if err := benchRemoteTxn(e, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := benchLocalTxn(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := testing.AllocsPerRun(50, func() {
+		if err := benchLocalTxn(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	remote := testing.AllocsPerRun(50, func() {
+		if err := benchRemoteTxn(e, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if local > 20 {
+		t.Errorf("local txn allocates %.0f objects, budget 20", local)
+	}
+	if remote > 25 {
+		t.Errorf("remote spec txn allocates %.0f objects, budget 25", remote)
+	}
+}

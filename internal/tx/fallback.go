@@ -52,12 +52,17 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		}
 	}
 	t.remotes = nil
-	t.rIndex = map[refKey]*remoteRec{}
+	clear(t.rIndex)
 
+	// Note: speculative records arrive here with write=false and are
+	// re-acquired below as leases. The fallback path never reads
+	// optimistically — its in-place updates cannot be rolled back, so a
+	// stale read could not be retried away.
 	fb := &fallbackCtx{t: t, index: make(map[refKey]*fbRec)}
 	for _, r := range prevRemotes {
 		fb.add(&fbRec{table: r.table, node: r.node, key: r.key, write: r.write})
 	}
+	t.e.putRecs(prevRemotes)
 	for _, l := range t.locals {
 		fb.add(&fbRec{table: l.table, node: t.e.w.Node.ID, key: l.key, write: l.write})
 	}

@@ -29,6 +29,17 @@ type roRec struct {
 	off         memory.Offset
 	buf         []uint64
 	leaseEnd    uint64
+
+	// Speculative (OCC) read state: under Runtime.SpeculativeReads a remote
+	// record holds no lease — the entry is fetched with one READ and confirm
+	// re-READs its header, requiring the same incarnation|version and no live
+	// exclusive lock. Sound without HTM because a read-only transaction
+	// writes nothing: if every record's version is unchanged at confirm, all
+	// reads are valid at that instant, which is the serialization point.
+	spec    bool
+	lossy   uint64
+	version uint32
+	inc     uint32
 }
 
 // ExecRO runs a read-only transaction to completion with retries.
@@ -57,19 +68,67 @@ func (e *Executor) ExecRO(build func(ro *RO) error) error {
 }
 
 // confirm validates every lease against a fresh softtime read (the COMMIT
-// step of Figure 8).
+// step of Figure 8) and re-validates every speculative record's header in
+// one doorbell-batched READ wave. Both checks pass ⇒ all reads were valid
+// at this instant, the transaction's serialization point.
 func (ro *RO) confirm() bool {
 	now := ro.e.w.Node.Clock.Read()
 	delta := ro.e.rt.C.Delta()
 	sh := ro.e.w.Obs
+	nspec := 0
 	for _, r := range ro.recs {
+		if r.spec {
+			nspec++
+			continue
+		}
 		if !clock.Valid(r.leaseEnd, now, delta) {
 			sh.Inc(obs.EvLeaseConfirmFail)
 			return false
 		}
 		sh.Inc(obs.EvLeaseConfirm)
 	}
-	return true
+	if nspec == 0 {
+		return true
+	}
+	e := ro.e
+	vstart := int64(e.w.VClock.Now())
+	if cap(e.hdrBuf) < nspec*kvs.EntryHeaderWords {
+		e.hdrBuf = make([]uint64, nspec*kvs.EntryHeaderWords)
+	}
+	sq := e.sendq()
+	wrs := e.activeWR[:0]
+	specs := make([]*roRec, 0, nspec)
+	for _, r := range ro.recs {
+		if !r.spec {
+			continue
+		}
+		host := e.rt.C.Node(r.node).Unordered(r.table)
+		i := len(specs)
+		wrs = append(wrs, host.PostHeaderRead(sq, kvs.Loc{Off: r.off, Lossy: r.lossy},
+			e.hdrBuf[i*kvs.EntryHeaderWords:(i+1)*kvs.EntryHeaderWords]))
+		specs = append(specs, r)
+	}
+	sq.Poll()
+	ok := true
+	for i, wr := range wrs {
+		r := specs[i]
+		if wr.Err != nil {
+			// Treat a verb fault as a failed confirmation: the retry's fetch
+			// pass surfaces ErrNodeDown if the host is genuinely gone.
+			ok = false
+			break
+		}
+		hdr := wr.Dst
+		if kvs.Version(hdr[0]) != r.version || kvs.Incarnation(hdr[0]) != r.inc ||
+			clock.IsWriteLocked(hdr[1]) {
+			sh.Inc(obs.EvSpecValidateFail)
+			ok = false
+			break
+		}
+	}
+	e.activeWR = wrs[:0]
+	sh.Observe(obs.PhaseValidate, int64(e.w.VClock.Now())-vstart)
+	return ok
 }
 
 // stateCAS locks a state word: RDMA CAS for remote records, CPU CAS for
@@ -165,11 +224,48 @@ func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 		}
 		ok = lok
 		off = loc.Off
+		if ok && ro.e.rt.SpeculativeReads && !ro.e.rt.NoReadLease {
+			return ro.specReadAt(node, table, key, loc)
+		}
 	}
 	if !ok {
 		return nil, ErrNotFound
 	}
 	return ro.readAt(node, table, key, off)
+}
+
+// specReadAt fetches a remote record speculatively: one entry READ, no
+// lease CAS. The version and incarnation observed here are re-validated by
+// confirm; a record observed write-locked is mid-update and retries.
+func (ro *RO) specReadAt(node, table int, key uint64, loc kvs.Loc) ([]uint64, error) {
+	e := ro.e
+	sh := e.w.Obs
+	host := e.rt.C.Node(node).Unordered(table)
+	vw := e.rt.Meta(table).ValueWords
+	words := make([]uint64, kvs.EntryValueWord+vw)
+	err := e.verbRetry(func() error {
+		return e.w.QP.TryRead(node, table, loc.Off, words)
+	})
+	if err != nil {
+		return nil, ErrNodeDown
+	}
+	ent, ok := host.DecodeEntry(words, key, loc)
+	if !ok {
+		host.Invalidate(e.cacheFor(node, table), key)
+		return nil, ErrRetry
+	}
+	sh.Inc(obs.EvSpecRead)
+	if clock.IsWriteLocked(ent.State) {
+		sh.Inc(obs.EvRemoteLockConflict)
+		return nil, ErrRetry
+	}
+	buf := make([]uint64, vw)
+	copy(buf, ent.Value)
+	r := &roRec{table: table, node: node, key: key, off: loc.Off, buf: buf,
+		spec: true, lossy: loc.Lossy, version: ent.Version, inc: ent.Incarnation}
+	ro.index[refKey{table, key}] = r
+	ro.recs = append(ro.recs, r)
+	return buf, nil
 }
 
 // ReadAtLocal leases and fetches a local record found via a scan.

@@ -155,6 +155,19 @@ type Runtime struct {
 	// killing read-read sharing across machines.
 	NoReadLease bool
 
+	// SpeculativeReads selects the speculative (OCC) read arm: remote
+	// read-set records are fetched with a single one-sided READ of
+	// `version ‖ state ‖ value` — no lease CAS — and re-validated at commit
+	// time in one doorbell-batched wave of version re-READs; a version bump
+	// or a live exclusive lock retries the transaction (ErrRetry). This
+	// trades the Start phase's RDMACAS (~14.5µs modeled) for an extra READ
+	// (~1.5µs) per read record, winning at low write contention and losing
+	// to validation aborts as contention rises (the `occ` experiment).
+	// NoReadLease takes precedence: with both set, reads take exclusive
+	// locks. The software fallback path always uses leases — its in-place
+	// updates cannot be rolled back, so optimistic reads are unsound there.
+	SpeculativeReads bool
+
 	// BatchWindow bounds outstanding work requests per worker send queue in
 	// the batched Start/Commit pipelines. 0 selects rdma.DefaultWindow; 1
 	// serializes every verb (the pre-batching behavior, used as the control
@@ -267,6 +280,61 @@ type Executor struct {
 	txSeq uint64 // local transaction sequence, for log record IDs
 
 	sq *rdma.SendQueue // lazily created post/poll queue for batched phases
+
+	// Hot-path pools: Exec's per-attempt Tx shell, staged-record structs and
+	// the Start phase's staging scratch are reused across attempts and
+	// transactions instead of reallocated (see recycle / getRec / getReq).
+	// Executors are single-goroutine objects, so none of this needs locking.
+	freeTx   *Tx
+	recFree  []*remoteRec
+	reqFree  []*stageReq
+	reqScr   []*stageReq // Stage's per-call batch ordering
+	activeWR []*rdma.WR  // posted-wave scratch
+	activeSR []*stageReq // acquire-wave scratch
+	lreqScr  []*kvs.LookupReq
+	hdrBuf   []uint64 // validation-wave READ destinations
+	seen     map[refKey]*stageReq
+}
+
+// getRec pops a pooled staged-record struct (value buffer capacity kept).
+func (e *Executor) getRec() *remoteRec {
+	if n := len(e.recFree); n > 0 {
+		r := e.recFree[n-1]
+		e.recFree = e.recFree[:n-1]
+		*r = remoteRec{buf: r.buf[:0]}
+		return r
+	}
+	return &remoteRec{}
+}
+
+// putRecs returns staged-record structs to the pool. Callers must drop every
+// reference first: the structs (and their value buffers) are reused by later
+// transactions on this executor.
+func (e *Executor) putRecs(recs []*remoteRec) {
+	e.recFree = append(e.recFree, recs...)
+}
+
+// recycle returns a finished transaction's shell and staged records to the
+// executor's pools. Value slices obtained from Local.Read alias this storage
+// and are invalid once Exec returns.
+func (e *Executor) recycle(t *Tx) {
+	if !t.finished {
+		return
+	}
+	e.putRecs(t.remotes)
+	t.remotes = t.remotes[:0]
+	clear(t.rIndex)
+	t.locals = t.locals[:0]
+	clear(t.lIndex)
+	t.walLocal = t.walLocal[:0]
+	t.deferred = t.deferred[:0]
+	t.choppingInfo = nil
+	t.finished = false
+	t.specDown = false
+	t.usedFallback = false
+	t.lastAbort = obs.CauseNone
+	t.vLock, t.vHTM, t.vCommit = 0, 0, 0
+	e.freeTx = t
 }
 
 // sendq returns the worker's send queue, (re)created to match the runtime's
@@ -356,9 +424,11 @@ func (e *Executor) Exec(build func(t *Tx) error) error {
 					TotalNS: total,
 				})
 			}
+			e.recycle(t)
 			return nil
 		case errors.Is(err, ErrRetry):
 			sh.Inc(obs.EvTxRetry)
+			e.recycle(t)
 			e.backoff(attempt)
 		default:
 			if errors.Is(err, ErrNodeDown) {
@@ -376,6 +446,7 @@ func (e *Executor) Exec(build func(t *Tx) error) error {
 					TotalNS: int64(e.w.VClock.Now()) - start,
 				})
 			}
+			e.recycle(t)
 			return err
 		}
 	}

@@ -26,6 +26,22 @@ const casRetries = 8
 // lease) still order across polls, exactly as completions gate reposting on
 // a real QP.
 //
+// Two refinements ride the same pipeline:
+//
+//   - The lock/lease CAS and the value prefetch READ are fused into ONE
+//     posted wave: each CAS is immediately followed by its record's entry
+//     READ in post order, so a successful CAS's image is already covered by
+//     the fresh lock/lease when the READ executes. A failed CAS discards
+//     the image and re-arms both verbs; a CAS that fell back to the sync
+//     retry path discards it too (the sync CAS postdates the READ). This
+//     saves the separate prefetch round trip per record.
+//
+//   - Under Runtime.SpeculativeReads, read-set records skip the CAS stage
+//     entirely: one entry READ fetches `version ‖ state ‖ value`, and the
+//     observed version is re-validated at commit time (see spec.go). A
+//     record observed write-locked at fetch is a conflict — its value may
+//     be mid-update.
+//
 // The per-record lock/lease decision logic is the same state machine as the
 // serial loop it replaces; conflicts and node failures are detected per
 // completion and resolve after the wave is fully processed, so every lock
@@ -43,38 +59,44 @@ type Access struct {
 // pipeline, overlapping their lookup READs, lock/lease CASes and prefetch
 // READs across records. Semantically equivalent to calling R/W per access.
 func (t *Tx) Stage(accs ...Access) error {
-	var reqs []*stageReq
-	var seen map[refKey]*stageReq
+	e := t.e
+	if e.seen == nil {
+		e.seen = make(map[refKey]*stageReq)
+	}
+	reqs := e.reqScr[:0]
+	var err error
 	for _, a := range accs {
 		node := t.home(a.Table, a.Key)
 		if node == t.e.w.Node.ID {
 			t.declareLocal(a.Table, a.Key, a.Write)
 			continue
 		}
-		write := a.Write || t.e.rt.NoReadLease
+		write := a.Write || e.rt.NoReadLease
 		k := refKey{a.Table, a.Key}
-		if seen == nil {
-			seen = make(map[refKey]*stageReq, len(accs))
-		}
-		if s, ok := seen[k]; ok {
+		if s, ok := e.seen[k]; ok {
 			if write && !s.write {
 				s.write = true // strengthen before issue: free upgrade
+				s.spec = false
 			}
 			continue
 		}
-		s, err := t.gatherRemote(a.Table, a.Key, node, write)
+		var s *stageReq
+		s, err = t.gatherRemote(a.Table, a.Key, node, write)
 		if err != nil {
-			return err
+			break
 		}
 		if s != nil {
-			seen[k] = s
+			e.seen[k] = s
 			reqs = append(reqs, s)
 		}
 	}
-	if len(reqs) == 0 {
-		return nil
+	if err == nil && len(reqs) > 0 {
+		err = t.stageBatch(reqs)
 	}
-	return t.stageBatch(reqs)
+	clear(e.seen)
+	e.putReqs(reqs)
+	e.reqScr = reqs[:0]
+	return err
 }
 
 // stageRemote stages one remote record — the serial entry point kept for
@@ -84,7 +106,9 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 	if err != nil || s == nil {
 		return err
 	}
-	return t.stageBatch([]*stageReq{s})
+	err = t.stageBatch([]*stageReq{s})
+	t.e.putReqs([]*stageReq{s})
+	return err
 }
 
 // stageReq is one remote record's slot in the staging pipeline.
@@ -95,14 +119,21 @@ type stageReq struct {
 	key   uint64
 	write bool
 
+	// spec marks a speculative (OCC) read: no lock/lease CAS — the entry is
+	// fetched with one READ and validated at commit (Runtime.SpeculativeReads).
+	spec bool
+
 	host  *kvs.Table
 	cache kvs.Cache
 	r     *remoteRec
+	vw    int // value words, for the entry-read buffer
 
-	// upgrade marks a record already staged with a shared lease that now
-	// needs an exclusive lock: the pipeline CASes the lease word to the lock
-	// word in place (release is implicit — an unupgraded lease just expires).
-	upgrade bool
+	// upgrade marks a record already staged with a shared lease (or a
+	// speculative read) that now needs an exclusive lock: the pipeline CASes
+	// the lease word to the lock word in place (release is implicit — an
+	// unupgraded lease just expires; a speculative read held nothing).
+	upgrade  bool
+	fromSpec bool
 
 	lr       kvs.LookupReq
 	loc      kvs.Loc
@@ -117,37 +148,68 @@ type stageReq struct {
 	acquired  bool
 	needFetch bool
 	entryWR   *rdma.WR
+	fuseWR    *rdma.WR // prefetch READ posted in the same wave as the CAS
+
+	ebuf []uint64 // pooled entry-read destination
+}
+
+// getReq pops a pooled staging request (entry-read buffer capacity kept).
+func (e *Executor) getReq() *stageReq {
+	if n := len(e.reqFree); n > 0 {
+		s := e.reqFree[n-1]
+		e.reqFree = e.reqFree[:n-1]
+		ebuf := s.ebuf
+		*s = stageReq{ebuf: ebuf}
+		return s
+	}
+	return &stageReq{}
+}
+
+// putReqs returns staging requests to the pool after the batch resolves.
+func (e *Executor) putReqs(reqs []*stageReq) {
+	e.reqFree = append(e.reqFree, reqs...)
+}
+
+// entryBuf returns the request's entry-read destination, grown to n words.
+func (s *stageReq) entryBuf(n int) []uint64 {
+	if cap(s.ebuf) < n {
+		s.ebuf = make([]uint64, n)
+	}
+	return s.ebuf[:n]
 }
 
 // gatherRemote dedupes one remote access against the staged set and builds
 // its pipeline request; a nil request means the access is already satisfied.
 func (t *Tx) gatherRemote(table int, key uint64, node int, write bool) (*stageReq, error) {
 	k := refKey{table, key}
+	meta := t.e.rt.Meta(table)
 	if r, ok := t.rIndex[k]; ok {
 		if !write || r.write {
 			return nil, nil
 		}
-		return &stageReq{
-			k: k, node: r.node, table: table, key: key, write: true,
-			host:  t.e.rt.C.Node(r.node).Unordered(table),
-			cache: t.e.cacheFor(r.node, table),
-			r:     r, upgrade: true,
-		}, nil
+		s := t.e.getReq()
+		s.k, s.node, s.table, s.key, s.write = k, r.node, table, key, true
+		s.host = t.e.rt.C.Node(r.node).Unordered(table)
+		s.cache = t.e.cacheFor(r.node, table)
+		s.r, s.upgrade, s.fromSpec, s.vw = r, true, r.spec, meta.ValueWords
+		return s, nil
 	}
-	meta := t.e.rt.Meta(table)
 	if meta.Kind == Ordered {
 		return nil, fmt.Errorf("tx: remote access to ordered table %d must be shipped (Section 6.5)", table)
 	}
-	return &stageReq{
-		k: k, node: node, table: table, key: key, write: write,
-		host:  t.e.rt.C.Node(node).Unordered(table),
-		cache: t.e.cacheFor(node, table),
-	}, nil
+	s := t.e.getReq()
+	s.k, s.node, s.table, s.key, s.write = k, node, table, key, write
+	s.spec = !write && t.e.rt.SpeculativeReads
+	s.host = t.e.rt.C.Node(node).Unordered(table)
+	s.cache = t.e.cacheFor(node, table)
+	s.vw = meta.ValueWords
+	return s, nil
 }
 
-// stageBatch runs the three pipelined stages — location lookup, lock/lease
-// acquisition, value prefetch — for all requests, polling each stage's
-// outstanding verbs as doorbell batches.
+// stageBatch runs the pipelined stages — location lookup, fused lock/lease
+// CAS + prefetch, then a fetch pass for speculative reads and stragglers —
+// for all requests, polling each stage's outstanding verbs as doorbell
+// batches.
 func (t *Tx) stageBatch(reqs []*stageReq) error {
 	startv := int64(t.e.w.VClock.Now())
 	defer func() { t.vLock += int64(t.e.w.VClock.Now()) - startv }()
@@ -168,13 +230,14 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		lookups++
 	}
 	if lookups > 0 {
-		lreqs := make([]*kvs.LookupReq, 0, lookups)
+		lreqs := t.e.lreqScr[:0]
 		for _, s := range reqs {
 			if !s.upgrade {
 				lreqs = append(lreqs, &s.lr)
 			}
 		}
 		kvs.LookupBatch(sq, lreqs)
+		t.e.lreqScr = lreqs[:0]
 	}
 	notFound := false
 	for _, s := range reqs {
@@ -191,10 +254,10 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		}
 		s.loc = s.lr.Loc
 		s.stateOff = kvs.StateOffset(s.loc.Off)
-		s.r = &remoteRec{
-			table: s.table, node: s.node, key: s.key,
-			off: s.loc.Off, lossy: s.loc.Lossy, write: s.write,
-		}
+		r := t.e.getRec()
+		r.table, r.node, r.key = s.table, s.node, s.key
+		r.off, r.lossy, r.write = s.loc.Off, s.loc.Lossy, s.write
+		s.r = r
 	}
 	sh.Observe(obs.PhaseLookupRemote, int64(t.e.w.VClock.Now())-lstart)
 	if notFound {
@@ -202,12 +265,24 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		return ErrNotFound
 	}
 
-	// ---- acquire: batched lock/lease CAS rounds ----------------------------
+	// ---- acquire: fused lock/lease CAS + prefetch READ waves ---------------
+	// Speculative reads acquire nothing: they are registered directly and
+	// fetched in the final stage with a single entry READ.
 	astart := int64(t.e.w.VClock.Now())
 	me := uint8(t.e.w.Node.ID)
 	delta := t.e.rt.C.Delta()
+	active := t.e.activeSR[:0]
 	for _, s := range reqs {
+		if s.spec {
+			s.r.spec = true
+			s.register(t)
+			continue
+		}
 		switch {
+		case s.upgrade && s.fromSpec:
+			// A speculative read holds nothing: upgrading is a fresh
+			// exclusive acquisition on the free state word.
+			s.old, s.new = clock.Init, clock.WLocked(me)
 		case s.upgrade:
 			s.old, s.new = clock.Shared(s.r.leaseEnd), clock.WLocked(me)
 		case s.write:
@@ -215,23 +290,31 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		default:
 			s.old, s.new = clock.Init, clock.Shared(t.leaseEnd)
 		}
+		active = append(active, s)
 	}
-	active := append([]*stageReq(nil), reqs...)
 	conflict, down := false, false
-	wrs := make([]*rdma.WR, 0, len(active))
+	wrs := t.e.activeWR[:0]
 	for len(active) > 0 && !conflict && !down {
 		wrs = wrs[:0]
 		for _, s := range active {
 			wrs = append(wrs, sq.PostCAS(s.node, s.table, s.stateOff, s.old, s.new))
+			// Speculatively prefetch the entry in the same wave: the READ
+			// executes after the CAS in post order, so a won CAS's image is
+			// already covered by the lock/lease it installed.
+			s.fuseWR = s.host.PostEntryReadBuf(sq, s.loc, s.entryBuf(kvs.EntryValueWord+s.vw))
 		}
 		sq.Poll()
 		next := active[:0]
 		for i, s := range active {
 			wr := wrs[i]
+			fuse := s.fuseWR
+			s.fuseWR = nil
 			cur, swapped, err := wr.Prev, wr.Swapped, wr.Err
 			if err != nil {
 				// Re-attempt with the bounded sync retry policy, matching
-				// the serial path's casRemote.
+				// the serial path's casRemote. The fused image predates the
+				// retried CAS and must be discarded.
+				fuse = nil
 				cur, swapped, err = t.casRemote(s.node, s.table, s.stateOff, s.old, s.new)
 				if err != nil {
 					down = true
@@ -239,14 +322,29 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 				}
 			}
 			again, conf := s.onCAS(t, cur, swapped, delta)
-			if conf {
+			switch {
+			case conf:
 				conflict = true
-			} else if again {
+			case again:
 				next = append(next, s)
+			case s.needFetch && fuse != nil && fuse.Err == nil:
+				// Consume the fused prefetch: acquired (or shared/upgraded)
+				// in this wave, so the image is protected by the lock or the
+				// lease observed by this wave's CAS.
+				if e, ok := s.host.DecodeEntry(fuse.Dst, s.key, s.loc); ok {
+					s.r.buf = append(s.r.buf[:0], e.Value...)
+					s.r.version = e.Version
+					s.r.inc = e.Incarnation
+					s.needFetch = false
+				}
+				// Decode failure means a stale location: leave needFetch set
+				// and let the fetch stage re-read and resolve it.
 			}
 		}
 		active = next
 	}
+	t.e.activeWR = wrs[:0]
+	t.e.activeSR = active[:0]
 	sh.Observe(obs.PhaseAcquireRemote, int64(t.e.w.VClock.Now())-astart)
 	if down {
 		return t.nodeDown()
@@ -255,28 +353,30 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		return t.remoteConflict()
 	}
 
-	// ---- prefetch: batched entry READs -------------------------------------
+	// ---- fetch: speculative reads and stragglers ---------------------------
 	pstart := int64(t.e.w.VClock.Now())
 	fetches := 0
 	for _, s := range reqs {
 		if s.needFetch {
-			s.entryWR = s.host.PostEntryRead(sq, s.loc)
+			s.entryWR = s.host.PostEntryReadBuf(sq, s.loc, s.entryBuf(kvs.EntryValueWord+s.vw))
 			fetches++
 		}
 	}
 	if fetches > 0 {
 		sq.Poll()
 	}
-	stale := false
+	stale, specBusy := false, false
 	for _, s := range reqs {
 		if s.entryWR == nil {
 			continue
 		}
-		if s.entryWR.Err != nil {
+		wr := s.entryWR
+		s.entryWR = nil
+		if wr.Err != nil {
 			down = true
 			continue
 		}
-		e, ok := s.host.DecodeEntry(s.entryWR.Dst, s.key, s.loc)
+		e, ok := s.host.DecodeEntry(wr.Dst, s.key, s.loc)
 		if !ok {
 			// Stale location (deleted/reused entry): explicitly drop the
 			// cached chain so the retry re-resolves it, then retry the txn.
@@ -284,8 +384,19 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 			stale = true
 			continue
 		}
+		if s.spec {
+			sh.Inc(obs.EvSpecRead)
+			if clock.IsWriteLocked(e.State) {
+				// A writer is mid-commit: the value may be half-written.
+				// Unlike a lease, a speculative read cannot wait it out here
+				// without a lock — surface it as a remote conflict.
+				specBusy = true
+				continue
+			}
+		}
 		s.r.buf = append(s.r.buf[:0], e.Value...)
 		s.r.version = e.Version
+		s.r.inc = e.Incarnation
 	}
 	sh.Observe(obs.PhasePrefetchRemote, int64(t.e.w.VClock.Now())-pstart)
 	if down {
@@ -293,6 +404,9 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 	}
 	if stale {
 		return t.fail()
+	}
+	if specBusy {
+		return t.remoteConflict()
 	}
 	return nil
 }
@@ -352,17 +466,20 @@ func (s *stageReq) onCAS(t *Tx, cur uint64, swapped bool, delta uint64) (again, 
 }
 
 // finishAcquire registers a CAS-won acquisition (exclusive lock, fresh
-// lease, or in-place upgrade) and queues the record for prefetch.
+// lease, or in-place upgrade) and queues the record for fetch (the fused
+// prefetch posted alongside the winning CAS usually satisfies it in-wave).
 func (s *stageReq) finishAcquire(t *Tx) {
 	sh := t.e.w.Obs
 	if s.takeover {
 		sh.Inc(obs.EvLeaseExpire)
 	}
 	if s.upgrade {
-		// The shared lease is now an exclusive lock; re-prefetch below — the
-		// buffered value may predate a writer that took over the old lease.
+		// The shared lease (or unprotected speculative read) is now an
+		// exclusive lock; re-fetch — the buffered value may predate a writer
+		// that committed since it was read.
 		s.r.write = true
 		s.r.leaseEnd = 0
+		s.r.spec = false
 		sh.Inc(obs.EvLockUpgrade)
 		s.needFetch = true
 		return
@@ -375,7 +492,7 @@ func (s *stageReq) finishAcquire(t *Tx) {
 }
 
 // register adds the record to the transaction's staged set so commit and
-// abort both cover it, and queues the prefetch READ.
+// abort both cover it, and queues the fetch READ.
 func (s *stageReq) register(t *Tx) {
 	t.rIndex[s.k] = s.r
 	t.remotes = append(t.remotes, s.r)

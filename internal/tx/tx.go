@@ -15,6 +15,7 @@ import (
 const (
 	abortCodeLocked uint8 = 1 // local access found the record remotely locked
 	abortCodeLease  uint8 = 2 // lease confirmation failed at commit
+	abortCodeSpec   uint8 = 3 // speculative read validation failed at commit
 )
 
 // remoteRec is a staged remote record.
@@ -25,8 +26,10 @@ type remoteRec struct {
 	lossy       uint64        // lossy incarnation from the locator (staleness check)
 	buf         []uint64      // prefetched value (transaction-private)
 	version     uint32        // version observed at fetch
+	inc         uint32        // incarnation observed at fetch
 	leaseEnd    uint64        // granted lease end (reads)
 	write       bool          // exclusive lock held (writes)
+	spec        bool          // speculative read: no lock held, validated at commit
 	dirty       bool          // buffer modified; needs write-back
 }
 
@@ -77,6 +80,14 @@ type Tx struct {
 	finished     bool
 	choppingInfo []uint64 // optional piece info logged before locking
 
+	// specDown records a persistent verb failure during speculative
+	// validation, turning the resulting region abort into ErrNodeDown.
+	specDown bool
+
+	// lcScratch is the Local handed to the transaction body, reused across
+	// attempts (the body must not retain it past Execute).
+	lcScratch Local
+
 	// Per-attempt observability: phase durations in modeled nanoseconds and
 	// the last abort cause, folded into Exec's cross-attempt totals.
 	vLock, vHTM, vCommit int64
@@ -92,14 +103,20 @@ type refKey struct {
 func (e *Executor) newTx() *Tx {
 	e.txSeq++
 	soft := e.w.Node.Clock.Read()
-	return &Tx{
-		e:         e,
-		startSoft: soft,
-		leaseEnd:  soft + e.rt.C.Config().LeaseMicros,
-		txid:      uint64(e.w.Node.ID)<<48 | uint64(e.w.ID)<<40 | e.txSeq,
-		rIndex:    make(map[refKey]*remoteRec),
-		lIndex:    make(map[refKey]int),
+	t := e.freeTx
+	if t == nil {
+		t = &Tx{
+			e:      e,
+			rIndex: make(map[refKey]*remoteRec),
+			lIndex: make(map[refKey]int),
+		}
+	} else {
+		e.freeTx = nil // recycle left the shell empty; see Executor.recycle
 	}
+	t.startSoft = soft
+	t.leaseEnd = soft + e.rt.C.Config().LeaseMicros
+	t.txid = uint64(e.w.Node.ID)<<48 | uint64(e.w.ID)<<40 | e.txSeq
+	return t
 }
 
 // ID returns the transaction's unique identifier.
@@ -215,8 +232,9 @@ func (t *Tx) releaseLocks() {
 			t.unlockRemote(r)
 		}
 	}
-	t.remotes = nil
-	t.rIndex = map[refKey]*remoteRec{}
+	t.e.putRecs(t.remotes)
+	t.remotes = t.remotes[:0]
+	clear(t.rIndex)
 	t.finished = true
 }
 
@@ -254,7 +272,8 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 	for attempt := 0; ; attempt++ {
 		t.walLocal = t.walLocal[:0]
 		t.deferred = t.deferred[:0]
-		lc := &Local{t: t}
+		lc := &t.lcScratch
+		*lc = Local{t: t}
 		hstart := int64(t.e.w.VClock.Now())
 		t.e.charge(model.HTMBeginNS)
 		err := t.e.w.Node.Engine.Run(func(htx *htm.Txn) error {
@@ -263,6 +282,7 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 				return err
 			}
 			t.confirmLeases(htx)
+			t.validateSpeculative(htx)
 			if cfg.Durability {
 				t.logWALTx(htx)
 			}
@@ -301,6 +321,16 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			sh.Inc(obs.EvHTMLeaseAbort)
 			t.lastAbort = obs.CauseLease
 			return t.fail()
+		case ae.Code == htm.AbortExplicit && ae.User == abortCodeSpec:
+			// Speculative validation failed — a writer bumped a version or
+			// holds an exclusive lock (or the validation verbs hit a dead
+			// node). The staged buffers are stale, so retrying the region
+			// cannot help; retry the whole transaction from the Start phase.
+			t.lastAbort = obs.CauseSpec
+			if t.specDown {
+				return t.nodeDown()
+			}
+			return t.fail()
 		case ae.Code == htm.AbortExplicit && ae.User == abortCodeLocked:
 			// A local record is locked by a remote transaction; whole-txn
 			// retry with backoff lets the remote holder finish.
@@ -336,7 +366,7 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 func (t *Tx) confirmLeases(htx *htm.Txn) {
 	hasLease := false
 	for _, r := range t.remotes {
-		if !r.write {
+		if !r.write && !r.spec {
 			hasLease = true
 			break
 		}
@@ -347,7 +377,7 @@ func (t *Tx) confirmLeases(htx *htm.Txn) {
 	now := t.e.w.Node.Clock.ReadTx(htx)
 	delta := t.e.rt.C.Delta()
 	for _, r := range t.remotes {
-		if r.write {
+		if r.write || r.spec {
 			continue
 		}
 		if !clock.Valid(r.leaseEnd, now, delta) {
@@ -427,7 +457,8 @@ func (t *Tx) commitRemotes() {
 			}
 		}
 	}
-	t.remotes = nil
+	// t.remotes stays populated: Execute marks the transaction finished
+	// right after, and Exec's recycle harvests the records into the pool.
 }
 
 // readIncarnation returns the record's current incarnation; we hold its

@@ -102,3 +102,32 @@ func TestQuickPercentileBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGoldenCosts pins the calibrated constants the protocol arms are
+// evaluated against. If a recalibration moves them, the speculative-read
+// analysis (one READ ~1.5µs vs one CAS ~14.5µs per read-set record; the
+// `occ` experiment's acceptance thresholds) must be revisited deliberately
+// — this test makes that an explicit decision instead of a silent drift.
+func TestGoldenCosts(t *testing.T) {
+	m := DefaultModel()
+	if m.RDMAReadBaseNS != 1500 {
+		t.Errorf("RDMAReadBaseNS = %d, want 1500", m.RDMAReadBaseNS)
+	}
+	if m.RDMACASNS != 14500 {
+		t.Errorf("RDMACASNS = %d, want 14500", m.RDMACASNS)
+	}
+	if m.DoorbellNS != 200 {
+		t.Errorf("DoorbellNS = %d, want 200", m.DoorbellNS)
+	}
+	// One speculative read-set record costs one entry READ; the lease arm
+	// pays a CAS on top. The arm's raison d'être: ≥2.5x per-record gap even
+	// counting the commit-time validation re-READ against the spec arm.
+	entry := int64(m.RDMARead(5 * 8)) // key|incver|state + 2 value words
+	header := int64(m.RDMARead(2 * 8))
+	spec := entry + header
+	lease := m.RDMACASNS + entry
+	if lease < 5*spec/2 {
+		t.Errorf("lease/spec per-record cost = %d/%d = %.2fx, want >= 2.5x",
+			lease, spec, float64(lease)/float64(spec))
+	}
+}
