@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench bench-baseline batch chaos occ
+.PHONY: check build vet test race bench bench-baseline batch chaos occ adaptive
 
-check: build vet race batch occ chaos
+check: build vet race batch occ adaptive chaos
 
 build:
 	go build ./...
@@ -32,10 +32,17 @@ occ:
 	go run ./cmd/drtm-bench -exp occ -quick
 	go test -run TestOCCAcceptance ./internal/bench/
 
+# Adaptive-selector gate: the per-key arm selector must track the best
+# static policy across the sweep and beat both statics under skewed
+# write-hot load (adaptexp_test.go).
+adaptive:
+	go run ./cmd/drtm-bench -exp adaptive -quick
+	go test -run TestAdaptiveAcceptance ./internal/bench/
+
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:
 	go run ./cmd/drtm-bench -exp all
 
 # Regenerate the committed baseline tables at full scale, fixed seed.
 bench-baseline:
-	go run ./cmd/drtm-bench -exp batch,occ -seed 42 -json BENCH_baseline.json
+	go run ./cmd/drtm-bench -exp batch,occ,adaptive -seed 42 -json BENCH_baseline.json

@@ -78,6 +78,30 @@ type (
 	// Access declares one record of a transaction's read/write set for
 	// Tx.Stage, which batches the whole set through the async verb engine.
 	Access = tx.Access
+	// ReadPolicy selects the concurrency-control arm for remote read-set
+	// records; see Options.ReadPolicy and the Policy* constants.
+	ReadPolicy = tx.ReadPolicy
+	// PolicyOptions tunes PolicyAdaptive's conflict-heat table; see
+	// Options.Policies. Zero fields select defaults.
+	PolicyOptions = tx.PolicyConfig
+)
+
+// Read policies, re-exported from the transaction layer.
+const (
+	// PolicyLease: every remote read takes a lease-based shared lock via
+	// RDMA CAS (~14.5µs modeled) — the paper's Section 4.2 protocol.
+	PolicyLease = tx.PolicyLease
+	// PolicySpeculative: every remote read is a one-RTT OCC read (~1.5µs),
+	// version-validated at commit time; a conflict retries the transaction.
+	PolicySpeculative = tx.PolicySpeculative
+	// PolicyAdaptive (the default): per-bucket online choice — a conflict
+	// EWMA classifies each hash bucket hot or cold with hysteresis, and
+	// reads route lease-when-hot, spec-when-cold, re-classifying
+	// continuously as the workload shifts.
+	PolicyAdaptive = tx.PolicyAdaptive
+	// PolicyExclusive: remote reads take exclusive write locks (the
+	// paper's Figure 17 "no read lease" ablation; no read-read sharing).
+	PolicyExclusive = tx.PolicyExclusive
 )
 
 // Common errors, re-exported.
@@ -138,16 +162,35 @@ type Options struct {
 	// round-trip-per-op behavior.
 	BatchWindow int
 
-	// SpeculativeReads selects the speculative (OCC) read arm: remote
-	// read-set records are fetched with a single one-sided READ — no lease
-	// CAS — and re-validated at commit time in one doorbell-batched wave of
-	// version re-READs; any version bump or live exclusive lock retries the
-	// transaction. This trades the Start phase's RDMA CAS (~14.5µs modeled)
-	// for an extra READ (~1.5µs) per read record, winning at low write
-	// contention and losing to validation aborts as contention rises (see
-	// the `occ` experiment in EXPERIMENTS.md). The software fallback path
-	// always uses leases regardless of this flag.
+	// ReadPolicy selects the concurrency-control arm for remote read-set
+	// records: PolicyLease, PolicySpeculative, PolicyAdaptive or
+	// PolicyExclusive (see the constants' docs). The zero value selects
+	// PolicyAdaptive — per-bucket online routing between the lease and
+	// speculative arms, which the `adaptive` experiment shows tracks the
+	// better static arm across skew and write ratios. The software
+	// fallback path always uses locks regardless of policy.
+	ReadPolicy ReadPolicy
+
+	// Policies tunes PolicyAdaptive's heat table: conflict-EWMA half-life
+	// (in bucket accesses), the hot-entry threshold, the exit hysteresis
+	// fraction, and the table size. Zero fields select defaults
+	// (64 accesses / 8.0 / 0.5 / 4096 slots). Ignored by static policies.
+	Policies PolicyOptions
+
+	// SpeculativeReads selects the speculative (OCC) read arm for every
+	// remote read.
+	//
+	// Deprecated: set ReadPolicy: PolicySpeculative. Setting this together
+	// with a conflicting ReadPolicy (or with NoReadLease) is an Open error.
 	SpeculativeReads bool
+
+	// NoReadLease makes remote reads take exclusive locks (the Figure 17
+	// ablation).
+	//
+	// Deprecated: set ReadPolicy: PolicyExclusive. Setting this together
+	// with a conflicting ReadPolicy (or with SpeculativeReads) is an Open
+	// error.
+	NoReadLease bool
 }
 
 // maxLeaseMicros bounds lease durations: the state word encodes lease end
@@ -209,6 +252,30 @@ func (o Options) normalize() (Options, error) {
 	if o.BatchWindow < 0 {
 		return o, fmt.Errorf("drtm: Options.BatchWindow must be >= 0, got %d", o.BatchWindow)
 	}
+	// Resolve the read policy: the typed knob wins; the deprecated bools
+	// map onto it, erroring on any conflicting combination rather than
+	// silently picking a precedence.
+	if !o.ReadPolicy.Valid() {
+		return o, fmt.Errorf("drtm: unknown Options.ReadPolicy %d", int(o.ReadPolicy))
+	}
+	if o.SpeculativeReads && o.NoReadLease {
+		return o, errors.New("drtm: Options.SpeculativeReads and Options.NoReadLease conflict; set Options.ReadPolicy instead")
+	}
+	if o.SpeculativeReads {
+		if o.ReadPolicy != tx.PolicyDefault && o.ReadPolicy != PolicySpeculative {
+			return o, fmt.Errorf("drtm: deprecated Options.SpeculativeReads conflicts with Options.ReadPolicy %v", o.ReadPolicy)
+		}
+		o.ReadPolicy = PolicySpeculative
+	}
+	if o.NoReadLease {
+		if o.ReadPolicy != tx.PolicyDefault && o.ReadPolicy != PolicyExclusive {
+			return o, fmt.Errorf("drtm: deprecated Options.NoReadLease conflicts with Options.ReadPolicy %v", o.ReadPolicy)
+		}
+		o.ReadPolicy = PolicyExclusive
+	}
+	if o.ReadPolicy == tx.PolicyDefault {
+		o.ReadPolicy = PolicyAdaptive
+	}
 	return o, nil
 }
 
@@ -268,7 +335,8 @@ func Open(o Options, part PartitionFunc) (*DB, error) {
 	c := cluster.New(cfg)
 	db := &DB{C: c, RT: tx.NewRuntime(c, part), faults: rdma.NewFaultPlan(o.FaultSeed)}
 	db.RT.BatchWindow = o.BatchWindow
-	db.RT.SpeculativeReads = o.SpeculativeReads
+	db.RT.ReadPolicy = o.ReadPolicy
+	db.RT.SetPolicyConfig(o.Policies)
 	c.Fabric.SetFaultPlan(db.faults)
 	if o.FailureDetection {
 		db.RT.EnableAutoRecovery()
@@ -325,6 +393,23 @@ func (db *DB) CreateOrderedTable(id, capacity, valueWords int) {
 // Executor returns worker w of node n's transaction executor. Executors
 // are single-goroutine objects: create one per worker goroutine.
 func (db *DB) Executor(node, worker int) *Executor { return db.RT.Executor(node, worker) }
+
+// ExecWith runs one read-write transaction on the given worker with the
+// read policy forced to p for every attempt, overriding Options.ReadPolicy
+// — e.g. forcing PolicySpeculative for a read-mostly transaction the heat
+// table would route conservatively. Per-worker convenience over
+// Executor.ExecWith; long-lived workers should hold an Executor and call
+// its ExecWith instead.
+func (db *DB) ExecWith(node, worker int, p ReadPolicy, build func(t *Tx) error) error {
+	return db.RT.Executor(node, worker).ExecWith(p, build)
+}
+
+// ExecROWith runs one read-only transaction with the read policy forced to
+// p (see ExecWith); read-only scans typically force PolicySpeculative to
+// skip every lease CAS regardless of heat.
+func (db *DB) ExecROWith(node, worker int, p ReadPolicy, build func(ro *RO) error) error {
+	return db.RT.Executor(node, worker).ExecROWith(p, build)
+}
 
 // Load inserts a record directly on its home node (bulk population outside
 // transactions).
@@ -430,9 +515,19 @@ type Stats struct {
 	RemoteLockConflicts int64 // lock/lease acquisitions lost to a conflicting holder
 	LockUpgrades        int64 // shared leases upgraded in place to exclusive locks
 
-	// Speculative (OCC) read-arm events (Options.SpeculativeReads).
+	// Speculative (OCC) read-arm events (PolicySpeculative, or adaptive
+	// cold-bucket routes).
 	SpecReads         int64 // records fetched with a versioned READ, no lock
 	SpecValidateFails int64 // commit-time validations that found a version bump or live lock
+
+	// Adaptive read-arm selection (PolicyAdaptive).
+	AdaptiveSpecReads  int64   // reads routed to the speculative arm (bucket cold)
+	AdaptiveLeaseReads int64   // reads routed to the lease arm (bucket hot)
+	ArmSwitchesToLease int64   // buckets reclassified cold→hot
+	ArmSwitchesToSpec  int64   // buckets reclassified hot→cold
+	ArmSwitches        int64   // total reclassifications, both directions
+	HotKeys            int64   // buckets currently hot (switch-count difference)
+	SpecShare          float64 // % of adaptive-routed reads that took the spec arm
 
 	// One-sided RDMA and messaging verbs (Section 7.1).
 	RDMAReads   int64
@@ -498,6 +593,11 @@ func newStats(sn obs.Snapshot) Stats {
 		SpecReads:         c(obs.EvSpecRead),
 		SpecValidateFails: c(obs.EvSpecValidateFail),
 
+		AdaptiveSpecReads:  c(obs.EvAdaptSpec),
+		AdaptiveLeaseReads: c(obs.EvAdaptLease),
+		ArmSwitchesToLease: c(obs.EvArmSwitchToLease),
+		ArmSwitchesToSpec:  c(obs.EvArmSwitchToSpec),
+
 		RDMAReads:   c(obs.EvRDMARead),
 		RDMAWrites:  c(obs.EvRDMAWrite),
 		RDMACASes:   c(obs.EvRDMACAS),
@@ -528,6 +628,14 @@ func newStats(sn obs.Snapshot) Stats {
 	s.HTMAborts = s.ConflictAborts + s.CapacityAborts + s.LockedAborts +
 		s.LeaseAborts + s.ExplicitAborts
 	s.LeaseFails = s.LeaseAborts + s.LeaseConfirmFails
+	s.ArmSwitches = s.ArmSwitchesToLease + s.ArmSwitchesToSpec
+	// Transitions are CAS-serialized per heat slot, so the running
+	// difference is exactly the number of currently-hot buckets. (Delta
+	// snapshots can legitimately go negative: a cooling interval.)
+	s.HotKeys = s.ArmSwitchesToLease - s.ArmSwitchesToSpec
+	if n := s.AdaptiveSpecReads + s.AdaptiveLeaseReads; n > 0 {
+		s.SpecShare = 100 * float64(s.AdaptiveSpecReads) / float64(n)
+	}
 	return s
 }
 
@@ -555,6 +663,9 @@ func (s Stats) String() string {
 		s.LeaseGrants, s.LeaseShares, s.LeaseConfirms, s.LeaseConfirmFails,
 		s.LeaseExpiries, s.RemoteLockConflicts, s.LockUpgrades)
 	fmt.Fprintf(&b, "spec:    reads=%d validate-fails=%d\n", s.SpecReads, s.SpecValidateFails)
+	fmt.Fprintf(&b, "adapt:   spec-routes=%d lease-routes=%d spec-share=%.1f%% hot-keys=%d switches=%d (to-lease=%d to-spec=%d)\n",
+		s.AdaptiveSpecReads, s.AdaptiveLeaseReads, s.SpecShare, s.HotKeys,
+		s.ArmSwitches, s.ArmSwitchesToLease, s.ArmSwitchesToSpec)
 	fmt.Fprintf(&b, "rdma:    reads=%d writes=%d cas=%d faa=%d msgs=%d batches=%d\n",
 		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs, s.RDMABatches)
 	fmt.Fprintf(&b, "nvram:   log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
@@ -578,8 +689,20 @@ func (s Stats) String() string {
 	return b.String()
 }
 
-// TraceEvent is one traced transaction; see DB.EnableTracing.
+// TraceEvent is one traced event; see DB.EnableTracing. Kind discriminates
+// transaction records (TraceTx) from adaptive arm-switch records
+// (TraceArmSwitch, whose TxID carries the packed heat-bucket key and Hot
+// the new classification).
 type TraceEvent = obs.TraceEvent
+
+// TraceKind discriminates trace-ring entries.
+type TraceKind = obs.TraceKind
+
+// Trace-ring entry kinds, re-exported.
+const (
+	TraceTx        = obs.TraceTx
+	TraceArmSwitch = obs.TraceArmSwitch
+)
 
 // EnableTracing turns on the per-worker transaction trace with a ring of
 // perWorker events per worker (newer events overwrite older ones). Tracing

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"drtm/internal/obs"
+	"drtm/internal/tx"
+)
+
+// The `adaptive` experiment pits the per-bucket adaptive read-arm selector
+// (tx.PolicyAdaptive) against both static arms across a skew × write-ratio
+// sweep, on a workload built to expose each static arm's losing corner:
+//
+//	lease — pays the ~14.5µs CAS on every read record: dominated when the
+//	        key space is quiet (the CAS buys protection nobody attacks),
+//	        and its read leases stall writers for the lease term.
+//	spec  — pays ~1.5µs per read but retries the whole transaction when a
+//	        writer bumps any of its records before commit: with a large
+//	        read set over a hot, write-heavy keyspace the per-attempt
+//	        failure probability compounds toward quasi-livelock.
+//
+// The adaptive arm routes each read by its bucket's conflict EWMA —
+// lease-when-hot, spec-when-cold — so on a skewed mixed workload it should
+// track the better arm at both ends of the sweep and beat BOTH statics in
+// the middle, where the hot head of the Zipf wants leases while the long
+// cold tail wants speculation. That claim is pinned by
+// TestAdaptiveAcceptance (wired into `make adaptive` / `make check`):
+// adaptive per-record cost within 5% of the best static arm at every sweep
+// point, strictly cheaper than each static arm on at least one.
+//
+// Cost metric: summed worker virtual time over committed records
+// (vtime / (commits × nrec)) — total modeled work including retries, not
+// just the Start phase, so validation livelock and CAS taxes both count.
+func runAdaptive(o Options) *Result {
+	res := &Result{
+		ID:    "adaptive",
+		Title: "Adaptive per-bucket read-arm selection vs static lease/spec",
+		Headers: []string{"theta", "write%", "arm", "per-rec", "retries/txn",
+			"spec-fails/txn", "spec-share", "switches", "vs best-static"},
+	}
+	txns := adaptTxns(o)
+	for _, pt := range adaptSweep {
+		row := map[tx.ReadPolicy]adaptMetrics{}
+		for _, p := range []tx.ReadPolicy{tx.PolicyLease, tx.PolicySpeculative, tx.PolicyAdaptive} {
+			row[p] = measureAdaptive(o, txns, pt.theta, pt.writePct, p)
+		}
+		best := row[tx.PolicyLease].perRecNS
+		if s := row[tx.PolicySpeculative].perRecNS; s < best {
+			best = s
+		}
+		for _, p := range []tx.ReadPolicy{tx.PolicyLease, tx.PolicySpeculative, tx.PolicyAdaptive} {
+			m := row[p]
+			ratio := "-"
+			if p == tx.PolicyAdaptive && best > 0 {
+				ratio = fmt.Sprintf("%.2fx", m.perRecNS/best)
+			}
+			res.AddRow(fmt.Sprintf("%.2f", pt.theta), fmt.Sprintf("%d", pt.writePct),
+				p.String(),
+				fmt.Sprintf("%.2fus", m.perRecNS/1e3),
+				fmt.Sprintf("%.3f", m.retriesPerTx),
+				fmt.Sprintf("%.3f", m.specFailsPerTx),
+				fmt.Sprintf("%.0f%%", m.specShare),
+				fmt.Sprintf("%d", m.switches), ratio)
+		}
+	}
+	res.Note("workload: %d keys/node, %d-record all-remote read sets, %dx%d workers;", adaptPerNode, adaptNRec, adaptNodes, adaptWorkers)
+	res.Note("per-rec = summed worker virtual time / committed records (retries included).")
+	res.Note("adaptive routes reads per kvs bucket: lease when the conflict EWMA is hot,")
+	res.Note("spec when cold (half-life %d accesses, enter %.1f, exit %.1f).",
+		tx.DefaultPolicyConfig().EWMAHalfLife, tx.DefaultPolicyConfig().HotThreshold,
+		tx.DefaultPolicyConfig().HotThreshold*tx.DefaultPolicyConfig().Hysteresis)
+	return res
+}
+
+// adaptSweep is the theta × write% grid. The corners are chosen so each
+// static arm loses at least one point: quiet tails favor spec, hot
+// write-heavy heads favor lease (see TestAdaptiveAcceptance).
+var adaptSweep = []struct {
+	theta    float64
+	writePct int
+}{
+	{0.20, 0},
+	{0.20, 50},
+	{0.90, 10},
+	{0.90, 50},
+	{0.99, 50},
+}
+
+// Workload shape: a small, hot key space and wide read sets amplify the
+// spec arm's compounding validation-failure probability, while the cold
+// Zipf tail keeps the lease arm paying CAS for nothing.
+const (
+	adaptPerNode = 256
+	adaptNRec    = 8
+	adaptNodes   = 2
+	adaptWorkers = 2
+)
+
+func adaptTxns(o Options) int {
+	if o.Quick {
+		return 60
+	}
+	return 250
+}
+
+// adaptMetrics summarizes one measured (theta, write%, policy) cell.
+type adaptMetrics struct {
+	perRecNS       float64 // summed worker vtime per committed record
+	commits        int64
+	retriesPerTx   float64
+	specFailsPerTx float64
+	specShare      float64 // % of adaptive routes that took the spec arm
+	switches       int64   // bucket reclassifications, both directions
+	hotBuckets     int     // heat-table slots hot at the end of the run
+}
+
+// measureAdaptive runs the contended mixed workload under one read policy:
+// every worker stages adaptNRec records homed on the peer node, keys
+// Zipf(theta)-distributed over the node's adaptPerNode keys, each access a
+// write with probability writePct/100.
+func measureAdaptive(o Options, txns int, theta float64, writePct int, p tx.ReadPolicy) adaptMetrics {
+	return measureAdaptiveW(o, txns, theta, writePct, p, adaptWorkers)
+}
+
+// measureAdaptiveSplit is the reader-starvation variant: per-worker roles
+// instead of a per-access write ratio. Odd workers are pure writers, even
+// workers pure readers, all over the same Zipf-skewed keys. Under the spec
+// arm the writers continuously bump the readers' staged versions, so wide
+// read sets fail validation near-deterministically — the cell where
+// speculation loses by construction rather than by scheduling luck.
+func measureAdaptiveSplit(o Options, txns int, theta float64, p tx.ReadPolicy, workers, perNode int) adaptMetrics {
+	return measureAdaptiveCfg(o, txns, theta, 0, p, workers, perNode, true)
+}
+
+// measureAdaptiveW is measureAdaptive with an explicit worker count per
+// node: the acceptance test raises it to deepen contention.
+func measureAdaptiveW(o Options, txns int, theta float64, writePct int, p tx.ReadPolicy, workers int) adaptMetrics {
+	return measureAdaptiveCfg(o, txns, theta, writePct, p, workers, adaptPerNode, false)
+}
+
+// measureAdaptiveCfg is the fully parameterized form: worker count and
+// per-node key-space size, plus the reader/writer split switch (see
+// measureAdaptiveSplit).
+func measureAdaptiveCfg(o Options, txns int, theta float64, writePct int, p tx.ReadPolicy, workers, perNode int, split bool) adaptMetrics {
+	rt, stop := buildMicro(adaptNodes, workers, perNode, nil, func(rt *tx.Runtime) {
+		rt.ReadPolicy = p
+		rt.CacheBudgetBytes = 0
+	})
+	defer stop()
+	resetClocks(rt)
+	before := rt.C.Obs.Snapshot()
+
+	var wg sync.WaitGroup
+	for node := 0; node < adaptNodes; node++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(node, w int) {
+				defer wg.Done()
+				e := rt.Executor(node, w)
+				rng := rand.New(rand.NewSource(o.Seed + int64(node*workers+w)*7919))
+				z := NewZipf(rng, uint64(perNode), theta)
+				peerBase := uint64((1 - node) * perNode)
+				accs := make([]tx.Access, adaptNRec)
+				for t := 0; t < txns; t++ {
+					for j := range accs {
+						write := rng.Intn(100) < writePct
+						if split {
+							write = w%2 == 1
+						}
+						accs[j] = tx.Access{
+							Table: benchTable,
+							Key:   peerBase + 1 + z.Scrambled(),
+							Write: write,
+						}
+					}
+					err := e.Exec(func(t1 *tx.Tx) error {
+						if err := t1.Stage(accs...); err != nil {
+							return err
+						}
+						return t1.Execute(func(lc *tx.Local) error {
+							for _, a := range accs {
+								v, err := lc.Read(benchTable, a.Key)
+								if err != nil {
+									return err
+								}
+								if a.Write {
+									if err := lc.Write(benchTable, a.Key,
+										[]uint64{v[0] + 1, v[1]}); err != nil {
+										return err
+									}
+								}
+							}
+							return nil
+						})
+					})
+					// Retry-budget exhaustion under extreme contention is a
+					// data point, not a harness failure.
+					if err != nil && !errors.Is(err, tx.ErrRetry) {
+						panic(err)
+					}
+				}
+			}(node, w)
+		}
+	}
+	wg.Wait()
+
+	sn := rt.C.Obs.Snapshot().Delta(before)
+	m := adaptMetrics{
+		commits:    sn.Counters[obs.EvTxCommit],
+		switches:   sn.Counters[obs.EvArmSwitchToLease] + sn.Counters[obs.EvArmSwitchToSpec],
+		hotBuckets: rt.HotBuckets(),
+	}
+	var vsum int64
+	for _, w := range rt.C.Workers() {
+		vsum += int64(w.VClock.Now())
+	}
+	if m.commits > 0 {
+		m.perRecNS = float64(vsum) / float64(m.commits*adaptNRec)
+		m.retriesPerTx = float64(sn.Counters[obs.EvTxRetry]) / float64(m.commits)
+		m.specFailsPerTx = float64(sn.Counters[obs.EvSpecValidateFail]) / float64(m.commits)
+	}
+	if n := sn.Counters[obs.EvAdaptSpec] + sn.Counters[obs.EvAdaptLease]; n > 0 {
+		m.specShare = 100 * float64(sn.Counters[obs.EvAdaptSpec]) / float64(n)
+	}
+	return m
+}
+
+func init() {
+	Register(Experiment{ID: "adaptive", Title: "Adaptive read-arm selection", Run: runAdaptive})
+}

@@ -108,7 +108,10 @@ type occMetrics struct {
 func measureOCCCost(o Options, txns, n int, spec bool) occMetrics {
 	const perNode = 8192
 	rt, stop := buildMicro(2, 1, perNode, nil, func(rt *tx.Runtime) {
-		rt.SpeculativeReads = spec
+		rt.ReadPolicy = tx.PolicyLease
+		if spec {
+			rt.ReadPolicy = tx.PolicySpeculative
+		}
 		rt.CacheBudgetBytes = 0
 	})
 	defer stop()
@@ -159,7 +162,10 @@ func measureOCC(o Options, txns int, theta float64, writePct int, spec bool) occ
 		workers = 2
 	)
 	rt, stop := buildMicro(nodes, workers, perNode, nil, func(rt *tx.Runtime) {
-		rt.SpeculativeReads = spec
+		rt.ReadPolicy = tx.PolicyLease
+		if spec {
+			rt.ReadPolicy = tx.PolicySpeculative
+		}
 		rt.CacheBudgetBytes = 0
 	})
 	defer stop()

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// HeatMap is the bucketed conflict counter behind adaptive per-key
+// concurrency control: a fixed-size, race-safe table of decaying conflict
+// EWMAs, one slot per hashed bucket, each carrying a hot/cold classification
+// with hysteresis.
+//
+// The EWMA is access-clocked, not wall-clocked: every Touch (one routed
+// access to the bucket) multiplies the slot's heat by a per-access decay
+// factor derived from the configured half-life, and every Conflict adds its
+// weight. In steady state the heat converges to
+//
+//	heat ≈ conflictsPerAccess · halfLife / ln 2
+//
+// so the hot threshold expresses "what fraction of recent accesses to this
+// bucket conflicted", independent of host speed — a deliberate choice over
+// wall-clock decay, which would make classification depend on how fast the
+// simulation happens to run.
+//
+// Classification is hysteretic: a cold slot turns hot when its heat reaches
+// hotEnter, and a hot slot reverts only when the heat decays below hotExit
+// (< hotEnter), so buckets near the threshold do not flap between arms.
+//
+// Each slot is one atomic uint64 updated with a CAS loop: bit 63 is the hot
+// flag and the low 32 bits hold the heat in 16.16 fixed point. Collisions
+// (two buckets hashing to one slot) merge their heat, which errs toward the
+// conservative (lease) arm for the cold partner — acceptable for a routing
+// heuristic and what keeps the table allocation-free and bounded.
+type HeatMap struct {
+	slots []atomic.Uint64
+	mask  uint64
+	decay uint64 // per-access heat multiplier, 0.32 fixed point
+	enter uint64 // hot-entry threshold, 16.16 fixed point
+	exit  uint64 // hot-exit threshold, 16.16 fixed point
+}
+
+const (
+	heatHotBit   = uint64(1) << 63
+	heatMask     = (uint64(1) << 32) - 1
+	heatOne      = uint64(1) << 16 // 1.0 in 16.16 fixed point
+	decayOne     = uint64(1) << 32 // 1.0 in 0.32 fixed point
+	heatCeiling  = heatMask        // clamp: ~65535 conflicts of pent-up heat
+	minHeatSlots = 64
+)
+
+// NewHeatMap builds a map with at least `slots` slots (rounded up to a
+// power of two), a decay half-life of halfLife accesses, and the given
+// hot-entry/hot-exit heat thresholds (hotExit < hotEnter enforced by
+// clamping). halfLife < 1 is treated as 1.
+func NewHeatMap(slots, halfLife int, hotEnter, hotExit float64) *HeatMap {
+	if slots < minHeatSlots {
+		slots = minHeatSlots
+	}
+	n := 1
+	for n < slots {
+		n *= 2
+	}
+	if halfLife < 1 {
+		halfLife = 1
+	}
+	if hotEnter <= 0 {
+		hotEnter = 1
+	}
+	if hotExit >= hotEnter {
+		hotExit = hotEnter / 2
+	}
+	if hotExit < 0 {
+		hotExit = 0
+	}
+	// decay = 2^(-1/halfLife) per access.
+	d := math.Pow(0.5, 1/float64(halfLife))
+	return &HeatMap{
+		slots: make([]atomic.Uint64, n),
+		mask:  uint64(n - 1),
+		decay: uint64(d * float64(decayOne)),
+		enter: uint64(hotEnter * float64(heatOne)),
+		exit:  uint64(hotExit * float64(heatOne)),
+	}
+}
+
+// slotOf hashes an arbitrary bucket key onto a slot.
+func (m *HeatMap) slotOf(key uint64) *atomic.Uint64 {
+	return &m.slots[mix64(key)&m.mask]
+}
+
+// mix64 is SplitMix64's finalizer: a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// update applies one decay step (if decay) and adds `add` heat, then
+// re-classifies the slot under hysteresis. Returns the slot's (possibly
+// new) classification and the transition: +1 cold→hot, -1 hot→cold, 0 none.
+func (m *HeatMap) update(key uint64, decay bool, add uint64) (hot bool, switched int) {
+	s := m.slotOf(key)
+	for {
+		old := s.Load()
+		heat := old & heatMask
+		wasHot := old&heatHotBit != 0
+		if decay {
+			heat = (heat * m.decay) >> 32
+		}
+		heat += add
+		if heat > heatCeiling {
+			heat = heatCeiling
+		}
+		nowHot := wasHot
+		if wasHot && heat < m.exit {
+			nowHot = false
+		} else if !wasHot && heat >= m.enter {
+			nowHot = true
+		}
+		next := heat
+		if nowHot {
+			next |= heatHotBit
+		}
+		if s.CompareAndSwap(old, next) {
+			switch {
+			case nowHot && !wasHot:
+				return true, 1
+			case wasHot && !nowHot:
+				return false, -1
+			default:
+				return nowHot, 0
+			}
+		}
+	}
+}
+
+// Touch records one routed access to the bucket: the heat decays one step
+// and the classification (with any transition) is returned. This is the
+// read-arm routing call — spec when cold, lease when hot.
+func (m *HeatMap) Touch(key uint64) (hot bool, switched int) {
+	return m.update(key, true, 0)
+}
+
+// Conflict adds weight conflicts of heat to the bucket without a decay step
+// (conflicts ride the accesses that Touch already decayed). weight <= 0 is
+// treated as 1.
+func (m *HeatMap) Conflict(key uint64, weight float64) (hot bool, switched int) {
+	if weight <= 0 {
+		weight = 1
+	}
+	return m.update(key, false, uint64(weight*float64(heatOne)))
+}
+
+// Hot reports the bucket's current classification without touching it.
+func (m *HeatMap) Hot(key uint64) bool {
+	return m.slotOf(key).Load()&heatHotBit != 0
+}
+
+// Heat returns the bucket's current heat as a float (diagnostics/tests).
+func (m *HeatMap) Heat(key uint64) float64 {
+	return float64(m.slotOf(key).Load()&heatMask) / float64(heatOne)
+}
+
+// HotCount scans the table and returns the number of hot slots.
+func (m *HeatMap) HotCount() int {
+	n := 0
+	for i := range m.slots {
+		if m.slots[i].Load()&heatHotBit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears every slot to cold zero heat.
+func (m *HeatMap) Reset() {
+	for i := range m.slots {
+		m.slots[i].Store(0)
+	}
+}
+
+// Slots returns the table's slot count.
+func (m *HeatMap) Slots() int { return len(m.slots) }

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHeatMapClassifyAndHysteresis(t *testing.T) {
+	m := NewHeatMap(64, 16, 2.0, 1.0)
+	const key = 42
+
+	if m.Hot(key) {
+		t.Fatal("fresh slot classified hot")
+	}
+	// Two conflicts reach the entry threshold; the transition fires once.
+	if _, sw := m.Conflict(key, 1); sw != 0 {
+		t.Fatal("one conflict should not reach the hot threshold")
+	}
+	hot, sw := m.Conflict(key, 1)
+	if !hot || sw != 1 {
+		t.Fatalf("second conflict: hot=%v switched=%d, want true/+1", hot, sw)
+	}
+	if _, sw := m.Conflict(key, 1); sw != 0 {
+		t.Fatal("already-hot slot reported a second cold→hot transition")
+	}
+
+	// Conflict-free accesses decay the heat; the slot must stay hot until
+	// it crosses the *exit* threshold (hysteresis), then switch exactly once.
+	switches := 0
+	for i := 0; i < 200; i++ {
+		hot, sw := m.Touch(key)
+		if sw == -1 {
+			switches++
+			if hot {
+				t.Fatal("hot→cold transition reported hot=true")
+			}
+			if h := m.Heat(key); h >= 1.0 {
+				t.Fatalf("switched cold at heat %.2f, want < exit threshold 1.0", h)
+			}
+		}
+		if sw == 1 {
+			t.Fatal("decaying slot re-entered hot")
+		}
+	}
+	if switches != 1 {
+		t.Fatalf("hot→cold transitions = %d, want exactly 1", switches)
+	}
+	if m.Hot(key) {
+		t.Fatal("slot still hot after decay")
+	}
+}
+
+func TestHeatMapSteadyState(t *testing.T) {
+	// With one conflict every 4 touches and half-life 32, steady-state heat
+	// is rate/(1-decay) ≈ 0.25 · 32/ln2 ≈ 11.5.
+	m := NewHeatMap(64, 32, 100, 50) // thresholds out of reach
+	const key = 7
+	for i := 0; i < 4096; i++ {
+		m.Touch(key)
+		if i%4 == 3 {
+			m.Conflict(key, 1)
+		}
+	}
+	h := m.Heat(key)
+	if h < 8 || h > 15 {
+		t.Fatalf("steady-state heat %.2f outside [8, 15] (expect ≈11.5)", h)
+	}
+}
+
+func TestHeatMapHotCountAndReset(t *testing.T) {
+	m := NewHeatMap(256, 16, 1.0, 0.5)
+	keys := []uint64{1, 2, 3, 4, 5}
+	for _, k := range keys {
+		m.Conflict(k, 2)
+	}
+	if n := m.HotCount(); n != len(keys) {
+		t.Fatalf("HotCount = %d, want %d", n, len(keys))
+	}
+	m.Reset()
+	if n := m.HotCount(); n != 0 {
+		t.Fatalf("HotCount after Reset = %d, want 0", n)
+	}
+	if h := m.Heat(1); h != 0 {
+		t.Fatalf("heat after Reset = %.2f, want 0", h)
+	}
+}
+
+// TestHeatMapConcurrent hammers one slot from many goroutines under -race:
+// the CAS loop must neither lose transitions nor report a net transition
+// count that disagrees with the final classification.
+func TestHeatMapConcurrent(t *testing.T) {
+	m := NewHeatMap(64, 8, 3.0, 1.5)
+	const key = 99
+	var mu sync.Mutex
+	net := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 2000; i++ {
+				var sw int
+				if (g+i)%3 == 0 {
+					_, sw = m.Conflict(key, 1)
+				} else {
+					_, sw = m.Touch(key)
+				}
+				local += sw
+			}
+			mu.Lock()
+			net += local
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	want := 0
+	if m.Hot(key) {
+		want = 1
+	}
+	if net != want {
+		t.Fatalf("net transitions %d disagree with final classification (hot=%v)", net, m.Hot(key))
+	}
+}

@@ -61,9 +61,16 @@ const (
 	EvLockUpgrade        // shared lease upgraded in place to an exclusive lock
 
 	// Speculative (OCC) read-arm events: version-validated reads that skip
-	// the lease CAS entirely (Runtime.SpeculativeReads).
+	// the lease CAS entirely (PolicySpeculative, or an adaptive cold route).
 	EvSpecRead         // record fetched with a single versioned READ, no lock
 	EvSpecValidateFail // commit-time validation found a version bump or live lock
+
+	// Adaptive read-arm selection (PolicyAdaptive): per-bucket routing
+	// decisions and heat-table reclassifications.
+	EvAdaptSpec        // adaptive-routed read took the speculative arm (bucket cold)
+	EvAdaptLease       // adaptive-routed read took the lease arm (bucket hot)
+	EvArmSwitchToLease // bucket reclassified cold→hot (reads now take leases)
+	EvArmSwitchToSpec  // bucket reclassified hot→cold (reads now speculate)
 
 	// One-sided RDMA and messaging verbs (Section 7.1).
 	EvRDMARead
@@ -113,6 +120,10 @@ var eventNames = [NumEvents]string{
 	EvLockUpgrade:        "lock.upgrade",
 	EvSpecRead:           "spec.read",
 	EvSpecValidateFail:   "spec.validate_fail",
+	EvAdaptSpec:          "adapt.route_spec",
+	EvAdaptLease:         "adapt.route_lease",
+	EvArmSwitchToLease:   "adapt.to_lease",
+	EvArmSwitchToSpec:    "adapt.to_spec",
 	EvRDMARead:           "rdma.read",
 	EvRDMAWrite:          "rdma.write",
 	EvRDMACAS:            "rdma.cas",
@@ -550,12 +561,41 @@ func (c AbortCause) String() string {
 	}
 }
 
+// TraceKind distinguishes what a TraceEvent records.
+type TraceKind uint8
+
+const (
+	// TraceTx is a whole-transaction event (the default, zero value).
+	TraceTx TraceKind = iota
+	// TraceArmSwitch is an adaptive read-arm reclassification: a heat-table
+	// bucket crossed a threshold and changed arms. TxID holds the packed
+	// heat key (node‖table‖bucket), Hot the new classification (true =
+	// reads now take the lease arm), and StartNS the worker's virtual
+	// clock at the switch; the phase/outcome fields are unused.
+	TraceArmSwitch
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceTx:
+		return "tx"
+	case TraceArmSwitch:
+		return "arm-switch"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
 // TraceEvent is one traced transaction: identity, disposition, and the
 // phase timeline in modeled (virtual-clock) nanoseconds. StartNS is the
 // worker's virtual clock at Exec entry; phase durations are deltas of the
 // same clock, so `StartNS + LockNS + ...` reconstructs phase timestamps.
+// Kind != TraceTx marks protocol events that share the ring (arm switches);
+// see the TraceKind constants for their field conventions.
 type TraceEvent struct {
-	Seq      uint64 // per-worker monotonic sequence
+	Seq      uint64    // per-worker monotonic sequence
+	Kind     TraceKind // what this event records (TraceTx for transactions)
+	Hot      bool      // TraceArmSwitch: new classification (true = lease arm)
 	TxID     uint64
 	Node     int32
 	Worker   int32

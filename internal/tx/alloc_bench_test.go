@@ -78,7 +78,7 @@ func BenchmarkExecRemoteLease(b *testing.B) {
 func BenchmarkExecRemoteSpec(b *testing.B) {
 	rt, stop := newRig(b, 2, 1, 8, nil)
 	defer stop()
-	rt.SpeculativeReads = true
+	rt.ReadPolicy = PolicySpeculative
 	e := rt.Executor(0, 0)
 	b.ReportAllocs()
 	b.ResetTimer()

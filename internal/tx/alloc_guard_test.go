@@ -13,7 +13,7 @@ import "testing"
 func TestExecAllocSteadyState(t *testing.T) {
 	rt, stop := newRig(t, 2, 1, 8, nil)
 	defer stop()
-	rt.SpeculativeReads = true
+	rt.ReadPolicy = PolicySpeculative
 	e := rt.Executor(0, 0)
 	for i := 0; i < 16; i++ { // warm the pools
 		if err := benchRemoteTxn(e, true); err != nil {

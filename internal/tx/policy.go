@@ -1,0 +1,253 @@
+package tx
+
+import (
+	"fmt"
+
+	"drtm/internal/kvs"
+	"drtm/internal/obs"
+)
+
+// ReadPolicy selects the concurrency-control arm used for remote READ-set
+// records (writes always take exclusive locks). It replaces the accreted
+// boolean knobs (`SpeculativeReads`, `NoReadLease`) with one typed choice:
+//
+//	PolicyLease       — shared lease via RDMA CAS (~14.5µs modeled), the
+//	                    paper's Section 4.2 protocol. Safe under any
+//	                    contention; pays the CAS on every read.
+//	PolicySpeculative — one-RTT OCC read (~1.5µs READ), validated at commit
+//	                    with a version re-READ wave. ~3.3x cheaper when the
+//	                    record is quiet; loses whole-transaction retries to
+//	                    validation failures when writers hit it.
+//	PolicyAdaptive    — per-bucket online choice between the two arms: a
+//	                    conflict-EWMA heat table (obs.HeatMap) classifies
+//	                    each kvs bucket hot or cold with hysteresis, and
+//	                    every remote read routes lease-when-hot,
+//	                    spec-when-cold, re-classifying continuously as the
+//	                    workload shifts.
+//	PolicyExclusive   — reads take exclusive write locks (the Figure 17
+//	                    "no read lease" ablation): no read-read sharing.
+//
+// The zero value PolicyDefault resolves to PolicyLease at the tx layer
+// (keeping Runtime's zero value semantics), or to PolicyExclusive when the
+// legacy Runtime.NoReadLease ablation flag is set. The drtm package maps an
+// unset Options.ReadPolicy to PolicyAdaptive — adaptive is the user-facing
+// default.
+//
+// The software fallback path always uses locks regardless of policy: its
+// in-place updates cannot be rolled back, so optimistic reads are unsound
+// there (see fallback.go).
+type ReadPolicy int
+
+const (
+	// PolicyDefault is the unset zero value; see ReadPolicy.
+	PolicyDefault ReadPolicy = iota
+	// PolicyLease always takes lease-based shared locks for remote reads.
+	PolicyLease
+	// PolicySpeculative always takes one-RTT OCC reads for remote reads.
+	PolicySpeculative
+	// PolicyAdaptive chooses per bucket: lease when hot, spec when cold.
+	PolicyAdaptive
+	// PolicyExclusive locks remote reads exclusively (ablation arm).
+	PolicyExclusive
+)
+
+func (p ReadPolicy) String() string {
+	switch p {
+	case PolicyDefault:
+		return "default"
+	case PolicyLease:
+		return "lease"
+	case PolicySpeculative:
+		return "spec"
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyExclusive:
+		return "exclusive"
+	}
+	return fmt.Sprintf("ReadPolicy(%d)", int(p))
+}
+
+// Valid reports whether p is one of the defined policies.
+func (p ReadPolicy) Valid() bool {
+	return p >= PolicyDefault && p <= PolicyExclusive
+}
+
+// PolicyConfig tunes PolicyAdaptive's heat table. The zero value of any
+// field selects its default.
+type PolicyConfig struct {
+	// EWMAHalfLife is the conflict EWMA's half-life in bucket accesses
+	// (default 64): after that many conflict-free routed reads a bucket's
+	// heat halves. Access-clocked (not wall-clocked) so classification is
+	// independent of host speed.
+	EWMAHalfLife int
+
+	// HotThreshold is the heat at which a cold bucket turns hot and reads
+	// switch to the lease arm (default 8.0). Steady-state heat is
+	// conflictsPerAccess · EWMAHalfLife / ln 2, so with the defaults a
+	// bucket goes hot when roughly 1 in 12 recent accesses conflicted.
+	// The threshold is deliberately high: a lease costs a ~14.5µs CAS per
+	// read and stalls writers for the lease term, which only pays off once
+	// speculative retries start compounding toward livelock.
+	HotThreshold float64
+
+	// Hysteresis is the fraction of HotThreshold a hot bucket must decay
+	// below before reverting to the spec arm (default 0.5, i.e. exit at
+	// half the entry heat), preventing near-threshold buckets from
+	// flapping between arms.
+	Hysteresis float64
+
+	// HeatSlots sizes the heat table (rounded up to a power of two,
+	// default 4096 slots ≈ 32 KiB). kvs buckets hash onto slots; colliding
+	// buckets merge their heat, erring toward the conservative lease arm.
+	HeatSlots int
+}
+
+// DefaultPolicyConfig returns the adaptive tuning defaults.
+func DefaultPolicyConfig() PolicyConfig {
+	return PolicyConfig{EWMAHalfLife: 64, HotThreshold: 8.0, Hysteresis: 0.5, HeatSlots: 4096}
+}
+
+// normalized fills zero fields with defaults and clamps nonsense.
+func (c PolicyConfig) normalized() PolicyConfig {
+	d := DefaultPolicyConfig()
+	if c.EWMAHalfLife <= 0 {
+		c.EWMAHalfLife = d.EWMAHalfLife
+	}
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = d.HotThreshold
+	}
+	if c.Hysteresis <= 0 || c.Hysteresis >= 1 {
+		c.Hysteresis = d.Hysteresis
+	}
+	if c.HeatSlots <= 0 {
+		c.HeatSlots = d.HeatSlots
+	}
+	return c
+}
+
+func (c PolicyConfig) newHeatMap() *obs.HeatMap {
+	n := c.normalized()
+	return obs.NewHeatMap(n.HeatSlots, n.EWMAHalfLife,
+		n.HotThreshold, n.HotThreshold*n.Hysteresis)
+}
+
+// SetPolicyConfig replaces the adaptive tuning and rebuilds the heat table
+// (all buckets reset to cold). Call before starting workers; the table
+// itself is race-safe but the swap is not synchronized against executors.
+func (rt *Runtime) SetPolicyConfig(c PolicyConfig) {
+	rt.policyCfg = c.normalized()
+	rt.heat = rt.policyCfg.newHeatMap()
+}
+
+// PolicyCfg returns the normalized adaptive tuning in effect.
+func (rt *Runtime) PolicyCfg() PolicyConfig { return rt.policyCfg }
+
+// HotBuckets returns the number of heat-table slots currently classified
+// hot (diagnostic; the stats layer derives the same gauge from the
+// arm-switch counters).
+func (rt *Runtime) HotBuckets() int { return rt.heat.HotCount() }
+
+// ResetHeat clears the heat table to all-cold (benchmark warm-up resets).
+func (rt *Runtime) ResetHeat() { rt.heat.Reset() }
+
+// heatKey packs a record's home (node, table, main bucket) into the heat
+// table's key space. The bucket — not the key — is the classification
+// granularity: one hot key heats its whole chain, which is the same
+// granularity at which its neighbors already share lookup READs.
+func heatKey(node, table int, bucket uint64) uint64 {
+	return bucket ^ uint64(table+1)<<40 ^ uint64(node+1)<<52
+}
+
+// resolvePolicy computes the effective read policy for a new transaction:
+// the per-transaction override if set (ExecWith), else the runtime-wide
+// policy, with the legacy NoReadLease ablation mapping to PolicyExclusive.
+func (e *Executor) resolvePolicy() ReadPolicy {
+	if p := e.override; p != PolicyDefault {
+		return p
+	}
+	if e.rt.NoReadLease {
+		return PolicyExclusive
+	}
+	if p := e.rt.ReadPolicy; p != PolicyDefault {
+		return p
+	}
+	return PolicyLease
+}
+
+// ExecWith is Exec with the read policy forced to p for every attempt of
+// this one transaction, overriding the runtime-wide policy — e.g. a
+// read-mostly scan forcing PolicySpeculative regardless of heat.
+func (e *Executor) ExecWith(p ReadPolicy, build func(t *Tx) error) error {
+	prev := e.override
+	e.override = p
+	defer func() { e.override = prev }()
+	return e.Exec(build)
+}
+
+// ExecROWith is ExecRO with the read policy forced to p (PolicyExclusive
+// behaves as PolicyLease: read-only transactions never take write locks).
+func (e *Executor) ExecROWith(p ReadPolicy, build func(ro *RO) error) error {
+	prev := e.override
+	e.override = p
+	defer func() { e.override = prev }()
+	return e.ExecRO(build)
+}
+
+// routeRead decides the arm for one remote read under the transaction's
+// policy. For PolicyAdaptive this is the routing hot path: one decayed
+// heat-table access classifies the record's bucket, counting the route and
+// any hot/cold transition (and tracing the transition when enabled).
+func (e *Executor) routeRead(p ReadPolicy, host *kvs.Table, node, table int, key uint64) (spec bool) {
+	switch p {
+	case PolicySpeculative:
+		return true
+	case PolicyAdaptive:
+	default:
+		return false
+	}
+	hot, sw := e.rt.heat.Touch(heatKey(node, table, host.BucketOf(key)))
+	sh := e.w.Obs
+	if sw != 0 {
+		e.noteSwitch(node, table, host.BucketOf(key), hot)
+	}
+	if hot {
+		sh.Inc(obs.EvAdaptLease)
+		return false
+	}
+	sh.Inc(obs.EvAdaptSpec)
+	return true
+}
+
+// feedConflict adds conflict heat to a record's bucket — the adaptive
+// selector's feedback path, called on spec validation failures, lease CAS
+// conflicts and lock upgrades. Cheap (one CAS on a 32 KiB table) and only
+// taken on conflict events, but skipped entirely unless the runtime-wide
+// policy is adaptive: static arms should not accrete classification state.
+func (e *Executor) feedConflict(host *kvs.Table, node, table int, key uint64, weight float64) {
+	if e.rt.ReadPolicy != PolicyAdaptive {
+		return
+	}
+	bucket := host.BucketOf(key)
+	_, sw := e.rt.heat.Conflict(heatKey(node, table, bucket), weight)
+	if sw != 0 {
+		e.noteSwitch(node, table, bucket, true)
+	}
+}
+
+// noteSwitch counts one bucket reclassification and records it in the
+// trace ring (Kind = TraceArmSwitch; TxID carries the packed heat key).
+func (e *Executor) noteSwitch(node, table int, bucket uint64, hot bool) {
+	sh := e.w.Obs
+	if hot {
+		sh.Inc(obs.EvArmSwitchToLease)
+	} else {
+		sh.Inc(obs.EvArmSwitchToSpec)
+	}
+	if sh.TraceEnabled() {
+		sh.Trace(obs.TraceEvent{
+			Kind: obs.TraceArmSwitch, TxID: heatKey(node, table, bucket),
+			Node: int32(e.w.Node.ID), Worker: int32(e.w.ID),
+			Hot: hot, StartNS: int64(e.w.VClock.Now()),
+		})
+	}
+}

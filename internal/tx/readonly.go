@@ -21,6 +21,11 @@ type RO struct {
 	end   uint64 // the transaction's common lease end time
 	recs  []*roRec
 	index map[refKey]*roRec
+
+	// policy is the effective read policy (see policy.go). PolicyExclusive
+	// behaves as PolicyLease here: read-only transactions never take write
+	// locks.
+	policy ReadPolicy
 }
 
 type roRec struct {
@@ -30,7 +35,7 @@ type roRec struct {
 	buf         []uint64
 	leaseEnd    uint64
 
-	// Speculative (OCC) read state: under Runtime.SpeculativeReads a remote
+	// Speculative (OCC) read state: on the speculative arm a remote
 	// record holds no lease — the entry is fetched with one READ and confirm
 	// re-READs its header, requiring the same incarnation|version and no live
 	// exclusive lock. Sound without HTM because a read-only transaction
@@ -46,9 +51,10 @@ type roRec struct {
 func (e *Executor) ExecRO(build func(ro *RO) error) error {
 	for attempt := 0; attempt < e.rt.MaxAttempts; attempt++ {
 		ro := &RO{
-			e:     e,
-			end:   e.w.Node.Clock.Read() + e.rt.C.Config().ROLeaseMicros,
-			index: make(map[refKey]*roRec),
+			e:      e,
+			end:    e.w.Node.Clock.Read() + e.rt.C.Config().ROLeaseMicros,
+			index:  make(map[refKey]*roRec),
+			policy: e.resolvePolicy(),
 		}
 		err := build(ro)
 		if err == nil && ro.confirm() {
@@ -122,6 +128,7 @@ func (ro *RO) confirm() bool {
 		if kvs.Version(hdr[0]) != r.version || kvs.Incarnation(hdr[0]) != r.inc ||
 			clock.IsWriteLocked(hdr[1]) {
 			sh.Inc(obs.EvSpecValidateFail)
+			e.feedConflict(e.rt.C.Node(r.node).Unordered(r.table), r.node, r.table, r.key, 1)
 			ok = false
 			break
 		}
@@ -224,7 +231,7 @@ func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 		}
 		ok = lok
 		off = loc.Off
-		if ok && ro.e.rt.SpeculativeReads && !ro.e.rt.NoReadLease {
+		if ok && ro.e.routeRead(ro.policy, host, node, table, key) {
 			return ro.specReadAt(node, table, key, loc)
 		}
 	}

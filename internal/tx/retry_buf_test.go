@@ -1,0 +1,105 @@
+package tx
+
+import "testing"
+
+// TestRegionRetryRestoresWriteBuffers pins the buffered-remote-write
+// rollback on HTM region retries. A conflict abort re-runs the region with
+// locks held; the HTM side rolls its write set back, and the staged remote
+// buffers — mutated in place by lc.Write — must roll back with it.
+// Before the fix the retried body read the aborted attempt's value out of
+// the dirty buffer and applied its update a second time, so a transaction
+// pairing a local write (rolled back) with a remote write (leaked) split
+// in two: this is exactly the money-conservation leak the adaptive
+// shifting-hotset stress first caught.
+func TestRegionRetryRestoresWriteBuffers(t *testing.T) {
+	rt, stop := newRig(t, 2, 2, 4, nil)
+	defer stop()
+	e0 := rt.Executor(0, 0)
+	e1 := rt.Executor(1, 0)
+	const (
+		kLocal  = 2 // homed on node 0: HTM write, rolled back on abort
+		kRemote = 1 // homed on node 1: buffered write, must roll back too
+	)
+
+	attempts := 0
+	err := e0.Exec(func(tx *Tx) error {
+		if err := tx.W(tblAccounts, kLocal); err != nil {
+			return err
+		}
+		if err := tx.W(tblAccounts, kRemote); err != nil {
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			attempts++
+			// The Figure 6 state-word check puts kLocal's line in the HTM
+			// read set before the interference below bumps it.
+			w, err := lc.Read(tblAccounts, kLocal)
+			if err != nil {
+				return err
+			}
+			v, err := lc.Read(tblAccounts, kRemote)
+			if err != nil {
+				return err
+			}
+			// Increment through the buffer: a leaked buffer makes the
+			// retry read its own aborted write and increment twice.
+			if err := lc.Write(tblAccounts, kRemote, []uint64{v[0] + 1, 0}); err != nil {
+				return err
+			}
+			if attempts == 1 {
+				// Force a conflict abort: a concurrent transaction from
+				// node 1 write-locks kLocal on this node, bumping the
+				// line this region already read.
+				if err := e1.Exec(func(tx2 *Tx) error {
+					if err := tx2.W(tblAccounts, kLocal); err != nil {
+						return err
+					}
+					return tx2.Execute(func(lc2 *Local) error {
+						w2, err := lc2.Read(tblAccounts, kLocal)
+						if err != nil {
+							return err
+						}
+						return lc2.Write(tblAccounts, kLocal, []uint64{w2[0] + 100, 0})
+					})
+				}); err != nil {
+					return err
+				}
+			}
+			return lc.Write(tblAccounts, kLocal, []uint64{w[0] + 1, 0})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Fatalf("interference did not retry the region (attempts = %d)", attempts)
+	}
+
+	// Read back through transactions to avoid entry-layout assumptions.
+	check := func(key uint64, want uint64) {
+		t.Helper()
+		var v []uint64
+		if err := e0.Exec(func(tx *Tx) error {
+			if err := tx.R(tblAccounts, key); err != nil {
+				return err
+			}
+			return tx.Execute(func(lc *Local) error {
+				r, err := lc.Read(tblAccounts, key)
+				if err != nil {
+					return err
+				}
+				v = append([]uint64(nil), r...)
+				return nil
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if v[0] != want {
+			t.Errorf("key %d = %d, want %d", key, v[0], want)
+		}
+	}
+	// kRemote: exactly one increment despite the retry (1000 + 1).
+	check(kRemote, 1001)
+	// kLocal: interferer's +100 then our +1 on the retried attempt.
+	check(kLocal, 1101)
+}

@@ -155,18 +155,14 @@ type Runtime struct {
 	// killing read-read sharing across machines.
 	NoReadLease bool
 
-	// SpeculativeReads selects the speculative (OCC) read arm: remote
-	// read-set records are fetched with a single one-sided READ of
-	// `version ‖ state ‖ value` — no lease CAS — and re-validated at commit
-	// time in one doorbell-batched wave of version re-READs; a version bump
-	// or a live exclusive lock retries the transaction (ErrRetry). This
-	// trades the Start phase's RDMACAS (~14.5µs modeled) for an extra READ
-	// (~1.5µs) per read record, winning at low write contention and losing
-	// to validation aborts as contention rises (the `occ` experiment).
-	// NoReadLease takes precedence: with both set, reads take exclusive
-	// locks. The software fallback path always uses leases — its in-place
-	// updates cannot be rolled back, so optimistic reads are unsound there.
-	SpeculativeReads bool
+	// ReadPolicy selects the concurrency-control arm for remote read-set
+	// records: lease-based shared locks (the zero-value default),
+	// speculative one-RTT OCC reads, per-bucket adaptive routing between
+	// the two, or exclusive locks (see policy.go). NoReadLease takes
+	// precedence: when set, the effective policy is PolicyExclusive. The
+	// software fallback path always uses locks — its in-place updates
+	// cannot be rolled back, so optimistic reads are unsound there.
+	ReadPolicy ReadPolicy
 
 	// BatchWindow bounds outstanding work requests per worker send queue in
 	// the batched Start/Commit pipelines. 0 selects rdma.DefaultWindow; 1
@@ -175,6 +171,13 @@ type Runtime struct {
 	BatchWindow int
 
 	Stats Stats
+
+	// Adaptive routing state: the normalized tuning and the conflict-EWMA
+	// heat table (built in NewRuntime, rebuilt by SetPolicyConfig). The
+	// table is race-safe; it exists even under static policies so that
+	// per-transaction ExecWith(PolicyAdaptive) overrides always work.
+	policyCfg PolicyConfig
+	heat      *obs.HeatMap
 
 	// pending parks release-side steps (unlocks, commit write-backs,
 	// deferred store ops) whose target node crashed mid-transaction; see
@@ -210,7 +213,9 @@ func NewRuntime(c *cluster.Cluster, part Partitioner) *Runtime {
 		MaxAttempts:       10_000,
 		CacheBudgetBytes:  1 << 22,
 		Stats:             newStats(c.Obs),
+		policyCfg:         DefaultPolicyConfig(),
 	}
+	rt.heat = rt.policyCfg.newHeatMap()
 	for i := 0; i < c.Nodes(); i++ {
 		rt.caches = append(rt.caches, newCacheSet())
 	}
@@ -278,6 +283,10 @@ type Executor struct {
 	rng *rand.Rand
 
 	txSeq uint64 // local transaction sequence, for log record IDs
+
+	// override forces a read policy for transactions started while it is
+	// set (ExecWith / ExecROWith); PolicyDefault defers to the runtime.
+	override ReadPolicy
 
 	sq *rdma.SendQueue // lazily created post/poll queue for batched phases
 

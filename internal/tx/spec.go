@@ -7,8 +7,8 @@ import (
 	"drtm/internal/obs"
 )
 
-// Speculative (OCC) read validation — the commit half of the
-// Runtime.SpeculativeReads arm.
+// Speculative (OCC) read validation — the commit half of the speculative
+// read arm (PolicySpeculative, or cold-bucket routes under PolicyAdaptive).
 //
 // A speculative record was fetched with one unprotected READ; nothing stops
 // a writer from committing a new version between that fetch and our commit.
@@ -104,13 +104,17 @@ func (t *Tx) validateSpeculative(htx *htm.Txn) {
 			if !r.spec {
 				continue
 			}
-			arena := e.rt.C.Node(r.node).Unordered(r.table).Arena()
+			host := e.rt.C.Node(r.node).Unordered(r.table)
+			arena := host.Arena()
 			incver := htx.Read(arena, kvs.IncVerOffset(r.off))
 			state := htx.Read(arena, kvs.StateOffset(r.off))
 			if kvs.Version(incver) != r.version ||
 				kvs.Incarnation(incver) != r.inc ||
 				clock.IsWriteLocked(state) {
 				fails++
+				// Adaptive feedback: a validation failure is the spec arm's
+				// defining loss — heat the bucket so future reads lease it.
+				e.feedConflict(host, r.node, r.table, r.key, 1)
 			}
 		}
 	}

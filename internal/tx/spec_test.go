@@ -12,7 +12,7 @@ import (
 // specRig is newRig with the speculative read arm enabled.
 func specRig(t testing.TB, nodes, workers, keys int) (*Runtime, func()) {
 	rt, stop := newRig(t, nodes, workers, keys, nil)
-	rt.SpeculativeReads = true
+	rt.ReadPolicy = PolicySpeculative
 	return rt, stop
 }
 
@@ -90,7 +90,7 @@ func TestSpecGoldenCost(t *testing.T) {
 	tx0.releaseLocks()
 
 	// The lease arm pays the CAS on the same access shape.
-	rt.SpeculativeReads = false
+	rt.ReadPolicy = PolicyLease
 	tx1 := e.newTx()
 	v2 := e.w.VClock.Now()
 	if err := tx1.stageRemote(tblAccounts, 3, 1, false); err != nil {

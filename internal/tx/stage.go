@@ -36,11 +36,12 @@ const casRetries = 8
 //     retry path discards it too (the sync CAS postdates the READ). This
 //     saves the separate prefetch round trip per record.
 //
-//   - Under Runtime.SpeculativeReads, read-set records skip the CAS stage
-//     entirely: one entry READ fetches `version ‖ state ‖ value`, and the
-//     observed version is re-validated at commit time (see spec.go). A
-//     record observed write-locked at fetch is a conflict — its value may
-//     be mid-update.
+//   - Read-set records routed to the speculative arm (PolicySpeculative,
+//     or a cold bucket under PolicyAdaptive) skip the CAS stage entirely:
+//     one entry READ fetches `version ‖ state ‖ value`, and the observed
+//     version is re-validated at commit time (see spec.go). A record
+//     observed write-locked at fetch is a conflict — its value may be
+//     mid-update.
 //
 // The per-record lock/lease decision logic is the same state machine as the
 // serial loop it replaces; conflicts and node failures are detected per
@@ -71,7 +72,7 @@ func (t *Tx) Stage(accs ...Access) error {
 			t.declareLocal(a.Table, a.Key, a.Write)
 			continue
 		}
-		write := a.Write || e.rt.NoReadLease
+		write := a.Write || t.policy == PolicyExclusive
 		k := refKey{a.Table, a.Key}
 		if s, ok := e.seen[k]; ok {
 			if write && !s.write {
@@ -120,7 +121,7 @@ type stageReq struct {
 	write bool
 
 	// spec marks a speculative (OCC) read: no lock/lease CAS — the entry is
-	// fetched with one READ and validated at commit (Runtime.SpeculativeReads).
+	// fetched with one READ and validated at commit (see policy.go).
 	spec bool
 
 	host  *kvs.Table
@@ -199,8 +200,8 @@ func (t *Tx) gatherRemote(table int, key uint64, node int, write bool) (*stageRe
 	}
 	s := t.e.getReq()
 	s.k, s.node, s.table, s.key, s.write = k, node, table, key, write
-	s.spec = !write && t.e.rt.SpeculativeReads
 	s.host = t.e.rt.C.Node(node).Unordered(table)
+	s.spec = !write && t.e.routeRead(t.policy, s.host, node, table, key)
 	s.cache = t.e.cacheFor(node, table)
 	s.vw = meta.ValueWords
 	return s, nil
@@ -325,6 +326,11 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 			switch {
 			case conf:
 				conflict = true
+				if !s.write {
+					// A lease read blocked by a conflicting writer: heat the
+					// bucket (adaptive feedback — writer activity here).
+					t.e.feedConflict(s.host, s.node, s.table, s.key, 1)
+				}
 			case again:
 				next = append(next, s)
 			case s.needFetch && fuse != nil && fuse.Err == nil:
@@ -390,6 +396,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 				// A writer is mid-commit: the value may be half-written.
 				// Unlike a lease, a speculative read cannot wait it out here
 				// without a lock — surface it as a remote conflict.
+				t.e.feedConflict(s.host, s.node, s.table, s.key, 1)
 				specBusy = true
 				continue
 			}
@@ -481,6 +488,9 @@ func (s *stageReq) finishAcquire(t *Tx) {
 		s.r.leaseEnd = 0
 		s.r.spec = false
 		sh.Inc(obs.EvLockUpgrade)
+		// Half-weight adaptive feedback: an upgrade signals write intent on
+		// the bucket, a weaker hotness cue than an actual conflict.
+		t.e.feedConflict(s.host, s.node, s.table, s.key, 0.5)
 		s.needFetch = true
 		return
 	}

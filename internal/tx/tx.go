@@ -68,6 +68,10 @@ type Tx struct {
 	leaseEnd  uint64 // common desired lease end for this transaction
 	txid      uint64
 
+	// policy is the effective read policy for this attempt, resolved at
+	// newTx from the executor's override / the runtime (see policy.go).
+	policy ReadPolicy
+
 	remotes  []*remoteRec
 	rIndex   map[refKey]*remoteRec
 	locals   []localRec
@@ -76,6 +80,14 @@ type Tx struct {
 
 	// walLocal accumulates local updates for the write-ahead log.
 	walLocal []walRec
+
+	// wsnap holds the pristine values of write-staged remote buffers,
+	// captured before the first HTM attempt. A conflict abort retries the
+	// region with locks held, but the body mutates r.buf in place — without
+	// restoring, the retry would read (and re-apply on top of) the aborted
+	// attempt's writes while the HTM side rolled back, splitting the
+	// transaction's effects. Scratch, reused across transactions.
+	wsnap []uint64
 
 	finished     bool
 	choppingInfo []uint64 // optional piece info logged before locking
@@ -114,6 +126,7 @@ func (e *Executor) newTx() *Tx {
 		e.freeTx = nil // recycle left the shell empty; see Executor.recycle
 	}
 	t.startSoft = soft
+	t.policy = e.resolvePolicy()
 	t.leaseEnd = soft + e.rt.C.Config().LeaseMicros
 	t.txid = uint64(e.w.Node.ID)<<48 | uint64(e.w.ID)<<40 | e.txSeq
 	return t
@@ -142,19 +155,17 @@ func (t *Tx) IsLocal(table int, key uint64) bool {
 	return t.home(table, key) == t.e.w.Node.ID
 }
 
-// R declares a read of a record: remote records are leased and prefetched
-// immediately (Start phase); local records are read inside the HTM region.
-// Under the NoReadLease ablation, remote reads take exclusive locks.
+// R declares a read of a record: remote records are leased, read
+// speculatively, or exclusively locked per the transaction's ReadPolicy and
+// prefetched immediately (Start phase); local records are read inside the
+// HTM region.
 func (t *Tx) R(table int, key uint64) error {
 	node := t.home(table, key)
 	if node == t.e.w.Node.ID {
 		t.declareLocal(table, key, false)
 		return nil
 	}
-	if t.e.rt.NoReadLease {
-		return t.stageRemote(table, key, node, true)
-	}
-	return t.stageRemote(table, key, node, false)
+	return t.stageRemote(table, key, node, t.policy == PolicyExclusive)
 }
 
 // W declares a write of a record: remote records are exclusively locked and
@@ -269,7 +280,11 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 	}
 
 	sh := t.e.w.Obs
+	t.snapshotWriteBufs()
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			t.restoreWriteBufs()
+		}
 		t.walLocal = t.walLocal[:0]
 		t.deferred = t.deferred[:0]
 		lc := &t.lcScratch
@@ -473,4 +488,30 @@ func (t *Tx) applyDeferred() {
 		t.e.applyStoreOp(op)
 	}
 	t.deferred = nil
+}
+
+// snapshotWriteBufs saves the pristine prefetched value of every
+// write-staged remote record before the first HTM attempt, so a region
+// retry can roll the transaction-private buffers back alongside the HTM
+// write set (see Tx.wsnap).
+func (t *Tx) snapshotWriteBufs() {
+	t.wsnap = t.wsnap[:0]
+	for _, r := range t.remotes {
+		if r.write {
+			t.wsnap = append(t.wsnap, r.buf...)
+		}
+	}
+}
+
+// restoreWriteBufs undoes the aborted attempt's buffered remote writes.
+func (t *Tx) restoreWriteBufs() {
+	i := 0
+	for _, r := range t.remotes {
+		if !r.write {
+			continue
+		}
+		copy(r.buf, t.wsnap[i:i+len(r.buf)])
+		r.dirty = false
+		i += len(r.buf)
+	}
 }

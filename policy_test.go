@@ -1,0 +1,245 @@
+package drtm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptionsPolicyValidation pins the deprecated-knob migration: the old
+// bools map onto ReadPolicy, conflicting combinations are Open errors, and
+// an unset policy defaults to PolicyAdaptive.
+func TestOptionsPolicyValidation(t *testing.T) {
+	norm := func(o Options) (Options, error) {
+		o.Nodes, o.WorkersPerNode = 1, 1
+		return o.normalize()
+	}
+	cases := []struct {
+		name    string
+		in      Options
+		want    ReadPolicy
+		wantErr string
+	}{
+		{"default is adaptive", Options{}, PolicyAdaptive, ""},
+		{"explicit lease", Options{ReadPolicy: PolicyLease}, PolicyLease, ""},
+		{"deprecated SpeculativeReads", Options{SpeculativeReads: true}, PolicySpeculative, ""},
+		{"deprecated NoReadLease", Options{NoReadLease: true}, PolicyExclusive, ""},
+		{"redundant alias ok", Options{SpeculativeReads: true, ReadPolicy: PolicySpeculative}, PolicySpeculative, ""},
+		{"both bools conflict", Options{SpeculativeReads: true, NoReadLease: true}, 0, "conflict"},
+		{"bool vs policy conflict", Options{SpeculativeReads: true, ReadPolicy: PolicyLease}, 0, "conflicts with"},
+		{"NoReadLease vs policy conflict", Options{NoReadLease: true, ReadPolicy: PolicyAdaptive}, 0, "conflicts with"},
+		{"unknown policy", Options{ReadPolicy: ReadPolicy(99)}, 0, "unknown"},
+	}
+	for _, c := range cases {
+		got, err := norm(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+			continue
+		}
+		if got.ReadPolicy != c.want {
+			t.Errorf("%s: resolved policy %v, want %v", c.name, got.ReadPolicy, c.want)
+		}
+	}
+}
+
+// TestPolicyOverrideE2E: a per-transaction ExecWith/ExecROWith override
+// forces the spec arm on a lease-policy deployment, end to end.
+func TestPolicyOverrideE2E(t *testing.T) {
+	db := MustOpen(Options{Nodes: 2, WorkersPerNode: 1, ReadPolicy: PolicyLease},
+		func(table int, key uint64) int { return int(key) % 2 })
+	defer db.Close()
+	db.CreateHashTable(tblAcct, 1024, 1)
+	for k := uint64(1); k <= 8; k++ {
+		if err := db.Load(tblAcct, k, []uint64{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Forced spec arm: the remote read must cost no lease.
+	if err := db.ExecWith(0, 0, PolicySpeculative, func(tx *Tx) error {
+		if err := tx.R(tblAcct, 1); err != nil { // key 1 → node 1: remote
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			_, err := lc.Read(tblAcct, 1)
+			return err
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.SpecReads != 1 {
+		t.Fatalf("SpecReads = %d, want 1", s.SpecReads)
+	}
+	if s.LeaseGrants+s.LeaseShares != 0 {
+		t.Fatalf("override transaction took %d leases, want 0", s.LeaseGrants+s.LeaseShares)
+	}
+
+	// A read-only scan forcing spec: still no lease CAS.
+	if err := db.ExecROWith(0, 0, PolicySpeculative, func(ro *RO) error {
+		for k := uint64(1); k <= 7; k += 2 { // odd keys → node 1: remote
+			if _, err := ro.Read(tblAcct, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s = db.Stats()
+	if s.SpecReads != 5 {
+		t.Fatalf("SpecReads after RO scan = %d, want 5", s.SpecReads)
+	}
+	if s.LeaseGrants+s.LeaseShares != 0 {
+		t.Fatalf("RO override took %d leases, want 0", s.LeaseGrants+s.LeaseShares)
+	}
+
+	// The deployment's lease policy is untouched: a plain Exec leases.
+	if err := db.Executor(0, 0).Exec(func(tx *Tx) error {
+		if err := tx.R(tblAcct, 3); err != nil {
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			_, err := lc.Read(tblAcct, 3)
+			return err
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s = db.Stats()
+	if s.LeaseGrants+s.LeaseShares == 0 {
+		t.Fatal("runtime-wide lease policy lost after overrides")
+	}
+	if s.SpecReads != 5 {
+		t.Fatalf("plain Exec speculated: SpecReads = %d, want 5", s.SpecReads)
+	}
+}
+
+// TestAdaptiveStatsAndTrace: conflicts on a hot record flip its bucket to
+// the lease arm; Stats reports the adaptive line and the arm switch lands
+// in the trace ring with Kind = TraceArmSwitch.
+func TestAdaptiveStatsAndTrace(t *testing.T) {
+	db := MustOpen(Options{
+		Nodes: 2, WorkersPerNode: 2,
+		// Tight tuning so a handful of conflicts flips the bucket.
+		Policies: PolicyOptions{EWMAHalfLife: 8, HotThreshold: 1.0, Hysteresis: 0.5},
+	}, func(table int, key uint64) int { return int(key) % 2 })
+	defer db.Close()
+	db.CreateHashTable(tblAcct, 1024, 1)
+	for k := uint64(1); k <= 4; k++ {
+		if err := db.Load(tblAcct, k, []uint64{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.EnableTracing(256)
+	defer db.DisableTracing()
+
+	// Writer hammers key 1 (node 1) while a reader on node 0 reads it
+	// adaptively: validation failures heat the bucket until it flips.
+	reader := db.Executor(0, 0)
+	writer := db.Executor(1, 0)
+	read := func() error {
+		return reader.Exec(func(tx *Tx) error {
+			if err := tx.R(tblAcct, 1); err != nil {
+				return err
+			}
+			return tx.Execute(func(lc *Local) error {
+				_, err := lc.Read(tblAcct, 1)
+				return err
+			})
+		})
+	}
+	write := func() error {
+		return writer.Exec(func(tx *Tx) error {
+			if err := tx.W(tblAcct, 1); err != nil {
+				return err
+			}
+			return tx.Execute(func(lc *Local) error {
+				v, err := lc.Read(tblAcct, 1)
+				if err != nil {
+					return err
+				}
+				return lc.Write(tblAcct, 1, []uint64{v[0] + 1})
+			})
+		})
+	}
+	// Deterministic conflict: stage the read speculatively (bucket cold),
+	// let the writer commit a version bump underneath it — a spec read
+	// holds no lock, so the write sails through — then validation fails,
+	// heats the bucket past the threshold, and the retry routes via lease.
+	bumped := false
+	if err := reader.Exec(func(tx *Tx) error {
+		if err := tx.R(tblAcct, 1); err != nil {
+			return err
+		}
+		if !bumped {
+			bumped = true
+			if err := write(); err != nil {
+				return err
+			}
+		}
+		return tx.Execute(func(lc *Local) error {
+			_, err := lc.Read(tblAcct, 1)
+			return err
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats(); got.SpecValidateFails == 0 || got.ArmSwitchesToLease == 0 {
+		t.Fatalf("staged conflict produced no validation failure / switch: %+v", got)
+	}
+
+	// Conflict-free reads decay the bucket back below the exit threshold
+	// (half-life 8 accesses): the arm switches back to spec.
+	for i := 0; i < 40 && db.Stats().ArmSwitchesToSpec == 0; i++ {
+		if err := read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := db.Stats()
+	if s.ArmSwitchesToSpec == 0 {
+		t.Fatal("bucket never cooled back to the spec arm")
+	}
+	if s.AdaptiveSpecReads == 0 {
+		t.Fatal("no adaptive spec routes recorded")
+	}
+	if s.ArmSwitchesToLease == 0 {
+		t.Fatalf("bucket never flipped hot: %+v", s)
+	}
+	if s.ArmSwitches != s.ArmSwitchesToLease+s.ArmSwitchesToSpec {
+		t.Fatalf("ArmSwitches %d != to-lease %d + to-spec %d",
+			s.ArmSwitches, s.ArmSwitchesToLease, s.ArmSwitchesToSpec)
+	}
+	if s.HotKeys != s.ArmSwitchesToLease-s.ArmSwitchesToSpec {
+		t.Fatalf("HotKeys %d != switch difference", s.HotKeys)
+	}
+	if s.SpecShare <= 0 || s.SpecShare > 100 {
+		t.Fatalf("SpecShare = %.1f, want (0, 100]", s.SpecShare)
+	}
+	if !strings.Contains(s.String(), "adapt:") {
+		t.Fatal("Stats.String missing the adapt row")
+	}
+
+	// Both reclassifications must be visible in the trace ring.
+	var toHot, toCold int64
+	for _, ev := range db.DrainTrace() {
+		if ev.Kind != TraceArmSwitch {
+			continue
+		}
+		if ev.Hot {
+			toHot++
+		} else {
+			toCold++
+		}
+	}
+	if toHot != s.ArmSwitchesToLease || toCold != s.ArmSwitchesToSpec {
+		t.Fatalf("traced %d/%d arm switches, counters say %d/%d",
+			toHot, toCold, s.ArmSwitchesToLease, s.ArmSwitchesToSpec)
+	}
+}
