@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench bench-baseline batch chaos occ adaptive
+.PHONY: check build vet test race bench bench-baseline batch chaos occ adaptive failover
 
-check: build vet race batch occ adaptive chaos
+check: build vet race batch occ adaptive chaos failover
 
 build:
 	go build ./...
@@ -39,10 +39,18 @@ adaptive:
 	go run ./cmd/drtm-bench -exp adaptive -quick
 	go test -run TestAdaptiveAcceptance ./internal/bench/
 
+# Replication gate: hot-standby promotion must lose zero committed
+# transactions and repair the partition in < 0.2x of the full NVRAM-replay
+# baseline (failoverexp_test.go), with conservation re-checked under -race.
+failover:
+	go run ./cmd/drtm-bench -exp failover -quick
+	go test -run TestFailoverAcceptance ./internal/bench/
+	go test -race -run TestFailoverSmallBankConservation .
+
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:
 	go run ./cmd/drtm-bench -exp all
 
 # Regenerate the committed baseline tables at full scale, fixed seed.
 bench-baseline:
-	go run ./cmd/drtm-bench -exp batch,occ,adaptive -seed 42 -json BENCH_baseline.json
+	go run ./cmd/drtm-bench -exp batch,occ,adaptive,failover -seed 42 -json BENCH_baseline.json

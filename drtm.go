@@ -75,6 +75,8 @@ type (
 	PartitionFunc = tx.Partitioner
 	// RecoveryReport summarizes crash recovery.
 	RecoveryReport = tx.RecoveryReport
+	// FailoverReport summarizes one hot-failover promotion.
+	FailoverReport = tx.FailoverReport
 	// Access declares one record of a transaction's read/write set for
 	// Tx.Stage, which batches the whole set through the async verb engine.
 	Access = tx.Access
@@ -121,6 +123,17 @@ type Options struct {
 
 	// Durability enables NVRAM logging and crash recovery (Section 4.6).
 	Durability bool
+
+	// ReplicationFactor enables FaRM-style primary–backup replication: every
+	// partition is replicated to this many ring-successor backups, committed
+	// write-sets are appended to each backup's redo log with one-sided RDMA
+	// log-append WRITEs before locks release, and — with FailureDetection —
+	// a confirmed crash promotes the highest-ranked live backup, which
+	// replays only its redo tail (hot failover) instead of the full NVRAM
+	// replay. Requires Durability (stuck exclusive locks are released via the
+	// lock-ahead log) and at least ReplicationFactor+1 nodes. 0 disables
+	// replication.
+	ReplicationFactor int
 
 	// LeaseMicros / ROLeaseMicros are the shared-lock lease durations. The
 	// defaults (5 ms / 10 ms) are scaled up from the paper's 0.4/1.0 ms
@@ -223,6 +236,16 @@ func (o Options) normalize() (Options, error) {
 		// Transaction IDs pack the worker index into 8 bits.
 		return o, fmt.Errorf("drtm: Options.WorkersPerNode %d exceeds 256", o.WorkersPerNode)
 	}
+	if o.ReplicationFactor < 0 {
+		return o, fmt.Errorf("drtm: Options.ReplicationFactor must be >= 0, got %d", o.ReplicationFactor)
+	}
+	if o.ReplicationFactor >= o.Nodes {
+		return o, fmt.Errorf("drtm: Options.ReplicationFactor %d needs at least %d nodes, got %d",
+			o.ReplicationFactor, o.ReplicationFactor+1, o.Nodes)
+	}
+	if o.ReplicationFactor > 0 && !o.Durability {
+		return o, errors.New("drtm: Options.ReplicationFactor requires Options.Durability (failover releases a crashed primary's locks via its lock-ahead log)")
+	}
 	if o.HTMWriteLines < 0 {
 		return o, fmt.Errorf("drtm: Options.HTMWriteLines must be >= 0, got %d", o.HTMWriteLines)
 	}
@@ -311,6 +334,7 @@ func Open(o Options, part PartitionFunc) (*DB, error) {
 	}
 	cfg := cluster.DefaultConfig(o.Nodes, o.WorkersPerNode)
 	cfg.Durability = o.Durability
+	cfg.ReplicationFactor = o.ReplicationFactor
 	cfg.LeaseMicros = o.LeaseMicros
 	cfg.ROLeaseMicros = o.ROLeaseMicros
 	if o.GlobalAtomics {
@@ -412,39 +436,53 @@ func (db *DB) ExecROWith(node, worker int, p ReadPolicy, build func(ro *RO) erro
 }
 
 // Load inserts a record directly on its home node (bulk population outside
-// transactions).
+// transactions). Under replication, the record is seeded into every backup's
+// replica shard too, so a promoted backup starts from a complete copy.
 func (db *DB) Load(table int, key uint64, val []uint64) error {
-	node := db.RT.Part(table, key)
-	if node < 0 {
+	part := db.RT.Part(table, key)
+	if part < 0 {
 		// Replicated table: load on every node.
 		for n := 0; n < db.C.Nodes(); n++ {
-			if err := db.loadOn(n, table, key, val); err != nil {
+			if err := db.loadOn(n, table, table, key, val); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return db.loadOn(node, table, key, val)
+	if err := db.loadOn(part, table, table, key, val); err != nil {
+		return err
+	}
+	for _, b := range db.C.Backups(nil, part) {
+		if err := db.loadOn(b, table, cluster.ReplicaRegion(part, table), key, val); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (db *DB) loadOn(node, table int, key uint64, val []uint64) error {
+func (db *DB) loadOn(node, table, region int, key uint64, val []uint64) error {
 	if db.RT.Meta(table).Kind == tx.Ordered {
-		return db.C.Node(node).Ordered(table).Insert(key, val)
+		return db.C.Node(node).Ordered(region).Insert(key, val)
 	}
-	return db.C.Node(node).Unordered(table).Insert(key, val)
+	return db.C.Node(node).Unordered(region).Insert(key, val)
 }
 
 // Get reads a record's current value directly (outside any transaction);
-// intended for verification and tooling.
+// intended for verification and tooling. Routed by the current view: after
+// a failover it reads the promoted backup's copy.
 func (db *DB) Get(table int, key uint64) ([]uint64, bool) {
-	node := db.RT.Part(table, key)
-	if node < 0 {
-		node = 0
+	part := db.RT.Part(table, key)
+	if part < 0 {
+		part = 0
 	}
 	if db.RT.Meta(table).Kind == tx.Ordered {
-		return db.C.Node(node).Ordered(table).Get(key)
+		return db.C.Node(part).Ordered(table).Get(key)
 	}
-	return db.C.Node(node).Unordered(table).Get(key)
+	node, region := part, table
+	if owner := db.C.OwnerOf(part); owner != part {
+		node, region = owner, cluster.ReplicaRegion(part, table)
+	}
+	return db.C.Node(node).Unordered(region).Get(key)
 }
 
 // Crash fail-stops a node (its memory and NVRAM logs stay readable, per
@@ -454,6 +492,20 @@ func (db *DB) Crash(node int) { db.C.Crash(node) }
 // Recover replays the crashed node's NVRAM logs: redo for committed
 // transactions, lock release for uncommitted ones (Figure 7).
 func (db *DB) Recover(node int) RecoveryReport { return db.RT.Recover(node) }
+
+// Failover promotes a live backup to own a crashed node's partition and
+// replays its redo tail (hot failover; requires ReplicationFactor > 0).
+// With FailureDetection enabled the elected coordinator calls this
+// automatically on a confirmed death; the explicit form exists for tests
+// and tooling. Idempotent: a repeated call reports Promoted=false.
+func (db *DB) Failover(node int) FailoverReport { return db.RT.Failover(node) }
+
+// ReplicationFactor returns the configured backup count per partition.
+func (db *DB) ReplicationFactor() int { return db.C.ReplicationFactor() }
+
+// PartitionOwner returns the node currently owning partition p's key range
+// (p itself until a failover promotes a backup).
+func (db *DB) PartitionOwner(p int) int { return db.C.OwnerOf(p) }
 
 // Revive marks a recovered node alive and drains any release-side writes
 // that committed transactions parked while the node was unreachable.
@@ -542,6 +594,15 @@ type Stats struct {
 	RecoveryRedos   int64
 	RecoveryUnlocks int64
 
+	// Replication and hot failover (FaRM-style commit-backup).
+	LogAppends   int64 // one-sided log-append WRs acked by backup redo logs
+	BackupBytes  int64 // redo payload bytes shipped to backups
+	FenceRejects int64 // appends rejected by a backup's view-epoch fence
+	ViewAborts   int64 // transactions aborted by an in-flight view change
+	Failovers    int64 // completed hot-failover promotions
+	PromoteNanos int64 // unavailability: wall-clock ns until the promoted partition serves
+	RedoTailLen  int64 // redo records replayed during promotions
+
 	// Fault injection, failure detection and recovery under load.
 	VerbFaults     int64 // verbs that failed (injected fault or crashed node)
 	LockRetries    int64 // transient verb faults retried inside transactions
@@ -609,6 +670,14 @@ func newStats(sn obs.Snapshot) Stats {
 		RecoveryRedos:   c(obs.EvRecoveryRedo),
 		RecoveryUnlocks: c(obs.EvRecoveryUnlock),
 
+		LogAppends:   c(obs.EvLogAppend),
+		BackupBytes:  c(obs.EvBackupBytes),
+		FenceRejects: c(obs.EvFenceReject),
+		ViewAborts:   c(obs.EvViewAbort),
+		Failovers:    c(obs.EvFailover),
+		PromoteNanos: c(obs.EvPromoteNanos),
+		RedoTailLen:  c(obs.EvRedoTailLen),
+
 		VerbFaults:     c(obs.EvVerbFault),
 		LockRetries:    c(obs.EvLockRetry),
 		BackoffNanos:   c(obs.EvBackoffNanos),
@@ -670,6 +739,9 @@ func (s Stats) String() string {
 		s.RDMAReads, s.RDMAWrites, s.RDMACASes, s.RDMAFAAs, s.VerbsMsgs, s.RDMABatches)
 	fmt.Fprintf(&b, "nvram:   log-records=%d recovery-redos=%d recovery-unlocks=%d\n",
 		s.LogRecords, s.RecoveryRedos, s.RecoveryUnlocks)
+	fmt.Fprintf(&b, "repl:    log-appends=%d backup-bytes=%d fence-rejects=%d view-aborts=%d failovers=%d promote-time=%v redo-tail=%d\n",
+		s.LogAppends, s.BackupBytes, s.FenceRejects, s.ViewAborts,
+		s.Failovers, time.Duration(s.PromoteNanos), s.RedoTailLen)
 	fmt.Fprintf(&b, "fault:   verb-faults=%d lock-retries=%d node-down-aborts=%d detections=%d recoveries=%d recovery-time=%v\n",
 		s.VerbFaults, s.LockRetries, s.NodeDownAborts, s.Detections,
 		s.Recoveries, time.Duration(s.RecoveryNanos))
@@ -702,6 +774,7 @@ type TraceKind = obs.TraceKind
 const (
 	TraceTx        = obs.TraceTx
 	TraceArmSwitch = obs.TraceArmSwitch
+	TraceFailover  = obs.TraceFailover
 )
 
 // EnableTracing turns on the per-worker transaction trace with a ring of

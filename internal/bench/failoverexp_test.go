@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover experiment is slow")
+	}
+	runSmoke(t, "failover")
+}
+
+// TestFailoverAcceptance pins the replication PR's two acceptance claims on
+// the same crash scenario the experiment reports: with one backup per
+// partition, killing a primary under live traffic loses zero committed
+// transactions, and hot-standby promotion repairs the partition in under
+// 0.2x the wall-clock of the full NVRAM-replay Recover baseline.
+func TestFailoverAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover acceptance is slow")
+	}
+	// Each arm runs three independent crash scenarios; the correctness
+	// checks must hold on every run, while the timing gate compares the
+	// per-arm minima — the repair calls are tens-to-hundreds of
+	// microseconds of wall-clock, and min-of-N strips scheduler noise the
+	// way best-of-N strips it from any microbenchmark.
+	const attempts = 3
+	var rec, hot failoverArm
+	for i := 0; i < attempts; i++ {
+		// Full-scale warm window: the contrast under test is a WAL that
+		// grows with history vs a checkpoint-bounded redo tail.
+		o := Options{Seed: int64(1 + i)}
+
+		r := measureFailoverArm(o, 0)
+		if !r.repaired {
+			t.Fatal("f=0 arm: victim was never revived")
+		}
+		if r.recoveries == 0 {
+			t.Error("f=0 arm recorded no Recover invocation")
+		}
+		if !r.conserved() {
+			t.Errorf("f=0 arm lost money: %s", r.conservation())
+		}
+		if r.unavailNS <= 0 {
+			t.Fatal("f=0 arm recorded no recovery time")
+		}
+		if i == 0 || r.unavailNS < rec.unavailNS {
+			rec = r
+		}
+
+		h := measureFailoverArm(o, 1)
+		if !h.repaired {
+			t.Fatal("f=1 arm: partition was never promoted")
+		}
+		if h.failovers == 0 {
+			t.Error("f=1 arm recorded no promotion")
+		}
+		if h.recoveries != 0 {
+			t.Errorf("f=1 arm fell back to full recovery %d times", h.recoveries)
+		}
+		if h.logAppends == 0 || h.backupBytes == 0 {
+			t.Errorf("f=1 arm shipped no redo records (appends=%d bytes=%d)",
+				h.logAppends, h.backupBytes)
+		}
+		// Zero lost committed transactions across the crash, audited
+		// through the promoted replica.
+		if !h.conserved() {
+			t.Errorf("f=1 arm lost money across failover: %s", h.conservation())
+		}
+		if h.unavailNS <= 0 {
+			t.Fatal("f=1 arm recorded no promotion time")
+		}
+		if i == 0 || h.unavailNS < hot.unavailNS {
+			hot = h
+		}
+	}
+
+	// The headline gate: promotion replays only the checkpoint-bounded redo
+	// tail, so its unavailability window must be well under the full
+	// WAL-replay baseline built from the same warm window. The gate only
+	// runs in plain builds — the race detector slows the promotion path's
+	// mutex-heavy log drains disproportionately and invalidates the
+	// microsecond-scale comparison (the correctness checks above still ran).
+	if raceEnabled {
+		t.Log("race detector active: skipping the wall-clock unavailability-ratio gate")
+		return
+	}
+	ratio := float64(hot.unavailNS) / float64(rec.unavailNS)
+	t.Logf("unavailability: recover=%v promote=%v ratio=%.3fx",
+		time.Duration(rec.unavailNS), time.Duration(hot.unavailNS), ratio)
+	if ratio >= 0.2 {
+		t.Errorf("promotion unavailability %.3fx of full-replay baseline, want < 0.2x", ratio)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this binary was built with the race detector.
+// Wall-clock timing gates are skipped under it: the instrumentation slows
+// synchronization-heavy paths by an order of magnitude more than plain
+// memory scans, which inverts microsecond-scale comparisons.
+const raceEnabled = true

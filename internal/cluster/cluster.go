@@ -61,6 +61,11 @@ type Config struct {
 	// ElectionStagger delays each survivor's coordinator CAS by its rank
 	// among the survivors, biasing the election to the lowest ID.
 	ElectionStagger time.Duration
+
+	// ReplicationFactor is the number of backups per partition (FaRM-style
+	// primary–backup replication, see replication.go). 0 disables
+	// replication; crashes are then handled by full NVRAM-replay recovery.
+	ReplicationFactor int
 }
 
 // DefaultConfig mirrors the paper's settings on a cluster of n nodes with
@@ -96,10 +101,18 @@ type Cluster struct {
 	Obs *obs.Registry
 
 	// membership is the shared liveness-lease arena (see membership.go).
+	// Layout: [0, Nodes) heartbeat words, [Nodes, 2*Nodes) coordinator
+	// words, [2*Nodes, 3*Nodes) per-partition packed view words.
 	membership *memory.Arena
 	detectors  []*detector
 	detStop    chan struct{}
 	detWG      sync.WaitGroup
+
+	// views mirrors the membership view words for lock-free hot-path
+	// routing; redoSinks[host][sender][worker] are the backup redo logs.
+	// Both are nil when ReplicationFactor == 0.
+	views     []atomic.Uint64
+	redoSinks [][][]*RedoSink
 
 	deathMu sync.Mutex
 	onDeath func(coordinator, crashed int)
@@ -158,11 +171,23 @@ func New(cfg Config) *Cluster {
 	if cfg.LogWords <= 0 {
 		cfg.LogWords = 1 << 20
 	}
+	if cfg.ReplicationFactor < 0 || cfg.ReplicationFactor >= cfg.Nodes {
+		panic("cluster: ReplicationFactor must be in [0, Nodes)")
+	}
 	c := &Cluster{
 		cfg:        cfg,
 		Fabric:     rdma.NewFabric(cfg.Nodes, cfg.Model, cfg.Atomicity),
 		Obs:        obs.NewRegistry(cfg.Nodes * cfg.WorkersPerNode),
-		membership: memory.NewArena(membershipArenaID, 2*cfg.Nodes),
+		membership: memory.NewArena(membershipArenaID, 3*cfg.Nodes),
+	}
+	if cfg.ReplicationFactor > 0 {
+		c.views = make([]atomic.Uint64, cfg.Nodes)
+		for p := 0; p < cfg.Nodes; p++ {
+			v := PackView(0, p)
+			c.membership.UnsafeInit(c.viewOff(p), []uint64{v})
+			c.views[p].Store(v)
+		}
+		c.initReplication()
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		skew := time.Duration(0)
@@ -264,6 +289,9 @@ func (c *Cluster) Worker(n, w int) *Worker { return c.nodes[n].workers[w] }
 
 // RegisterUnordered creates one shard of an unordered (hash) table on every
 // node and registers the arenas on the fabric under region ID = table ID.
+// With replication on, each node additionally hosts a replica shard for
+// every partition it backs up, registered under ReplicaRegion(p, tableID):
+// the promote path flips ownership to the replica without moving any data.
 func (c *Cluster) RegisterUnordered(tableID, mainBuckets, indirectBuckets, capacity, valueWords int) {
 	for _, n := range c.nodes {
 		t := kvs.New(kvs.Config{
@@ -274,6 +302,23 @@ func (c *Cluster) RegisterUnordered(tableID, mainBuckets, indirectBuckets, capac
 		n.unordered[tableID] = t
 		c.Fabric.Register(n.ID, tableID, t.Arena())
 	}
+	if c.cfg.ReplicationFactor > 0 {
+		var backups []int
+		for p := 0; p < c.cfg.Nodes; p++ {
+			backups = c.Backups(backups[:0], p)
+			for _, b := range backups {
+				n := c.nodes[b]
+				region := ReplicaRegion(p, tableID)
+				t := kvs.New(kvs.Config{
+					Node: n.ID, RegionID: region,
+					MainBuckets: mainBuckets, IndirectBuckets: indirectBuckets,
+					Capacity: capacity, ValueWords: valueWords,
+				}, n.Engine)
+				n.unordered[region] = t
+				c.Fabric.Register(n.ID, region, t.Arena())
+			}
+		}
+	}
 }
 
 // RegisterOrdered creates one shard of an ordered (B+ tree) table on every
@@ -283,6 +328,12 @@ func (c *Cluster) RegisterUnordered(tableID, mainBuckets, indirectBuckets, capac
 // HCA-level atomicity (Section 6.3: read-only transactions and the
 // fallback handler).
 func (c *Cluster) RegisterOrdered(tableID, capacity, valueWords int) {
+	if c.cfg.ReplicationFactor > 0 {
+		// Ordered shards are not replicated (remote access is two-sided, so
+		// a one-sided log-append commit cannot keep a B+ tree replica in
+		// step); a replicated deployment must keep its data in hash tables.
+		panic("cluster: ordered tables are not supported with ReplicationFactor > 0")
+	}
 	for _, n := range c.nodes {
 		o := kvs.NewOrdered(kvs.OrderedConfig{
 			Node: n.ID, RegionID: tableID,

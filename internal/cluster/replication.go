@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"drtm/internal/memory"
+	"drtm/internal/nvram"
+	"drtm/internal/obs"
+	"drtm/internal/rdma"
+)
+
+// FaRM-style primary–backup replication (commit-backup protocol).
+//
+// Placement is deterministic: partition p (partitions coincide with node IDs
+// in this codebase) is backed up by the f nodes that follow it in ring
+// order, Backups(p) = {p+1, ..., p+f} mod N. Each backup hosts a full
+// replica shard of every table of the partitions it backs up, registered on
+// the fabric under ReplicaRegion(p, table) so the existing one-sided verb
+// paths address replica entries exactly like primary entries.
+//
+// Commit durability is one-sided: after a transaction's HTM region commits,
+// its write-set is appended as one redo record (nvram.EncodeRedo) to a redo
+// log on every backup of every touched partition — RDMA log-append WRITEs
+// pushed through the async verb engine, one wave, acked by polling, before
+// locks release. Redo logs are per (host, sender node, sender worker), so
+// each log has exactly one appending worker and appends never contend.
+//
+// View epochs make failover safe. Partition p's view is one packed word
+// (epoch<<8 | owner) in the membership arena; promotion CASes it to
+// (epoch+1, backup). Appenders stamp every redo update with the epoch they
+// observed; the backup's log sink rejects records carrying a stale epoch
+// (ErrFenced), which fences a zombie ex-primary's late appends — the
+// one-sided analogue of FaRM's configuration check on log processing.
+
+// Packed view word layout: low 8 bits owner node, high bits epoch.
+const viewOwnerBits = 8
+
+// PackView packs a partition view word.
+func PackView(epoch uint64, owner int) uint64 {
+	return epoch<<viewOwnerBits | uint64(owner)
+}
+
+// ViewOwner extracts the owning node from a packed view word.
+func ViewOwner(w uint64) int { return int(w & (1<<viewOwnerBits - 1)) }
+
+// ViewEpoch extracts the epoch from a packed view word.
+func ViewEpoch(w uint64) uint64 { return w >> viewOwnerBits }
+
+// Replica table regions: ReplicaRegion(p, t) addresses the replica shard of
+// partition p's table t on whichever backup hosts it. The base keeps these
+// IDs disjoint from plain table IDs (small ints), the membership region
+// (1<<30) and the NVRAM log regions (1<<30 + 8...).
+const (
+	replicaRegionBase   = 1 << 24
+	replicaRegionStride = 1 << 16 // max tables per partition
+)
+
+// ReplicaRegion returns the fabric/table region ID of partition p's replica
+// of table t.
+func ReplicaRegion(p, table int) int {
+	return replicaRegionBase + p*replicaRegionStride + table
+}
+
+// ReplicaRegionInfo inverts ReplicaRegion; ok is false for plain table IDs.
+func ReplicaRegionInfo(region int) (p, table int, ok bool) {
+	if region < replicaRegionBase || region >= redoLogRegionBase {
+		return 0, 0, false
+	}
+	r := region - replicaRegionBase
+	return r / replicaRegionStride, r % replicaRegionStride, true
+}
+
+// Redo log regions: RedoLogRegion(s, w) on host b is the redo log that
+// sender worker (s, w) appends to on b.
+const (
+	redoLogRegionBase   = 1 << 29
+	redoLogWorkerStride = 256
+)
+
+// RedoLogRegion returns the fabric region ID of the redo log a sender
+// worker appends to (the same ID on every backup host).
+func RedoLogRegion(sender, worker int) int {
+	return redoLogRegionBase + sender*redoLogWorkerStride + worker
+}
+
+// redoLogWords sizes each redo ring; CheckpointWords is the used-space
+// threshold at which the appending worker triggers a checkpoint that applies
+// and truncates the tail. Short tails are the whole point of hot failover:
+// promotion replays only this much instead of a full NVRAM WAL.
+const (
+	redoLogWords    = 1 << 16
+	CheckpointWords = 1 << 10
+)
+
+// RedoSink is one backup-hosted redo log plus its view-epoch fence. It is
+// the fabric LogSink for its region: RemoteAppend runs on the appending
+// worker's goroutine at WR completion time (one-sided discipline). The
+// mutex orders appends against promotion's drain — promotion bumps the view
+// epoch before draining, so any append that enters after the drain started
+// is fenced, and any append that entered before is observed by the drain.
+type RedoSink struct {
+	c    *Cluster
+	host int
+	sh   *obs.Shard
+
+	mu  sync.Mutex
+	log *nvram.Log
+}
+
+// RemoteAppend implements rdma.LogSink: fence, then ring append.
+func (s *RedoSink) RemoteAppend(from int, rec []uint64) error {
+	_, ups, ok := nvram.DecodeRedo(rec)
+	if !ok {
+		return fmt.Errorf("cluster: malformed redo record from node %d", from)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ups {
+		if ups[i].Epoch < s.c.ViewEpochOf(ups[i].Part) {
+			s.sh.Inc(obs.EvFenceReject)
+			return rdma.ErrFenced
+		}
+	}
+	if !s.log.Append(rec) {
+		// Logs are sized so the checkpoint threshold fires long before the
+		// ring fills; overflowing one is a configuration error, like the WAL.
+		panic(fmt.Sprintf("cluster: redo log on node %d overflowed", s.host))
+	}
+	return nil
+}
+
+// Drain applies every record currently in the log through fn (in append
+// order) and truncates, all under the sink's append lock. Returns the
+// number of records drained. Used by the sender-triggered checkpoint and by
+// promotion's redo-tail replay.
+func (s *RedoSink) Drain(fn func(rec []uint64)) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.log.Entries()
+	for _, rec := range entries {
+		fn(rec)
+	}
+	s.log.Truncate()
+	return len(entries)
+}
+
+// BytesUsed returns the ring's current payload footprint.
+func (s *RedoSink) BytesUsed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.BytesUsed()
+}
+
+// initReplication builds the replica shards' containers, the view words and
+// the redo logs. Called from New when ReplicationFactor > 0.
+func (c *Cluster) initReplication() {
+	cfg := c.cfg
+	c.redoSinks = make([][][]*RedoSink, cfg.Nodes)
+	for b := 0; b < cfg.Nodes; b++ {
+		c.redoSinks[b] = make([][]*RedoSink, cfg.Nodes)
+		for s := 0; s < cfg.Nodes; s++ {
+			c.redoSinks[b][s] = make([]*RedoSink, cfg.WorkersPerNode)
+			for w := 0; w < cfg.WorkersPerNode; w++ {
+				log := nvram.NewLog(redoArenaID(b, s, w), redoLogWords)
+				sink := &RedoSink{
+					c: c, host: b, log: log,
+					sh: c.Obs.Shard(b * cfg.WorkersPerNode),
+				}
+				c.redoSinks[b][s][w] = sink
+				region := RedoLogRegion(s, w)
+				c.Fabric.RegisterLogSink(b, region, sink)
+				// Durable like the WAL regions: a backup's redo tail stays
+				// readable if the backup itself later crashes.
+				c.Fabric.RegisterDurable(b, region, log.Arena())
+			}
+		}
+	}
+}
+
+// redoArenaID derives a memory arena ID for a redo log, disjoint from the
+// worker NVRAM logs (node*1000+...), the membership arena (1<<21) and every
+// table region.
+func redoArenaID(host, sender, worker int) int {
+	return 1<<22 + (host*256+sender)*256 + worker
+}
+
+// ReplicationFactor returns the configured backup count per partition.
+func (c *Cluster) ReplicationFactor() int { return c.cfg.ReplicationFactor }
+
+// Backups appends partition p's backup nodes (ring successors) to dst and
+// returns it. Empty when replication is off.
+func (c *Cluster) Backups(dst []int, p int) []int {
+	for i := 1; i <= c.cfg.ReplicationFactor; i++ {
+		dst = append(dst, (p+i)%c.cfg.Nodes)
+	}
+	return dst
+}
+
+// IsBackup reports whether node b is one of partition p's backups (a ring
+// successor within the replication factor).
+func (c *Cluster) IsBackup(b, p int) bool {
+	d := (b - p + c.cfg.Nodes) % c.cfg.Nodes
+	return d >= 1 && d <= c.cfg.ReplicationFactor
+}
+
+// viewOff is the membership-arena word holding partition p's packed view.
+func (c *Cluster) viewOff(p int) memory.Offset {
+	return memory.Offset(2*c.cfg.Nodes + p)
+}
+
+// View returns partition p's packed view word (hot-path mirror read).
+func (c *Cluster) View(p int) uint64 {
+	if c.views == nil {
+		return PackView(0, p)
+	}
+	return c.views[p].Load()
+}
+
+// OwnerOf returns the node currently owning partition p.
+func (c *Cluster) OwnerOf(p int) int { return ViewOwner(c.View(p)) }
+
+// ViewEpochOf returns partition p's current view epoch.
+func (c *Cluster) ViewEpochOf(p int) uint64 { return ViewEpoch(c.View(p)) }
+
+// TryPromote CASes partition p's view from (epoch, p-owned) to (epoch+1,
+// newOwner) — the atomic ownership handover of hot failover. It fails (ok
+// false) when the partition is no longer owned by its home node, i.e. a
+// concurrent promotion already happened, making a second promote of the
+// same crash a no-op. The CAS runs on the membership arena directly: the
+// membership service is external to every node and does not fail in this
+// model, and CPU CAS gives racing coordinators mutual atomicity.
+func (c *Cluster) TryPromote(p, newOwner int) (newView uint64, ok bool) {
+	old := c.membership.LoadWord(c.viewOff(p))
+	if ViewOwner(old) != p {
+		return old, false
+	}
+	nv := PackView(ViewEpoch(old)+1, newOwner)
+	if _, won := c.membership.CAS(c.viewOff(p), old, nv); !won {
+		return c.membership.LoadWord(c.viewOff(p)), false
+	}
+	// Publish to the hot-path mirror. Transactions that staged against the
+	// old view abort on the in-region view confirmation and restage.
+	c.views[p].Store(nv)
+	return nv, true
+}
+
+// RedoSinkAt returns the redo log on host that sender worker (sender, w)
+// appends to. Panics when replication is off.
+func (c *Cluster) RedoSinkAt(host, sender, w int) *RedoSink {
+	return c.redoSinks[host][sender][w]
+}

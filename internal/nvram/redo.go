@@ -1,0 +1,93 @@
+package nvram
+
+// Redo records are the replication payload of the FaRM-style commit-backup
+// protocol: after a transaction's HTM region commits, its whole write-set is
+// serialized into one redo record and appended — with one-sided log-append
+// WRITEs — to a redo log hosted on every backup of every partition the
+// transaction touched. Shipping the FULL write-set to every destination
+// (rather than each backup's slice of it) is what makes a partially
+// replicated crash recoverable: any single surviving log tail reconstructs
+// the whole transaction, so the promote path can re-apply the foreign
+// partitions' writes to their live owners and keep cross-partition
+// transactions atomic.
+//
+// Wire format, in words:
+//
+//	[txid, k,
+//	  (part, epoch, table, key, version, vw, val[0..vw-1]) × k]
+//
+// per update: the home partition of the key, the partition's view epoch as
+// observed by the appender (the backup's fence compares it against the
+// current view and rejects stale appends — zombie containment), the logical
+// table, the key, the new post-commit version, and the value words.
+
+// RedoUpdate is one write of a redo record.
+type RedoUpdate struct {
+	Part    int    // home partition of the key
+	Epoch   uint64 // partition view epoch observed by the appender
+	Table   int    // logical table ID
+	Key     uint64
+	Version uint32 // post-commit version (apply iff > current)
+	Val     []uint64
+}
+
+const redoUpdateHeaderWords = 6
+
+// RedoWords returns the encoded size in words of a record with the given
+// updates (for pre-sizing buffers and cost accounting).
+func RedoWords(ups []RedoUpdate) int {
+	n := 2
+	for i := range ups {
+		n += redoUpdateHeaderWords + len(ups[i].Val)
+	}
+	return n
+}
+
+// EncodeRedo serializes a redo record into buf (reallocating if needed) and
+// returns the encoded slice.
+func EncodeRedo(buf []uint64, txid uint64, ups []RedoUpdate) []uint64 {
+	n := RedoWords(ups)
+	if cap(buf) < n {
+		buf = make([]uint64, 0, n)
+	}
+	buf = buf[:0]
+	buf = append(buf, txid, uint64(len(ups)))
+	for i := range ups {
+		u := &ups[i]
+		buf = append(buf, uint64(u.Part), u.Epoch, uint64(u.Table), u.Key,
+			uint64(u.Version), uint64(len(u.Val)))
+		buf = append(buf, u.Val...)
+	}
+	return buf
+}
+
+// DecodeRedo parses a redo record. Returns ok=false on a malformed frame
+// (truncated tail); value slices alias rec.
+func DecodeRedo(rec []uint64) (txid uint64, ups []RedoUpdate, ok bool) {
+	if len(rec) < 2 {
+		return 0, nil, false
+	}
+	txid = rec[0]
+	k := int(rec[1])
+	ups = make([]RedoUpdate, 0, k)
+	off := 2
+	for i := 0; i < k; i++ {
+		if off+redoUpdateHeaderWords > len(rec) {
+			return 0, nil, false
+		}
+		vw := int(rec[off+5])
+		if off+redoUpdateHeaderWords+vw > len(rec) {
+			return 0, nil, false
+		}
+		ups = append(ups, RedoUpdate{
+			Part:    int(rec[off]),
+			Epoch:   rec[off+1],
+			Table:   int(rec[off+2]),
+			Key:     rec[off+3],
+			Version: uint32(rec[off+4]),
+			Val:     rec[off+redoUpdateHeaderWords : off+redoUpdateHeaderWords+vw],
+		})
+		off += redoUpdateHeaderWords + vw
+	}
+	return txid, ups, true
+}

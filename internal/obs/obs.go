@@ -96,6 +96,15 @@ const (
 	EvRecoveryRun   // one Recover invocation that replayed at least one log set
 	EvRecoveryNanos // wall-clock nanoseconds spent inside Recover
 
+	// Replication (FaRM-style commit-backup) and hot failover.
+	EvLogAppend    // one-sided log-append WRs pushed to backup redo logs
+	EvBackupBytes  // redo payload bytes shipped to backups
+	EvFenceReject  // log appends rejected by a backup's view-epoch fence
+	EvViewAbort    // HTM aborts from a view-epoch change observed in-region
+	EvFailover     // completed hot-failover promotions
+	EvPromoteNanos // wall-clock nanoseconds spent inside Failover
+	EvRedoTailLen  // redo records replayed during promotions
+
 	NumEvents int = iota
 )
 
@@ -140,6 +149,13 @@ var eventNames = [NumEvents]string{
 	EvDetect:             "fault.detect",
 	EvRecoveryRun:        "recovery.run",
 	EvRecoveryNanos:      "recovery.ns",
+	EvLogAppend:          "repl.log_append",
+	EvBackupBytes:        "repl.backup_bytes",
+	EvFenceReject:        "repl.fence_reject",
+	EvViewAbort:          "repl.view_abort",
+	EvFailover:           "repl.failover",
+	EvPromoteNanos:       "repl.promote_ns",
+	EvRedoTailLen:        "repl.redo_tail",
 }
 
 func (e Event) String() string {
@@ -177,6 +193,12 @@ const (
 	// ops-per-batch distribution of the async verb engine.
 	PhaseBatchOps
 
+	// PhaseFailover times hot-failover promotions end to end: view CAS,
+	// redo-tail replay and survivor-side lock release, in wall-clock
+	// nanoseconds (failover runs on the coordinator's detector goroutine,
+	// which has no virtual clock).
+	PhaseFailover
+
 	NumPhases int = iota
 )
 
@@ -190,6 +212,7 @@ var phaseNames = [NumPhases]string{
 	PhasePrefetchRemote: "prefetch-remote",
 	PhaseValidate:       "validate",
 	PhaseBatchOps:       "batch-ops",
+	PhaseFailover:       "failover",
 }
 
 func (p Phase) String() string {
@@ -573,6 +596,11 @@ const (
 	// reads now take the lease arm), and StartNS the worker's virtual
 	// clock at the switch; the phase/outcome fields are unused.
 	TraceArmSwitch
+	// TraceFailover is a hot-failover promotion: Node holds the crashed
+	// primary, Worker the promoted backup, TxID the partition's new packed
+	// view word (epoch<<8|owner), Attempts the redo records replayed, and
+	// TotalNS the promotion's wall-clock duration; other fields are unused.
+	TraceFailover
 )
 
 func (k TraceKind) String() string {
@@ -581,6 +609,8 @@ func (k TraceKind) String() string {
 		return "tx"
 	case TraceArmSwitch:
 		return "arm-switch"
+	case TraceFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

@@ -34,6 +34,11 @@ const (
 	OpWrite
 	OpCAS
 	OpFAA
+	// OpLogAppend is a one-sided WRITE steered into a registered LogSink
+	// (FaRM-style commit-backup append): the payload lands in the target's
+	// ring-buffer log region without involving its workers, and the sink may
+	// reject it (ErrFenced) without any side effect.
+	OpLogAppend
 )
 
 func (o OpCode) String() string {
@@ -46,6 +51,8 @@ func (o OpCode) String() string {
 		return "CAS"
 	case OpFAA:
 		return "FAA"
+	case OpLogAppend:
+		return "LOGAPPEND"
 	default:
 		return "OP?"
 	}
@@ -89,6 +96,28 @@ func (q *QP) complete(wr *WR) {
 		q.countFault()
 		wr.Err = err
 		wr.CostNS = extra + model.TimeoutNS
+		return
+	}
+	if wr.Op == OpLogAppend {
+		// Log appends dispatch through the sink registry, not the arena
+		// table: the sink owns the ring-buffer head and the admission check.
+		s, err := q.fabric.sinkErr(wr.Node, wr.Region)
+		if err != nil {
+			wr.Err = err
+			wr.CostNS = extra
+			return
+		}
+		n := int64(len(wr.Src) * 8)
+		// The WRITE crossed the wire whether or not the sink admits it, so
+		// the verb's cost and wire counters are charged unconditionally.
+		wr.CostNS = extra + int64(model.LogAppend(int(n)))
+		q.Stats.LogAppnds.Add(1)
+		q.Stats.LogApndB.Add(n)
+		q.fabric.Totals.LogAppnds.Add(1)
+		q.fabric.Totals.LogApndB.Add(n)
+		q.Obs.Inc(obs.EvLogAppend)
+		q.Obs.Add(obs.EvBackupBytes, n)
+		wr.Err = s.RemoteAppend(q.local, wr.Src)
 		return
 	}
 	a, err := q.fabric.regionErr(wr.Node, wr.Region)
@@ -227,6 +256,15 @@ func (sq *SendQueue) PostCAS(node, region int, off memory.Offset, old, new uint6
 func (sq *SendQueue) PostFAA(node, region int, off memory.Offset, delta uint64) *WR {
 	wr := sq.getWR()
 	wr.Op, wr.Node, wr.Region, wr.Off, wr.Delta = OpFAA, node, region, off, delta
+	return sq.Post(wr)
+}
+
+// PostLogAppend posts a one-sided log append of rec into the sink
+// registered at (node, region). The ring-buffer offset is owned by the
+// sink, so no Off is taken.
+func (sq *SendQueue) PostLogAppend(node, region int, rec []uint64) *WR {
+	wr := sq.getWR()
+	wr.Op, wr.Node, wr.Region, wr.Src = OpLogAppend, node, region, rec
 	return sq.Post(wr)
 }
 

@@ -20,6 +20,12 @@ var (
 	ErrNoRegion = errors.New("rdma: no such region")
 	// ErrNoHandler reports a two-sided call to a node with no verbs handler.
 	ErrNoHandler = errors.New("rdma: no verbs handler")
+	// ErrFenced reports a log-append WR rejected by the target log sink's
+	// view-epoch fence: the appender's view of some partition is stale (a
+	// zombie ex-primary, or a survivor that has not yet observed a
+	// promotion). The append had no effect; the appender must refresh its
+	// view before retrying.
+	ErrFenced = errors.New("rdma: log append fenced by view epoch")
 )
 
 // FaultRule describes the behavior of one node or link under a FaultPlan.

@@ -69,6 +69,8 @@ type Counters struct {
 	Msgs      obs.Counter
 	Faults    obs.Counter
 	Batches   obs.Counter // polled SendQueue waves (doorbell batches)
+	LogAppnds obs.Counter // one-sided log-append WRs (replication)
+	LogApndB  obs.Counter // log-append payload bytes
 }
 
 // Add folds src into c (used to aggregate per-QP counters).
@@ -82,10 +84,23 @@ func (c *Counters) Add(src *Counters) {
 	c.Msgs.Add(src.Msgs.Load())
 	c.Faults.Add(src.Faults.Load())
 	c.Batches.Add(src.Batches.Load())
+	c.LogAppnds.Add(src.LogAppnds.Load())
+	c.LogApndB.Add(src.LogApndB.Load())
 }
 
 // Handler serves two-sided verbs requests on an endpoint.
 type Handler func(from int, req any) any
+
+// LogSink receives one-sided log-append work requests (OpLogAppend)
+// targeting a registered log region. RemoteAppend runs at WR completion
+// time on the appender's goroutine — the one-sided discipline: the target
+// node's workers are not involved. Implementations perform the ring-buffer
+// append and any admission check (the cluster's sink fences appends whose
+// carried view epoch is stale, returning ErrFenced). A non-nil error means
+// the append had no effect.
+type LogSink interface {
+	RemoteAppend(from int, rec []uint64) error
+}
 
 // regionTable is an endpoint's immutable snapshot of registered regions.
 // Registration replaces the whole table copy-on-write, so the verb path —
@@ -94,6 +109,7 @@ type Handler func(from int, req any) any
 type regionTable struct {
 	arenas  map[int]*memory.Arena
 	durable map[int]bool // regions that stay readable after a crash (NVRAM)
+	sinks   map[int]LogSink
 }
 
 // Endpoint is a node's attachment to the fabric.
@@ -108,10 +124,30 @@ type Endpoint struct {
 func (ep *Endpoint) register(regionID int, a *memory.Arena, durable bool) {
 	ep.regMu.Lock()
 	defer ep.regMu.Unlock()
+	next := ep.cloneRegions()
+	next.arenas[regionID] = a
+	if durable {
+		next.durable[regionID] = true
+	}
+	ep.regions.Store(next)
+}
+
+func (ep *Endpoint) registerSink(regionID int, s LogSink) {
+	ep.regMu.Lock()
+	defer ep.regMu.Unlock()
+	next := ep.cloneRegions()
+	next.sinks[regionID] = s
+	ep.regions.Store(next)
+}
+
+// cloneRegions copies the current table for copy-on-write registration;
+// callers hold regMu.
+func (ep *Endpoint) cloneRegions() *regionTable {
 	old := ep.regions.Load()
 	next := &regionTable{
 		arenas:  make(map[int]*memory.Arena, len(old.arenas)+1),
 		durable: make(map[int]bool, len(old.durable)+1),
+		sinks:   make(map[int]LogSink, len(old.sinks)+1),
 	}
 	for k, v := range old.arenas {
 		next.arenas[k] = v
@@ -119,11 +155,10 @@ func (ep *Endpoint) register(regionID int, a *memory.Arena, durable bool) {
 	for k, v := range old.durable {
 		next.durable[k] = v
 	}
-	next.arenas[regionID] = a
-	if durable {
-		next.durable[regionID] = true
+	for k, v := range old.sinks {
+		next.sinks[k] = v
 	}
-	ep.regions.Store(next)
+	return next
 }
 
 // Fabric connects the endpoints of a cluster.
@@ -143,6 +178,7 @@ func NewFabric(n int, model vtime.Model, atomicity AtomicityLevel) *Fabric {
 		ep.regions.Store(&regionTable{
 			arenas:  make(map[int]*memory.Arena),
 			durable: make(map[int]bool),
+			sinks:   make(map[int]LogSink),
 		})
 		f.eps = append(f.eps, ep)
 	}
@@ -192,6 +228,15 @@ func (f *Fabric) RegisterDurable(node, regionID int, a *memory.Arena) {
 	f.eps[node].register(regionID, a, true)
 }
 
+// RegisterLogSink exposes a log sink as the target of one-sided log-append
+// WRs (OpLogAppend) against (node, regionID). Safe to call while traffic is
+// live. The sink region typically also registers its backing arena with
+// RegisterDurable under the same ID, so survivors can replay the log with
+// plain READs after the host crashes.
+func (f *Fabric) RegisterLogSink(node, regionID int, s LogSink) {
+	f.eps[node].registerSink(regionID, s)
+}
+
 // Serve installs the two-sided verbs handler for a node.
 func (f *Fabric) Serve(node int, h Handler) {
 	f.eps[node].handler.Store(&h)
@@ -211,6 +256,14 @@ func (f *Fabric) regionErr(node, regionID int) (*memory.Arena, error) {
 		return nil, fmt.Errorf("%w: node %d region %d", ErrNoRegion, node, regionID)
 	}
 	return a, nil
+}
+
+func (f *Fabric) sinkErr(node, regionID int) (LogSink, error) {
+	s, ok := f.eps[node].regions.Load().sinks[regionID]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d log region %d", ErrNoRegion, node, regionID)
+	}
+	return s, nil
 }
 
 // QP is a queue pair: a worker-private handle for issuing verbs. Costs are
@@ -351,6 +404,18 @@ func (q *QP) TryFAA(node, region int, off memory.Offset, delta uint64) (uint64, 
 	q.charge(wr.CostNS)
 	netYield()
 	return wr.Prev, wr.Err
+}
+
+// TryLogAppend performs a one-sided log append of rec into the sink
+// registered at (node, region): the sync one-WR form of PostLogAppend.
+// Fails with ErrNodeUnreachable / ErrTimeout / ErrNoRegion like any verb,
+// or with ErrFenced when the sink's view-epoch check rejects the record.
+func (q *QP) TryLogAppend(node, region int, rec []uint64) error {
+	wr := WR{Op: OpLogAppend, Node: node, Region: region, Src: rec}
+	q.complete(&wr)
+	q.charge(wr.CostNS)
+	netYield()
+	return wr.Err
 }
 
 // Probe issues a minimal zero-byte READ against node to test reachability:

@@ -14,8 +14,15 @@ import (
 	"fmt"
 	"math/rand"
 
+	"drtm/internal/cluster"
+	"drtm/internal/kvs"
 	"drtm/internal/tx"
 )
+
+// kvsPair is one (savings, checking) shard pair populated by Setup.
+type kvsPair struct {
+	sav, chk *kvs.Table
+}
 
 // Table IDs.
 const (
@@ -116,15 +123,27 @@ func Setup(rt *tx.Runtime, cfg Config) (*Workload, error) {
 	rt.DefineUnordered(TableSavings, buckets, buckets, per+16, 1)
 	rt.DefineUnordered(TableChecking, buckets, buckets, per+16, 1)
 	for n := 0; n < cfg.Nodes; n++ {
-		sav := rt.C.Node(n).Unordered(TableSavings)
-		chk := rt.C.Node(n).Unordered(TableChecking)
+		stores := []*kvsPair{{
+			rt.C.Node(n).Unordered(TableSavings),
+			rt.C.Node(n).Unordered(TableChecking),
+		}}
+		// Under replication, seed every backup's replica shard too so a
+		// promoted backup starts from a complete copy.
+		for _, b := range rt.C.Backups(nil, n) {
+			stores = append(stores, &kvsPair{
+				rt.C.Node(b).Unordered(cluster.ReplicaRegion(n, TableSavings)),
+				rt.C.Node(b).Unordered(cluster.ReplicaRegion(n, TableChecking)),
+			})
+		}
 		base := uint64(n * per)
 		for a := 1; a <= per; a++ {
-			if err := sav.Insert(base+uint64(a), []uint64{cfg.InitialBalance}); err != nil {
-				return nil, fmt.Errorf("smallbank: populate savings: %w", err)
-			}
-			if err := chk.Insert(base+uint64(a), []uint64{cfg.InitialBalance}); err != nil {
-				return nil, fmt.Errorf("smallbank: populate checking: %w", err)
+			for _, s := range stores {
+				if err := s.sav.Insert(base+uint64(a), []uint64{cfg.InitialBalance}); err != nil {
+					return nil, fmt.Errorf("smallbank: populate savings: %w", err)
+				}
+				if err := s.chk.Insert(base+uint64(a), []uint64{cfg.InitialBalance}); err != nil {
+					return nil, fmt.Errorf("smallbank: populate checking: %w", err)
+				}
 			}
 		}
 	}
@@ -133,11 +152,19 @@ func Setup(rt *tx.Runtime, cfg Config) (*Workload, error) {
 
 // TotalBalance sums all savings + checking (the conservation invariant for
 // the internal transfers; deposits/withdrawals are tracked by the caller).
+// Routed by the current replication view: a partition whose primary was
+// failed over is audited on the promoted backup's replica shard.
 func (w *Workload) TotalBalance() uint64 {
 	var total uint64
 	for n := 0; n < w.cfg.Nodes; n++ {
-		sav := w.rt.C.Node(n).Unordered(TableSavings)
-		chk := w.rt.C.Node(n).Unordered(TableChecking)
+		host, savRegion, chkRegion := n, TableSavings, TableChecking
+		if owner := w.rt.C.OwnerOf(n); owner != n {
+			host = owner
+			savRegion = cluster.ReplicaRegion(n, TableSavings)
+			chkRegion = cluster.ReplicaRegion(n, TableChecking)
+		}
+		sav := w.rt.C.Node(host).Unordered(savRegion)
+		chk := w.rt.C.Node(host).Unordered(chkRegion)
 		base := uint64(n * w.cfg.AccountsPerNode)
 		for a := 1; a <= w.cfg.AccountsPerNode; a++ {
 			if v, ok := sav.Get(base + uint64(a)); ok {

@@ -21,7 +21,7 @@ func TestWriterAfterLeaseExpiry(t *testing.T) {
 	})
 	defer stop()
 	tr := rt.Executor(0, 0).newTx()
-	if err := tr.stageRemote(tblAccounts, 1, 1, false); err != nil {
+	if err := tr.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	// The state word now carries a lease (non-INIT).
@@ -59,7 +59,7 @@ func TestLocalWriteClearsExpiredLease(t *testing.T) {
 	defer stop()
 	// Lease key 2 (homed node 0) from node 1, let it expire.
 	tr := rt.Executor(1, 0).newTx()
-	if err := tr.stageRemote(tblAccounts, 2, 0, false); err != nil {
+	if err := tr.stageRemote(tblAccounts, 2, 0, tblAccounts, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(6 * time.Millisecond)
@@ -229,7 +229,7 @@ func TestUpgradeReadToWrite(t *testing.T) {
 	rt, stop := newRig(t, 2, 1, 4, nil)
 	defer stop()
 	tx := rt.Executor(0, 0).newTx()
-	if err := tx.stageRemote(tblAccounts, 1, 1, false); err != nil {
+	if err := tx.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	host := rt.C.Node(1).Unordered(tblAccounts)
@@ -237,7 +237,7 @@ func TestUpgradeReadToWrite(t *testing.T) {
 	if s := host.Arena().LoadWord(off + 2); clock.IsWriteLocked(s) {
 		t.Fatalf("read staged an exclusive lock: %x", s)
 	}
-	if err := tx.stageRemote(tblAccounts, 1, 1, true); err != nil {
+	if err := tx.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, true); err != nil {
 		t.Fatalf("upgrade = %v, want success", err)
 	}
 	if s := host.Arena().LoadWord(off + 2); !clock.IsWriteLocked(s) {

@@ -13,6 +13,8 @@ import (
 // fbRec is a record under fallback protection.
 type fbRec struct {
 	table, node int
+	region      int // storage region on node (replica region after failover)
+	part        int // home partition (-1 if replicated table)
 	key         uint64
 	off         memory.Offset
 	write       bool
@@ -60,11 +62,13 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 	// stale read could not be retried away.
 	fb := &fallbackCtx{t: t, index: make(map[refKey]*fbRec)}
 	for _, r := range prevRemotes {
-		fb.add(&fbRec{table: r.table, node: r.node, key: r.key, write: r.write})
+		fb.add(&fbRec{table: r.table, node: r.node, region: r.region, part: r.part,
+			key: r.key, write: r.write})
 	}
 	t.e.putRecs(prevRemotes)
 	for _, l := range t.locals {
-		fb.add(&fbRec{table: l.table, node: t.e.w.Node.ID, key: l.key, write: l.write})
+		fb.add(&fbRec{table: l.table, node: t.e.w.Node.ID, region: l.region,
+			part: l.part, key: l.key, write: l.write})
 	}
 	sort.Slice(fb.recs, func(i, j int) bool {
 		if fb.recs[i].table != fb.recs[j].table {
@@ -127,9 +131,30 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		sh.Inc(obs.EvLeaseConfirm)
 	}
 
+	// Confirm no touched partition's view changed since staging (the
+	// fallback's analogue of confirmViews): the in-place updates below must
+	// not publish under a stale ownership view.
+	for part, w := range t.views {
+		if rt.C.View(part) != w {
+			fb.release(len(fb.recs), false)
+			t.finished = true
+			sh.Inc(obs.EvViewAbort)
+			t.lastAbort = obs.CauseRemote
+			return ErrRetry
+		}
+	}
+
 	// Log ahead of in-place updates (Section 6.2, last paragraph).
 	if rt.C.Config().Durability {
 		t.logFallbackWAL(fb)
+	}
+
+	// Commit-backup: append the write-set to every backup while the locks
+	// are still held, before any in-place update becomes visible.
+	if err := t.replicateFallback(fb); err != nil {
+		fb.release(len(fb.recs), false)
+		t.finished = true
+		return err
 	}
 
 	// Publish writes and unlock: the fallback's Commit phase.
@@ -162,10 +187,10 @@ func (fb *fallbackCtx) stateCAS(r *fbRec, old, new uint64) (uint64, bool, error)
 	qp := fb.t.e.w.QP
 	local := r.node == fb.t.e.w.Node.ID
 	if local && fb.t.e.rt.C.Fabric.Atomicity() == rdma.AtomicGLOB {
-		cur, ok := qp.LocalCAS(r.table, kvs.StateOffset(r.off), old, new)
+		cur, ok := qp.LocalCAS(r.region, kvs.StateOffset(r.off), old, new)
 		return cur, ok, nil
 	}
-	return fb.t.casRemote(r.node, r.table, kvs.StateOffset(r.off), old, new)
+	return fb.t.casRemote(r.node, r.region, kvs.StateOffset(r.off), old, new)
 }
 
 func (fb *fallbackCtx) acquire(r *fbRec) error {
@@ -177,14 +202,14 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 		if meta.Kind == Ordered {
 			r.off, ok = t.e.w.Node.Ordered(r.table).Lookup(r.key)
 		} else {
-			r.off, ok = t.e.w.Node.Unordered(r.table).LookupLocal(r.key)
+			r.off, ok = t.e.w.Node.Unordered(r.region).LookupLocal(r.key)
 		}
 		if !ok {
 			return ErrNotFound
 		}
 	} else {
-		host := t.e.rt.C.Node(r.node).Unordered(r.table)
-		loc, ok, err := host.LookupRemoteE(t.e.w.QP, t.e.cacheFor(r.node, r.table), r.key)
+		host := t.e.rt.C.Node(r.node).Unordered(r.region)
+		loc, ok, err := host.LookupRemoteE(t.e.w.QP, t.e.cacheFor(r.node, r.region), r.key)
 		if err != nil {
 			return ErrNodeDown
 		}
@@ -261,7 +286,7 @@ func (fb *fallbackCtx) fetch(r *fbRec) error {
 	}
 	words := make([]uint64, kvs.EntryValueWord+vw)
 	err := t.e.verbRetry(func() error {
-		return t.e.w.QP.TryRead(r.node, r.table, r.off, words)
+		return t.e.w.QP.TryRead(r.node, r.region, r.off, words)
 	})
 	if err != nil {
 		return ErrNodeDown
@@ -276,7 +301,7 @@ func (fb *fallbackCtx) arenaOf(r *fbRec) *memory.Arena {
 	if fb.t.e.rt.Meta(r.table).Kind == Ordered {
 		return n.Ordered(r.table).Arena()
 	}
-	return n.Unordered(r.table).Arena()
+	return n.Unordered(r.region).Arena()
 }
 
 func (fb *fallbackCtx) read(table int, key uint64) ([]uint64, error) {
@@ -309,7 +334,7 @@ func (fb *fallbackCtx) publish() {
 		arena := fb.arenaOf(r)
 		inc := kvs.Incarnation(arena.LoadWord(kvs.IncVerOffset(r.off)))
 		if !r.dirty {
-			t.e.mustUnlock(r.node, r.table, kvs.StateOffset(r.off))
+			t.e.mustUnlock(r.node, r.region, kvs.StateOffset(r.off))
 			continue
 		}
 		incverOff := kvs.IncVerOffset(r.off)
@@ -320,10 +345,10 @@ func (fb *fallbackCtx) publish() {
 			words[0] = newIncVer
 			words[1] = clock.Init
 			copy(words[2:], r.buf)
-			t.e.mustWrite(r.node, r.table, incverOff, words)
+			t.e.mustWrite(r.node, r.region, incverOff, words)
 		} else {
-			t.e.mustWrite(r.node, r.table, kvs.ValueOffset(r.off), r.buf)
-			t.e.mustWrite(r.node, r.table, incverOff, []uint64{newIncVer, clock.Init})
+			t.e.mustWrite(r.node, r.region, kvs.ValueOffset(r.off), r.buf)
+			t.e.mustWrite(r.node, r.region, incverOff, []uint64{newIncVer, clock.Init})
 		}
 	}
 }
@@ -333,7 +358,7 @@ func (fb *fallbackCtx) release(n int, _ bool) {
 	for i := 0; i < n; i++ {
 		r := fb.recs[i]
 		if r.write {
-			fb.t.e.mustUnlock(r.node, r.table, kvs.StateOffset(r.off))
+			fb.t.e.mustUnlock(r.node, r.region, kvs.StateOffset(r.off))
 		}
 	}
 }

@@ -147,10 +147,18 @@ func (rt *Runtime) PendingOps(node int) int {
 }
 
 // EnableAutoRecovery wires the cluster's failure detector to the
-// transaction layer: the elected coordinator replays the crashed node's
-// NVRAM logs, drains deferred writes, and brings the node back online.
+// transaction layer. Without replication, the elected coordinator replays
+// the crashed node's NVRAM logs, drains deferred writes, and brings the node
+// back online (reboot-style recovery). With replication, the coordinator
+// instead promotes the partition's highest-ranked live backup and replays
+// only its redo tail — hot failover; the crashed machine stays down and its
+// clients fail over at the workload level.
 func (rt *Runtime) EnableAutoRecovery() {
 	rt.C.OnDeath(func(coordinator, crashed int) {
+		if rt.C.ReplicationFactor() > 0 {
+			rt.Failover(crashed)
+			return
+		}
 		rt.Recover(crashed)
 		rt.C.Revive(crashed)
 		rt.FlushPending(crashed) // anything parked between Recover and Revive

@@ -13,6 +13,11 @@ const (
 	// msgStoreOp ships an INSERT/DELETE to the record's host, where it is
 	// executed through the host's store (footnote 5 / Section 6.5).
 	msgStoreOp = 1
+	// msgRedoCheckpoint asks a backup to apply and truncate one redo log
+	// (sender worker's ring reached the checkpoint threshold). The apply
+	// work happens with the backup's resources, as in FaRM: backups consume
+	// their logs with their own CPUs off the commit critical path.
+	msgRedoCheckpoint = 2
 )
 
 // storeOpMsg is the body of a shipped insert/delete.
@@ -23,6 +28,13 @@ type storeOpMsg struct {
 	Val    []uint64
 }
 
+// redoCkptMsg names the redo log to checkpoint: the one appended by worker
+// (Sender, Worker) on the receiving backup.
+type redoCkptMsg struct {
+	Sender int
+	Worker int
+}
+
 // installStoreHandlers wires the verbs store-op handler on every node.
 func (rt *Runtime) installStoreHandlers() {
 	for i := 0; i < rt.C.Nodes(); i++ {
@@ -31,10 +43,19 @@ func (rt *Runtime) installStoreHandlers() {
 			m := body.(storeOpMsg)
 			return rt.execStoreOp(n, m)
 		})
+		n.Handle(msgRedoCheckpoint, func(from int, body any) any {
+			m := body.(redoCkptMsg)
+			rt.drainCheckpoint(n, m.Sender, m.Worker)
+			return nil
+		})
 	}
 }
 
-// execStoreOp performs an insert/delete on the host node's store.
+// execStoreOp performs an insert/delete on the host node's store, resolving
+// the storage region under the current view (a promoted owner serves its
+// adopted partition from the replica region). When the host is the
+// partition's home primary, the op is mirrored to every backup's replica
+// shard so a later promotion sees the record.
 func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 	meta := rt.Meta(m.Table)
 	if meta.Kind == Ordered {
@@ -45,21 +66,38 @@ func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 		o.Delete(m.Key)
 		return nil
 	}
-	t := n.Unordered(m.Table)
-	if m.Insert {
-		return t.Insert(m.Key, m.Val)
+	region := m.Table
+	part := rt.Part(m.Table, m.Key)
+	if part >= 0 && rt.C.OwnerOf(part) != part {
+		region = cluster.ReplicaRegion(part, m.Table)
 	}
-	t.Delete(m.Key)
-	return nil
+	t := n.Unordered(region)
+	var err error
+	if m.Insert {
+		err = t.Insert(m.Key, m.Val)
+	} else {
+		t.Delete(m.Key)
+	}
+	if err == nil && part >= 0 && rt.C.ReplicationFactor() > 0 && rt.C.OwnerOf(part) == part {
+		for _, b := range rt.C.Backups(nil, part) {
+			rep := rt.C.Node(b).Unordered(cluster.ReplicaRegion(part, m.Table))
+			if m.Insert {
+				err = rep.Insert(m.Key, m.Val)
+			} else {
+				rep.Delete(m.Key)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return err
 }
 
 // applyStoreOp applies a deferred insert/delete: directly when the record
 // is homed here, via verbs otherwise.
 func (e *Executor) applyStoreOp(op deferredOp) {
-	node := e.rt.Part(op.table, op.key)
-	if node < 0 { // replicated table: apply locally
-		node = e.w.Node.ID
-	}
+	node, _, _ := e.route(op.table, op.key)
 	m := storeOpMsg{Insert: op.insert, Table: op.table, Key: op.key, Val: op.val}
 	if node == e.w.Node.ID {
 		if err := e.rt.execStoreOp(e.w.Node, m); err != nil {

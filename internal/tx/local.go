@@ -39,8 +39,10 @@ func (lc *Local) now() uint64 {
 }
 
 // resolve maps (table, key) to the record's entry location in this node's
-// shard, charging the store's lookup cost.
-func (lc *Local) resolve(table int, key uint64) (*memory.Arena, memory.Offset, bool) {
+// shard, charging the store's lookup cost. region is the storage region the
+// record was declared under — the table itself, or a replica region when
+// this node was promoted to own the partition (hot failover).
+func (lc *Local) resolve(table, region int, key uint64) (*memory.Arena, memory.Offset, bool) {
 	n := lc.t.e.w.Node
 	m := lc.t.e.rt.Meta(table)
 	model := lc.t.e.model()
@@ -51,7 +53,7 @@ func (lc *Local) resolve(table int, key uint64) (*memory.Arena, memory.Offset, b
 		return o.Arena(), off, ok
 	}
 	lc.t.e.charge(model.HashProbeNS)
-	tbl := n.Unordered(table)
+	tbl := n.Unordered(region)
 	var off memory.Offset
 	var ok bool
 	if lc.htx != nil {
@@ -74,10 +76,11 @@ func (lc *Local) Read(table int, key uint64) ([]uint64, error) {
 	if r, ok := lc.t.rIndex[k]; ok {
 		return r.buf, nil
 	}
-	if _, ok := lc.t.lIndex[k]; !ok {
+	li, ok := lc.t.lIndex[k]
+	if !ok {
 		panic(fmt.Sprintf("tx: undeclared access to table %d key %d", table, key))
 	}
-	arena, off, ok := lc.resolve(table, key)
+	arena, off, ok := lc.resolve(table, lc.t.locals[li].region, key)
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -123,10 +126,12 @@ func (lc *Local) Write(table int, key uint64, val []uint64) error {
 		r.dirty = true
 		return nil
 	}
-	if i, ok := lc.t.lIndex[k]; !ok || !lc.t.locals[i].write {
+	li, ok := lc.t.lIndex[k]
+	if !ok || !lc.t.locals[li].write {
 		panic(fmt.Sprintf("tx: undeclared write to table %d key %d", table, key))
 	}
-	arena, off, ok := lc.resolve(table, key)
+	l := lc.t.locals[li]
+	arena, off, ok := lc.resolve(table, l.region, key)
 	if !ok {
 		return ErrNotFound
 	}
@@ -154,10 +159,14 @@ func (lc *Local) Write(table int, key uint64, val []uint64) error {
 	lc.htx.WriteN(arena, kvs.ValueOffset(off), val)
 	lc.t.e.charge(lc.t.e.model().HTMPerWriteNS * int64(len(val)+2))
 
-	if lc.t.e.rt.C.Config().Durability {
+	// Captured for the write-ahead log (durability) and for the redo records
+	// shipped to the partition's backups (replication); the storage region —
+	// not the logical table — addresses the copy this write landed in.
+	if lc.t.e.rt.C.Config().Durability || (l.part >= 0 && lc.t.e.rt.C.ReplicationFactor() > 0) {
 		lc.t.walLocal = append(lc.t.walLocal, walRec{
-			node: lc.t.e.w.Node.ID, table: table, off: off,
+			node: lc.t.e.w.Node.ID, table: l.region, off: off,
 			version: newVer, val: append([]uint64(nil), val...),
+			ltable: table, part: l.part, key: key,
 		})
 	}
 	return nil

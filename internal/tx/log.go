@@ -14,6 +14,10 @@ import (
 //	lock-ahead log: [txid, n, (node, table, off) x n]
 //	write-ahead log:[txid, n, (node, table, off, version, vw, val...) x n]
 //
+// The `table` slots carry the record's storage region — identical to the
+// logical table ID except for replica regions after a failover promotion —
+// so recovery resolves arenas without consulting the (possibly changed) view.
+//
 // The write-ahead log is appended transactionally inside the HTM region
 // (nvram.Log.AppendTx), so it exists in NVRAM if and only if the
 // transaction's XEND executed — the property recovery relies on to decide
@@ -38,7 +42,7 @@ func (t *Tx) logAheadOfRegion() {
 	var locks []uint64
 	for _, r := range t.remotes {
 		if r.write {
-			locks = append(locks, uint64(r.node), uint64(r.table), uint64(r.off))
+			locks = append(locks, uint64(r.node), uint64(r.region), uint64(r.off))
 		}
 	}
 	if len(locks) == 0 {
@@ -60,7 +64,7 @@ func (t *Tx) walBody() []uint64 {
 	for _, r := range t.remotes {
 		if r.write && r.dirty {
 			recs = append(recs, walRec{
-				node: r.node, table: r.table, off: r.off,
+				node: r.node, table: r.region, off: r.off,
 				version: r.version + 1, val: r.buf,
 			})
 		}
@@ -111,7 +115,7 @@ func (t *Tx) logFallbackWAL(fb *fallbackCtx) {
 			continue
 		}
 		count++
-		recs = append(recs, uint64(r.node), uint64(r.table), uint64(r.off),
+		recs = append(recs, uint64(r.node), uint64(r.region), uint64(r.off),
 			uint64(r.version+1), uint64(len(r.buf)))
 		recs = append(recs, r.buf...)
 	}

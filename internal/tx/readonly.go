@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"drtm/internal/clock"
+	"drtm/internal/cluster"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
 	"drtm/internal/obs"
@@ -22,6 +23,11 @@ type RO struct {
 	recs  []*roRec
 	index map[refKey]*roRec
 
+	// views records the packed view word per touched partition (replication
+	// only); confirm re-checks them so a failover mid-transaction fails the
+	// confirmation instead of mixing views.
+	views map[int]uint64
+
 	// policy is the effective read policy (see policy.go). PolicyExclusive
 	// behaves as PolicyLease here: read-only transactions never take write
 	// locks.
@@ -30,6 +36,7 @@ type RO struct {
 
 type roRec struct {
 	table, node int
+	region      int // storage region on node (replica region after failover)
 	key         uint64
 	off         memory.Offset
 	buf         []uint64
@@ -81,6 +88,12 @@ func (ro *RO) confirm() bool {
 	now := ro.e.w.Node.Clock.Read()
 	delta := ro.e.rt.C.Delta()
 	sh := ro.e.w.Obs
+	for part, w := range ro.views {
+		if ro.e.rt.C.View(part) != w {
+			sh.Inc(obs.EvViewAbort)
+			return false
+		}
+	}
 	nspec := 0
 	for _, r := range ro.recs {
 		if r.spec {
@@ -108,7 +121,7 @@ func (ro *RO) confirm() bool {
 		if !r.spec {
 			continue
 		}
-		host := e.rt.C.Node(r.node).Unordered(r.table)
+		host := e.rt.C.Node(r.node).Unordered(r.region)
 		i := len(specs)
 		wrs = append(wrs, host.PostHeaderRead(sq, kvs.Loc{Off: r.off, Lossy: r.lossy},
 			e.hdrBuf[i*kvs.EntryHeaderWords:(i+1)*kvs.EntryHeaderWords]))
@@ -128,7 +141,7 @@ func (ro *RO) confirm() bool {
 		if kvs.Version(hdr[0]) != r.version || kvs.Incarnation(hdr[0]) != r.inc ||
 			clock.IsWriteLocked(hdr[1]) {
 			sh.Inc(obs.EvSpecValidateFail)
-			e.feedConflict(e.rt.C.Node(r.node).Unordered(r.table), r.node, r.table, r.key, 1)
+			e.feedConflict(e.rt.C.Node(r.node).Unordered(r.region), r.node, r.table, r.key, 1)
 			ok = false
 			break
 		}
@@ -145,17 +158,17 @@ func (ro *RO) confirm() bool {
 // caveat of Section 6.3 concerns the fallback handler, which does pay the
 // RDMA CAS price under HCA-level atomics (see fallback.go and the
 // ablate-atomics experiment).
-func (ro *RO) stateCAS(node, table int, off memory.Offset, old, new uint64) (uint64, bool, error) {
+func (ro *RO) stateCAS(node, region int, off memory.Offset, old, new uint64) (uint64, bool, error) {
 	qp := ro.e.w.QP
 	if node == ro.e.w.Node.ID {
-		cur, ok := qp.LocalCAS(table, kvs.StateOffset(off), old, new)
+		cur, ok := qp.LocalCAS(region, kvs.StateOffset(off), old, new)
 		return cur, ok, nil
 	}
 	var cur uint64
 	var ok bool
 	err := ro.e.verbRetry(func() error {
 		var e error
-		cur, ok, e = qp.TryCAS(node, table, kvs.StateOffset(off), old, new)
+		cur, ok, e = qp.TryCAS(node, region, kvs.StateOffset(off), old, new)
 		return e
 	})
 	return cur, ok, err
@@ -164,12 +177,12 @@ func (ro *RO) stateCAS(node, table int, off memory.Offset, old, new uint64) (uin
 // lease acquires a shared lease on the record at off, sharing an existing
 // unexpired lease when present. The error is ErrNodeDown when the host is
 // crashed or persistently unreachable.
-func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool, error) {
+func (ro *RO) lease(node, region int, off memory.Offset) (uint64, bool, error) {
 	delta := ro.e.rt.C.Delta()
 	sh := ro.e.w.Obs
 	const casRetries = 8
 	for i := 0; i < casRetries; i++ {
-		cur, ok, err := ro.stateCAS(node, table, off, clock.Init, clock.Shared(ro.end))
+		cur, ok, err := ro.stateCAS(node, region, off, clock.Init, clock.Shared(ro.end))
 		if err != nil {
 			return 0, false, ErrNodeDown
 		}
@@ -186,7 +199,7 @@ func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool, error) {
 			sh.Inc(obs.EvLeaseShare)
 			return end, true, nil
 		}
-		if _, ok, err := ro.stateCAS(node, table, off, cur, clock.Shared(ro.end)); err != nil {
+		if _, ok, err := ro.stateCAS(node, region, off, cur, clock.Shared(ro.end)); err != nil {
 			return 0, false, ErrNodeDown
 		} else if ok {
 			sh.Inc(obs.EvLeaseExpire)
@@ -198,16 +211,27 @@ func (ro *RO) lease(node, table int, off memory.Offset) (uint64, bool, error) {
 	return 0, false, nil
 }
 
+// stampView records a touched partition's view word for confirm.
+func (ro *RO) stampView(part int) {
+	if part < 0 || ro.e.rt.C.ReplicationFactor() == 0 {
+		return
+	}
+	if ro.views == nil {
+		ro.views = make(map[int]uint64)
+	}
+	if _, ok := ro.views[part]; !ok {
+		ro.views[part] = ro.e.rt.C.View(part)
+	}
+}
+
 // Read leases and fetches a record by key.
 func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 	k := refKey{table, key}
 	if r, ok := ro.index[k]; ok {
 		return r.buf, nil
 	}
-	node := ro.e.rt.Part(table, key)
-	if node < 0 { // replicated table: always local
-		node = ro.e.w.Node.ID
-	}
+	node, region, part := ro.e.route(table, key)
+	ro.stampView(part)
 	meta := ro.e.rt.Meta(table)
 
 	var off memory.Offset
@@ -217,48 +241,48 @@ func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 			off, ok = ro.e.w.Node.Ordered(table).Lookup(key)
 			ro.e.charge(ro.e.model().BTreeOpNS)
 		} else {
-			off, ok = ro.e.w.Node.Unordered(table).LookupLocal(key)
+			off, ok = ro.e.w.Node.Unordered(region).LookupLocal(key)
 			ro.e.charge(ro.e.model().HashProbeNS)
 		}
 	} else {
 		if meta.Kind == Ordered {
 			return nil, ErrNotFound // remote ordered reads are shipped at workload level
 		}
-		host := ro.e.rt.C.Node(node).Unordered(table)
-		loc, lok, err := host.LookupRemoteE(ro.e.w.QP, ro.e.cacheFor(node, table), key)
+		host := ro.e.rt.C.Node(node).Unordered(region)
+		loc, lok, err := host.LookupRemoteE(ro.e.w.QP, ro.e.cacheFor(node, region), key)
 		if err != nil {
 			return nil, ErrNodeDown
 		}
 		ok = lok
 		off = loc.Off
 		if ok && ro.e.routeRead(ro.policy, host, node, table, key) {
-			return ro.specReadAt(node, table, key, loc)
+			return ro.specReadAt(node, table, region, key, loc)
 		}
 	}
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return ro.readAt(node, table, key, off)
+	return ro.readAt(node, table, region, key, off)
 }
 
 // specReadAt fetches a remote record speculatively: one entry READ, no
 // lease CAS. The version and incarnation observed here are re-validated by
 // confirm; a record observed write-locked is mid-update and retries.
-func (ro *RO) specReadAt(node, table int, key uint64, loc kvs.Loc) ([]uint64, error) {
+func (ro *RO) specReadAt(node, table, region int, key uint64, loc kvs.Loc) ([]uint64, error) {
 	e := ro.e
 	sh := e.w.Obs
-	host := e.rt.C.Node(node).Unordered(table)
+	host := e.rt.C.Node(node).Unordered(region)
 	vw := e.rt.Meta(table).ValueWords
 	words := make([]uint64, kvs.EntryValueWord+vw)
 	err := e.verbRetry(func() error {
-		return e.w.QP.TryRead(node, table, loc.Off, words)
+		return e.w.QP.TryRead(node, region, loc.Off, words)
 	})
 	if err != nil {
 		return nil, ErrNodeDown
 	}
 	ent, ok := host.DecodeEntry(words, key, loc)
 	if !ok {
-		host.Invalidate(e.cacheFor(node, table), key)
+		host.Invalidate(e.cacheFor(node, region), key)
 		return nil, ErrRetry
 	}
 	sh.Inc(obs.EvSpecRead)
@@ -268,7 +292,7 @@ func (ro *RO) specReadAt(node, table int, key uint64, loc kvs.Loc) ([]uint64, er
 	}
 	buf := make([]uint64, vw)
 	copy(buf, ent.Value)
-	r := &roRec{table: table, node: node, key: key, off: loc.Off, buf: buf,
+	r := &roRec{table: table, node: node, region: region, key: key, off: loc.Off, buf: buf,
 		spec: true, lossy: loc.Lossy, version: ent.Version, inc: ent.Incarnation}
 	ro.index[refKey{table, key}] = r
 	ro.recs = append(ro.recs, r)
@@ -277,11 +301,11 @@ func (ro *RO) specReadAt(node, table int, key uint64, loc kvs.Loc) ([]uint64, er
 
 // ReadAtLocal leases and fetches a local record found via a scan.
 func (ro *RO) ReadAtLocal(table int, off memory.Offset) ([]uint64, error) {
-	return ro.readAt(ro.e.w.Node.ID, table, ^uint64(0), off)
+	return ro.readAt(ro.e.w.Node.ID, table, table, ^uint64(0), off)
 }
 
-func (ro *RO) readAt(node, table int, key uint64, off memory.Offset) ([]uint64, error) {
-	end, ok, err := ro.lease(node, table, off)
+func (ro *RO) readAt(node, table, region int, key uint64, off memory.Offset) ([]uint64, error) {
+	end, ok, err := ro.lease(node, region, off)
 	if err != nil {
 		return nil, err
 	}
@@ -291,17 +315,17 @@ func (ro *RO) readAt(node, table int, key uint64, off memory.Offset) ([]uint64, 
 	vw := ro.e.rt.Meta(table).ValueWords
 	buf := make([]uint64, vw)
 	if node == ro.e.w.Node.ID {
-		ro.arenaOf(node, table).Read(buf, kvs.ValueOffset(off))
+		ro.arenaOf(node, region).Read(buf, kvs.ValueOffset(off))
 		ro.e.charge(int64(vw+1) * ro.e.model().HTMPerReadNS)
 	} else {
 		rerr := ro.e.verbRetry(func() error {
-			return ro.e.w.QP.TryRead(node, table, kvs.ValueOffset(off), buf)
+			return ro.e.w.QP.TryRead(node, region, kvs.ValueOffset(off), buf)
 		})
 		if rerr != nil {
 			return nil, ErrNodeDown
 		}
 	}
-	r := &roRec{table: table, node: node, key: key, off: off, buf: buf, leaseEnd: end}
+	r := &roRec{table: table, node: node, region: region, key: key, off: off, buf: buf, leaseEnd: end}
 	if key != ^uint64(0) {
 		ro.index[refKey{table, key}] = r
 	}
@@ -309,12 +333,13 @@ func (ro *RO) readAt(node, table int, key uint64, off memory.Offset) ([]uint64, 
 	return buf, nil
 }
 
-func (ro *RO) arenaOf(node, table int) *memory.Arena {
+func (ro *RO) arenaOf(node, region int) *memory.Arena {
 	n := ro.e.rt.C.Node(node)
-	if ro.e.rt.Meta(table).Kind == Ordered {
-		return n.Ordered(table).Arena()
+	if _, _, isReplica := cluster.ReplicaRegionInfo(region); !isReplica &&
+		ro.e.rt.Meta(region).Kind == Ordered {
+		return n.Ordered(region).Arena()
 	}
-	return n.Unordered(table).Arena()
+	return n.Unordered(region).Arena()
 }
 
 // ScanLocal returns index entries of a local ordered table in [lo, hi].

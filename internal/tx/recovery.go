@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"drtm/internal/clock"
+	"drtm/internal/cluster"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
 	"drtm/internal/obs"
@@ -154,10 +155,15 @@ func (rt *Runtime) unlockIfOwned(crashed int, l lockRef) bool {
 	return false
 }
 
-func (rt *Runtime) arenaOf(node, table int) *memory.Arena {
+// arenaOf resolves a storage region's arena on node: a plain table region
+// (ordered or unordered) or a replica region installed by replication.
+func (rt *Runtime) arenaOf(node, region int) *memory.Arena {
 	n := rt.C.Node(node)
-	if rt.Meta(table).Kind == Ordered {
-		return n.Ordered(table).Arena()
+	if _, _, isReplica := cluster.ReplicaRegionInfo(region); isReplica {
+		return n.Unordered(region).Arena()
 	}
-	return n.Unordered(table).Arena()
+	if rt.Meta(region).Kind == Ordered {
+		return n.Ordered(region).Arena()
+	}
+	return n.Unordered(region).Arena()
 }

@@ -83,7 +83,7 @@ func TestRecoveryUnlocksCrashedLocks(t *testing.T) {
 	// the HTM region commits.
 	e1 := rt.Executor(1, 0)
 	tx := e1.newTx()
-	if err := tx.stageRemote(tblAccounts, 2, 0, true); err != nil {
+	if err := tx.stageRemote(tblAccounts, 2, 0, tblAccounts, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	tx.logAheadOfRegion() // what Execute would log before XBEGIN
@@ -122,7 +122,7 @@ func TestRecoveryRedoesCommitted(t *testing.T) {
 	// durable, remote record still locked) but crashed before write-back.
 	e1 := rt.Executor(1, 0)
 	tx := e1.newTx()
-	if err := tx.stageRemote(tblAccounts, 2, 0, true); err != nil {
+	if err := tx.stageRemote(tblAccounts, 2, 0, tblAccounts, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	tx.logAheadOfRegion()
@@ -163,7 +163,7 @@ func TestRecoveryIdempotent(t *testing.T) {
 	// both Figure 7 paths have work to do on the first pass.
 	e1 := rt.Executor(1, 0)
 	tx := e1.newTx()
-	if err := tx.stageRemote(tblAccounts, 2, 0, true); err != nil {
+	if err := tx.stageRemote(tblAccounts, 2, 0, tblAccounts, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	tx.logAheadOfRegion()
@@ -229,7 +229,7 @@ func TestRecoveryPendingChoppedPieces(t *testing.T) {
 	e1 := rt.Executor(1, 0)
 	tx := e1.newTx()
 	tx.SetChoppingInfo([]uint64{7, 3}) // parent 7, next piece 3
-	if err := tx.stageRemote(tblAccounts, 2, 0, true); err != nil {
+	if err := tx.stageRemote(tblAccounts, 2, 0, tblAccounts, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	tx.logAheadOfRegion()

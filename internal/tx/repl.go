@@ -1,0 +1,284 @@
+package tx
+
+import (
+	"errors"
+
+	"drtm/internal/cluster"
+	"drtm/internal/kvs"
+	"drtm/internal/nvram"
+	"drtm/internal/rdma"
+)
+
+// FaRM-style commit-backup, transaction side. After the serialization point
+// (XEND on the HTM path; the post-lease-confirm point on the fallback path,
+// with every lock still held), the transaction's whole write-set is encoded
+// as one redo record and appended to a redo log on every backup of every
+// touched partition — one-sided log-append WRITEs pushed through the async
+// verb engine as a single doorbell wave per destination set, acked by
+// polling the wave, before any lock releases or any in-place update becomes
+// remotely observable.
+//
+// Every update carries the view epoch the transaction observed at declare
+// time. The backup's sink fences stale epochs (rdma.ErrFenced), so a zombie
+// ex-primary cannot smuggle a pre-failover write-set into a post-failover
+// log. Updates to partitions that are themselves running promoted (owner !=
+// home) are not re-replicated — a promoted partition is single-copy until
+// the crashed home returns (documented limitation, DESIGN.md).
+
+// replicate ships the HTM path's write-set (local WAL captures + dirty
+// remote records) to the backups. Called between XEND and commitRemotes; an
+// error means the transaction must not publish (only possible when this
+// machine itself died mid-commit).
+func (t *Tx) replicate() error {
+	rt := t.e.rt
+	if rt.C.ReplicationFactor() == 0 {
+		return nil
+	}
+	ups := t.redoUps[:0]
+	for i := range t.walLocal {
+		u := &t.walLocal[i]
+		if w, ok := t.replView(u.part); ok {
+			ups = append(ups, nvram.RedoUpdate{
+				Part: u.part, Epoch: cluster.ViewEpoch(w), Table: u.ltable,
+				Key: u.key, Version: u.version, Val: u.val,
+			})
+		}
+	}
+	for _, r := range t.remotes {
+		if !r.write || !r.dirty {
+			continue
+		}
+		if w, ok := t.replView(r.part); ok {
+			ups = append(ups, nvram.RedoUpdate{
+				Part: r.part, Epoch: cluster.ViewEpoch(w), Table: r.table,
+				Key: r.key, Version: r.version + 1, Val: r.buf,
+			})
+		}
+	}
+	t.redoUps = ups
+	if len(ups) == 0 {
+		return nil
+	}
+	if err := t.appendRedo(ups); err != nil {
+		return t.nodeDown()
+	}
+	return nil
+}
+
+// replicateFallback is replicate for the software fallback path: the
+// write-set lives in the fallback record set. The caller releases the
+// fallback locks on error.
+func (t *Tx) replicateFallback(fb *fallbackCtx) error {
+	rt := t.e.rt
+	if rt.C.ReplicationFactor() == 0 {
+		return nil
+	}
+	ups := t.redoUps[:0]
+	for _, r := range fb.recs {
+		if !r.write || !r.dirty {
+			continue
+		}
+		if w, ok := t.replView(r.part); ok {
+			ups = append(ups, nvram.RedoUpdate{
+				Part: r.part, Epoch: cluster.ViewEpoch(w), Table: r.table,
+				Key: r.key, Version: r.version + 1, Val: r.buf,
+			})
+		}
+	}
+	t.redoUps = ups
+	if len(ups) == 0 {
+		return nil
+	}
+	return t.appendRedo(ups)
+}
+
+// replView returns the view word an update of part should be stamped with
+// (the one observed at declare) and whether the update replicates at all:
+// replicated tables (part < 0) and promoted partitions (single-copy until
+// their home returns) do not.
+func (t *Tx) replView(part int) (uint64, bool) {
+	if part < 0 {
+		return 0, false
+	}
+	w, ok := t.views[part]
+	if !ok {
+		w = t.e.rt.C.View(part)
+	}
+	if cluster.ViewOwner(w) != part {
+		return 0, false
+	}
+	return w, true
+}
+
+// appendRedo encodes ups once and appends the record to every backup of
+// every touched partition: one posted log-append WR per destination, one
+// poll for the wave. Returns ErrNodeDown only when this machine itself is
+// the crashed one — the transaction then drops whole (its write-backs are
+// dropped by the zombie guards too, and any append that did land is replayed
+// by failover, which re-commits it everywhere).
+func (t *Tx) appendRedo(ups []nvram.RedoUpdate) error {
+	e := t.e
+	rt := e.rt
+	c := rt.C
+	self := e.w.Node.ID
+
+	dsts := t.redoDst[:0]
+	for i := range ups {
+		for _, b := range c.Backups(nil, ups[i].Part) {
+			seen := false
+			for _, d := range dsts {
+				if d == b {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				dsts = append(dsts, b)
+			}
+		}
+	}
+	t.redoDst = dsts
+
+	rec := nvram.EncodeRedo(t.redoBuf, t.txid, ups)
+	t.redoBuf = rec
+	region := cluster.RedoLogRegion(self, e.w.ID)
+	sq := e.sendq()
+	wrs := e.activeWR[:0]
+	for _, b := range dsts {
+		wrs = append(wrs, sq.PostLogAppend(b, region, rec))
+	}
+	e.activeWR = wrs
+	sq.Poll()
+
+	landed := 0
+	dying := false
+	retargeted := false
+	for i, wr := range wrs {
+		b := dsts[i]
+		err := wr.Err
+		if err != nil && errors.Is(err, rdma.ErrTimeout) {
+			err = e.verbRetry(func() error {
+				return e.w.QP.TryLogAppend(b, region, rec)
+			})
+		}
+		switch {
+		case err == nil:
+			landed++
+			sink := c.RedoSinkAt(b, self, e.w.ID)
+			if sink.BytesUsed() >= cluster.CheckpointWords*8 {
+				t.triggerCheckpoint(b)
+			}
+		case errors.Is(err, rdma.ErrFenced):
+			// A promotion raced into the XEND→append window: the record
+			// carries a now-stale epoch. The transaction is already past its
+			// serialization point, so retarget instead of aborting — apply
+			// the updates directly to the partitions' current owners
+			// (version-guarded, so double-apply against another surviving
+			// log's replay is harmless).
+			if !retargeted {
+				for j := range ups {
+					rt.applyRedoUpdate(ups[j])
+				}
+				retargeted = true
+			}
+		case errors.Is(err, rdma.ErrNodeUnreachable) && e.zombie():
+			dying = true
+		default:
+			// The backup is down (or persistently timing out): degraded
+			// replication. The partition keeps running on its remaining
+			// copies; re-replication on membership change is future work.
+		}
+	}
+	if dying && landed == 0 {
+		// This machine crashed mid-commit and no append made it out: drop
+		// the transaction whole. Its write-backs are dropped by the zombie
+		// guards, its locks freed by failover's lock-ahead pass, and its
+		// local effects die with the machine's volatile state.
+		return ErrNodeDown
+	}
+	// If the machine is dying but at least one append landed, the
+	// transaction commits: failover's crashed-sender drain replays the full
+	// write-set from any surviving log, so acking it here is safe — the
+	// FaRM rule that one reachable log tail is enough to finish a commit.
+	return nil
+}
+
+// triggerCheckpoint asks backup b to apply and truncate this worker's redo
+// log there (its ring crossed the checkpoint threshold). Best-effort: a dead
+// backup's ring is either drained by failover or lost with the backup.
+func (t *Tx) triggerCheckpoint(b int) {
+	e := t.e
+	m := redoCkptMsg{Sender: e.w.Node.ID, Worker: e.w.ID}
+	_, _ = e.w.QP.Call(b, cluster.Msg{Type: msgRedoCheckpoint, Body: m}, 16, 8)
+}
+
+// drainCheckpoint runs on backup n: apply the (sender, worker) redo log to
+// n's replica shards and truncate it — FaRM's "backups consume their logs
+// with their own CPUs", keeping promotion's replay tail short. Updates for
+// partitions n does not back up (full write-set records) and for promoted
+// partitions are skipped; their copies are maintained elsewhere.
+func (rt *Runtime) drainCheckpoint(n *cluster.Node, sender, worker int) {
+	if rt.C.ReplicationFactor() == 0 {
+		return
+	}
+	sink := rt.C.RedoSinkAt(n.ID, sender, worker)
+	sink.Drain(func(rec []uint64) {
+		_, ups, ok := nvram.DecodeRedo(rec)
+		if !ok {
+			return
+		}
+		for i := range ups {
+			u := ups[i]
+			if !rt.C.IsBackup(n.ID, u.Part) || rt.C.OwnerOf(u.Part) != u.Part {
+				continue
+			}
+			host := n.Unordered(cluster.ReplicaRegion(u.Part, u.Table))
+			rt.applyRedoTo(host, u)
+		}
+	})
+}
+
+// applyRedoUpdate applies one redo update to the copy currently serving its
+// partition (the home primary, or the promoted backup's replica region after
+// failover). Version-guarded and therefore idempotent; returns whether the
+// value was written. Skipped when the current owner is itself down.
+func (rt *Runtime) applyRedoUpdate(u nvram.RedoUpdate) bool {
+	owner := rt.C.OwnerOf(u.Part)
+	if rt.C.Fabric.NodeDown(owner) {
+		return false
+	}
+	region := u.Table
+	if owner != u.Part {
+		region = cluster.ReplicaRegion(u.Part, u.Table)
+	}
+	return rt.applyRedoTo(rt.C.Node(owner).Unordered(region), u)
+}
+
+// applyRedoTo applies one redo update to a specific table copy, inserting
+// the record if the copy has never seen the key and otherwise updating value
+// and version iff the logged version is newer.
+func (rt *Runtime) applyRedoTo(host *kvs.Table, u nvram.RedoUpdate) bool {
+	off, ok := host.LookupLocal(u.Key)
+	arena := host.Arena()
+	if !ok {
+		if err := host.Insert(u.Key, u.Val); err != nil {
+			return false
+		}
+		off, ok = host.LookupLocal(u.Key)
+		if !ok {
+			return false
+		}
+		cur := arena.LoadWord(kvs.IncVerOffset(off))
+		arena.Write(kvs.IncVerOffset(off),
+			[]uint64{kvs.PackIncVer(kvs.Incarnation(cur), u.Version)})
+		return true
+	}
+	cur := arena.LoadWord(kvs.IncVerOffset(off))
+	if kvs.Version(cur) >= u.Version {
+		return false
+	}
+	arena.Write(kvs.ValueOffset(off), u.Val)
+	arena.Write(kvs.IncVerOffset(off),
+		[]uint64{kvs.PackIncVer(kvs.Incarnation(cur), u.Version)})
+	return true
+}

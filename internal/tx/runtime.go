@@ -338,6 +338,7 @@ func (e *Executor) recycle(t *Tx) {
 	t.walLocal = t.walLocal[:0]
 	t.deferred = t.deferred[:0]
 	t.choppingInfo = nil
+	clear(t.views)
 	t.finished = false
 	t.specDown = false
 	t.usedFallback = false
@@ -370,9 +371,29 @@ func (e *Executor) model() *vtime.Model { return e.rt.C.Fabric.Model() }
 
 func (e *Executor) charge(ns int64) { e.w.VClock.ChargeNS(ns) }
 
-// cacheFor returns this node's location cache for (remote node, table), or
-// nil when caching is disabled.
-func (e *Executor) cacheFor(node, table int) kvs.Cache {
+// route maps a record's logical coordinates to its current host under the
+// replication view: (owning node, storage region on that node, home
+// partition). Without replication — or while the home node owns its
+// partition — this is the plain partitioner answer with region == table.
+// After a failover promotion, accesses to the crashed partition route to the
+// promoted backup's replica region. part is -1 for replicated tables (always
+// local, never backed up through the redo protocol).
+func (e *Executor) route(table int, key uint64) (node, region, part int) {
+	part = e.rt.Part(table, key)
+	if part < 0 {
+		return e.w.Node.ID, table, -1
+	}
+	owner := e.rt.C.OwnerOf(part)
+	if owner == part {
+		return part, table, part
+	}
+	return owner, cluster.ReplicaRegion(part, table), part
+}
+
+// cacheFor returns this node's location cache for (remote node, region), or
+// nil when caching is disabled. Caches key on the storage region — not the
+// logical table — so primary and replica locations never mix.
+func (e *Executor) cacheFor(node, region int) kvs.Cache {
 	if e.rt.CacheBudgetBytes <= 0 {
 		return nil
 	}
@@ -380,7 +401,7 @@ func (e *Executor) cacheFor(node, table int) kvs.Cache {
 	if build == nil {
 		build = func(b int) kvs.Cache { return kvs.NewLocationCache(b) }
 	}
-	return e.rt.caches[e.w.Node.ID].get(node, table, e.rt.CacheBudgetBytes, build)
+	return e.rt.caches[e.w.Node.ID].get(node, region, e.rt.CacheBudgetBytes, build)
 }
 
 // Exec runs a transaction to completion: build stages the read/write sets
@@ -498,7 +519,7 @@ func NewProbe(e *Executor) *Probe { return &Probe{t: e.newTx()} }
 
 // Stage locks (write=true) or leases (write=false) the remote record.
 func (p *Probe) Stage(table int, key uint64, node int, write bool) error {
-	return p.t.stageRemote(table, key, node, write)
+	return p.t.stageRemote(table, key, node, table, node, write)
 }
 
 // Release drops any exclusive locks the probe holds (leases expire).

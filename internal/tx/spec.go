@@ -70,7 +70,7 @@ func (t *Tx) validateSpeculative(htx *htm.Txn) {
 		if !r.spec {
 			continue
 		}
-		host := e.rt.C.Node(r.node).Unordered(r.table)
+		host := e.rt.C.Node(r.node).Unordered(r.region)
 		loc := kvs.Loc{Off: r.off, Lossy: r.lossy}
 		wrs = append(wrs, host.PostHeaderRead(sq, loc,
 			hdr[i*kvs.EntryHeaderWords:(i+1)*kvs.EntryHeaderWords]))
@@ -104,7 +104,7 @@ func (t *Tx) validateSpeculative(htx *htm.Txn) {
 			if !r.spec {
 				continue
 			}
-			host := e.rt.C.Node(r.node).Unordered(r.table)
+			host := e.rt.C.Node(r.node).Unordered(r.region)
 			arena := host.Arena()
 			incver := htx.Read(arena, kvs.IncVerOffset(r.off))
 			state := htx.Read(arena, kvs.StateOffset(r.off))

@@ -69,7 +69,7 @@ func TestSpecGoldenCost(t *testing.T) {
 	cas0 := rt.C.Obs.Total(obs.EvRDMACAS)
 	reads0 := rt.C.Obs.Total(obs.EvRDMARead)
 	v0 := e.w.VClock.Now()
-	if err := tx0.stageRemote(tblAccounts, 1, 1, false); err != nil {
+	if err := tx0.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	v1 := e.w.VClock.Now()
@@ -93,7 +93,7 @@ func TestSpecGoldenCost(t *testing.T) {
 	rt.ReadPolicy = PolicyLease
 	tx1 := e.newTx()
 	v2 := e.w.VClock.Now()
-	if err := tx1.stageRemote(tblAccounts, 3, 1, false); err != nil {
+	if err := tx1.stageRemote(tblAccounts, 3, 1, tblAccounts, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	leaseCost := int64(e.w.VClock.Now() - v2)
@@ -116,7 +116,7 @@ func TestSpecValidationAbortsOnWriterBump(t *testing.T) {
 	e1 := rt.Executor(1, 1)
 
 	tx0 := e0.newTx()
-	if err := tx0.stageRemote(tblAccounts, 1, 1, false); err != nil {
+	if err := tx0.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	// Writer on key 1's home node commits a version bump.

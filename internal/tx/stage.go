@@ -67,9 +67,10 @@ func (t *Tx) Stage(accs ...Access) error {
 	reqs := e.reqScr[:0]
 	var err error
 	for _, a := range accs {
-		node := t.home(a.Table, a.Key)
+		node, region, part := e.route(a.Table, a.Key)
+		t.stampView(part)
 		if node == t.e.w.Node.ID {
-			t.declareLocal(a.Table, a.Key, a.Write)
+			t.declareLocal(a.Table, region, part, a.Key, a.Write)
 			continue
 		}
 		write := a.Write || t.policy == PolicyExclusive
@@ -82,7 +83,7 @@ func (t *Tx) Stage(accs ...Access) error {
 			continue
 		}
 		var s *stageReq
-		s, err = t.gatherRemote(a.Table, a.Key, node, write)
+		s, err = t.gatherRemote(a.Table, a.Key, node, region, part, write)
 		if err != nil {
 			break
 		}
@@ -102,8 +103,8 @@ func (t *Tx) Stage(accs ...Access) error {
 
 // stageRemote stages one remote record — the serial entry point kept for
 // R/W and Probe.Stage; a batch of one runs the same pipeline.
-func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
-	s, err := t.gatherRemote(table, key, node, write)
+func (t *Tx) stageRemote(table int, key uint64, node, region, part int, write bool) error {
+	s, err := t.gatherRemote(table, key, node, region, part, write)
 	if err != nil || s == nil {
 		return err
 	}
@@ -114,11 +115,13 @@ func (t *Tx) stageRemote(table int, key uint64, node int, write bool) error {
 
 // stageReq is one remote record's slot in the staging pipeline.
 type stageReq struct {
-	k     refKey
-	node  int
-	table int
-	key   uint64
-	write bool
+	k      refKey
+	node   int
+	table  int
+	region int // storage region on node (replica region after failover)
+	part   int // home partition (-1 if replicated table)
+	key    uint64
+	write  bool
 
 	// spec marks a speculative (OCC) read: no lock/lease CAS — the entry is
 	// fetched with one READ and validated at commit (see policy.go).
@@ -181,7 +184,7 @@ func (s *stageReq) entryBuf(n int) []uint64 {
 
 // gatherRemote dedupes one remote access against the staged set and builds
 // its pipeline request; a nil request means the access is already satisfied.
-func (t *Tx) gatherRemote(table int, key uint64, node int, write bool) (*stageReq, error) {
+func (t *Tx) gatherRemote(table int, key uint64, node, region, part int, write bool) (*stageReq, error) {
 	k := refKey{table, key}
 	meta := t.e.rt.Meta(table)
 	if r, ok := t.rIndex[k]; ok {
@@ -190,8 +193,9 @@ func (t *Tx) gatherRemote(table int, key uint64, node int, write bool) (*stageRe
 		}
 		s := t.e.getReq()
 		s.k, s.node, s.table, s.key, s.write = k, r.node, table, key, true
-		s.host = t.e.rt.C.Node(r.node).Unordered(table)
-		s.cache = t.e.cacheFor(r.node, table)
+		s.region, s.part = r.region, r.part
+		s.host = t.e.rt.C.Node(r.node).Unordered(r.region)
+		s.cache = t.e.cacheFor(r.node, r.region)
 		s.r, s.upgrade, s.fromSpec, s.vw = r, true, r.spec, meta.ValueWords
 		return s, nil
 	}
@@ -200,9 +204,10 @@ func (t *Tx) gatherRemote(table int, key uint64, node int, write bool) (*stageRe
 	}
 	s := t.e.getReq()
 	s.k, s.node, s.table, s.key, s.write = k, node, table, key, write
-	s.host = t.e.rt.C.Node(node).Unordered(table)
+	s.region, s.part = region, part
+	s.host = t.e.rt.C.Node(node).Unordered(region)
 	s.spec = !write && t.e.routeRead(t.policy, s.host, node, table, key)
-	s.cache = t.e.cacheFor(node, table)
+	s.cache = t.e.cacheFor(node, region)
 	s.vw = meta.ValueWords
 	return s, nil
 }
@@ -257,6 +262,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		s.stateOff = kvs.StateOffset(s.loc.Off)
 		r := t.e.getRec()
 		r.table, r.node, r.key = s.table, s.node, s.key
+		r.region, r.part = s.region, s.part
 		r.off, r.lossy, r.write = s.loc.Off, s.loc.Lossy, s.write
 		s.r = r
 	}
@@ -298,7 +304,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 	for len(active) > 0 && !conflict && !down {
 		wrs = wrs[:0]
 		for _, s := range active {
-			wrs = append(wrs, sq.PostCAS(s.node, s.table, s.stateOff, s.old, s.new))
+			wrs = append(wrs, sq.PostCAS(s.node, s.region, s.stateOff, s.old, s.new))
 			// Speculatively prefetch the entry in the same wave: the READ
 			// executes after the CAS in post order, so a won CAS's image is
 			// already covered by the lock/lease it installed.
@@ -316,7 +322,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 				// the serial path's casRemote. The fused image predates the
 				// retried CAS and must be discarded.
 				fuse = nil
-				cur, swapped, err = t.casRemote(s.node, s.table, s.stateOff, s.old, s.new)
+				cur, swapped, err = t.casRemote(s.node, s.region, s.stateOff, s.old, s.new)
 				if err != nil {
 					down = true
 					continue

@@ -7,6 +7,7 @@ import (
 	"drtm/internal/htm"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
+	"drtm/internal/nvram"
 	"drtm/internal/obs"
 	"drtm/internal/rdma"
 )
@@ -16,11 +17,14 @@ const (
 	abortCodeLocked uint8 = 1 // local access found the record remotely locked
 	abortCodeLease  uint8 = 2 // lease confirmation failed at commit
 	abortCodeSpec   uint8 = 3 // speculative read validation failed at commit
+	abortCodeView   uint8 = 4 // a touched partition's view changed (failover)
 )
 
 // remoteRec is a staged remote record.
 type remoteRec struct {
 	table, node int
+	region      int           // storage region on node (replica region after failover)
+	part        int           // home partition (for replication; -1 if replicated table)
 	key         uint64
 	off         memory.Offset // entry offset in the owner's arena
 	lossy       uint64        // lossy incarnation from the locator (staleness check)
@@ -36,17 +40,28 @@ type remoteRec struct {
 // localRec is a declared local record (needed for the fallback handler,
 // which must lock local records too).
 type localRec struct {
-	table int
-	key   uint64
-	write bool
+	table  int
+	region int // storage region on this node (replica region after promotion)
+	part   int // home partition (-1 for replicated tables)
+	key    uint64
+	write  bool
 }
 
-// walRec captures one update for the write-ahead log and recovery.
+// walRec captures one update for the write-ahead log and recovery. node and
+// table address the record's storage (table is the fabric/storage region, a
+// replica region after failover); the remaining fields carry the logical
+// coordinates replication needs to rebuild the update on another copy.
 type walRec struct {
 	node, table int
 	off         memory.Offset
 	version     uint32
 	val         []uint64
+
+	// In-memory only (not serialized to the WAL): the logical table, home
+	// partition and key, used to build redo records for the backups.
+	ltable int
+	part   int
+	key    uint64
 }
 
 // deferredOp is an insert/delete applied after commit (index structures are
@@ -96,6 +111,19 @@ type Tx struct {
 	// validation, turning the resulting region abort into ErrNodeDown.
 	specDown bool
 
+	// views records, per touched partition, the packed view word observed
+	// when the partition was first declared (nil until replication stamps
+	// one). confirmViews re-reads each inside the HTM region: a mismatch
+	// means a failover moved ownership mid-transaction, and the attempt
+	// aborts and restages under the new view.
+	views map[int]uint64
+
+	// Replication scratch, reused across transactions on this shell: the
+	// redo update set, the encoded record, and the destination backup list.
+	redoUps []nvram.RedoUpdate
+	redoBuf []uint64
+	redoDst []int
+
 	// lcScratch is the Local handed to the transaction body, reused across
 	// attempts (the body must not retain it past Execute).
 	lcScratch Local
@@ -139,20 +167,27 @@ func (t *Tx) ID() uint64 { return t.txid }
 // transaction is a piece of a chopped parent (Section 4.6).
 func (t *Tx) SetChoppingInfo(info []uint64) { t.choppingInfo = info }
 
-// home returns the record's home node. A partitioner result of -1 means
-// the table is replicated (e.g. TPC-C's read-only ITEM table) and every
-// access is local.
-func (t *Tx) home(table int, key uint64) int {
-	n := t.e.rt.Part(table, key)
-	if n < 0 {
-		return t.e.w.Node.ID
-	}
-	return n
+// IsLocal reports whether the record lives on this executor's node (under
+// the current view: a promoted partition's records are local to its new
+// owner).
+func (t *Tx) IsLocal(table int, key uint64) bool {
+	node, _, _ := t.e.route(table, key)
+	return node == t.e.w.Node.ID
 }
 
-// IsLocal reports whether the record lives on this executor's node.
-func (t *Tx) IsLocal(table int, key uint64) bool {
-	return t.home(table, key) == t.e.w.Node.ID
+// stampView records the packed view word of a touched partition the first
+// time the transaction declares a record of it; confirmViews re-checks every
+// stamp inside the HTM region. No-op when replication is off.
+func (t *Tx) stampView(part int) {
+	if part < 0 || t.e.rt.C.ReplicationFactor() == 0 {
+		return
+	}
+	if t.views == nil {
+		t.views = make(map[int]uint64)
+	}
+	if _, ok := t.views[part]; !ok {
+		t.views[part] = t.e.rt.C.View(part)
+	}
 }
 
 // R declares a read of a record: remote records are leased, read
@@ -160,26 +195,28 @@ func (t *Tx) IsLocal(table int, key uint64) bool {
 // prefetched immediately (Start phase); local records are read inside the
 // HTM region.
 func (t *Tx) R(table int, key uint64) error {
-	node := t.home(table, key)
+	node, region, part := t.e.route(table, key)
+	t.stampView(part)
 	if node == t.e.w.Node.ID {
-		t.declareLocal(table, key, false)
+		t.declareLocal(table, region, part, key, false)
 		return nil
 	}
-	return t.stageRemote(table, key, node, t.policy == PolicyExclusive)
+	return t.stageRemote(table, key, node, region, part, t.policy == PolicyExclusive)
 }
 
 // W declares a write of a record: remote records are exclusively locked and
 // prefetched immediately; local records are written inside the HTM region.
 func (t *Tx) W(table int, key uint64) error {
-	node := t.home(table, key)
+	node, region, part := t.e.route(table, key)
+	t.stampView(part)
 	if node == t.e.w.Node.ID {
-		t.declareLocal(table, key, true)
+		t.declareLocal(table, region, part, key, true)
 		return nil
 	}
-	return t.stageRemote(table, key, node, true)
+	return t.stageRemote(table, key, node, region, part, true)
 }
 
-func (t *Tx) declareLocal(table int, key uint64, write bool) {
+func (t *Tx) declareLocal(table, region, part int, key uint64, write bool) {
 	k := refKey{table, key}
 	if i, ok := t.lIndex[k]; ok {
 		if write {
@@ -188,7 +225,8 @@ func (t *Tx) declareLocal(table int, key uint64, write bool) {
 		return
 	}
 	t.lIndex[k] = len(t.locals)
-	t.locals = append(t.locals, localRec{table: table, key: key, write: write})
+	t.locals = append(t.locals, localRec{table: table, region: region, part: part,
+		key: key, write: write})
 }
 
 // casRemote is the acquisition-side CAS: transient faults retry with
@@ -229,7 +267,7 @@ func (t *Tx) remoteConflict() error {
 // unlockRemote releases one exclusive lock with a one-sided owner-guarded
 // CAS. Release-side: never fails — parked for recovery if the host is down.
 func (t *Tx) unlockRemote(r *remoteRec) {
-	t.e.mustUnlock(r.node, r.table, kvs.StateOffset(r.off))
+	t.e.mustUnlock(r.node, r.region, kvs.StateOffset(r.off))
 }
 
 // releaseLocks releases every exclusive lock held by this transaction
@@ -297,6 +335,7 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 				return err
 			}
 			t.confirmLeases(htx)
+			t.confirmViews(htx)
 			t.validateSpeculative(htx)
 			if cfg.Durability {
 				t.logWALTx(htx)
@@ -308,6 +347,11 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			sh.Inc(obs.EvHTMCommit)
 			t.vHTM += int64(t.e.w.VClock.Now()) - hstart
 			cstart := int64(t.e.w.VClock.Now())
+			// Commit-backup (FaRM): the write-set must be on every backup
+			// before locks release and effects become observable remotely.
+			if err := t.replicate(); err != nil {
+				return err
+			}
 			t.commitRemotes()
 			t.vCommit += int64(t.e.w.VClock.Now()) - cstart
 			t.applyDeferred()
@@ -345,6 +389,12 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			if t.specDown {
 				return t.nodeDown()
 			}
+			return t.fail()
+		case ae.Code == htm.AbortExplicit && ae.User == abortCodeView:
+			// A touched partition's ownership moved (hot failover) between
+			// staging and commit: the staged locations are stale. Retry the
+			// whole transaction so it restages under the new view.
+			t.lastAbort = obs.CauseRemote
 			return t.fail()
 		case ae.Code == htm.AbortExplicit && ae.User == abortCodeLocked:
 			// A local record is locked by a remote transaction; whole-txn
@@ -402,6 +452,25 @@ func (t *Tx) confirmLeases(htx *htm.Txn) {
 	}
 }
 
+// confirmViews re-validates, inside the HTM region, that no touched
+// partition's view changed since it was stamped at declare time. The check
+// closes the stage→commit window against hot failover: a transaction that
+// staged against the old primary must not publish effects under the new
+// view — it aborts and restages. (The complementary append-time check is the
+// backup's epoch fence, which rejects a zombie's late redo appends.)
+func (t *Tx) confirmViews(htx *htm.Txn) {
+	if len(t.views) == 0 {
+		return
+	}
+	c := t.e.rt.C
+	for part, w := range t.views {
+		if c.View(part) != w {
+			t.e.w.Obs.Inc(obs.EvViewAbort)
+			htx.Abort(abortCodeView)
+		}
+	}
+}
+
 // commitRemotes writes back dirty remote records and releases exclusive
 // locks (REMOTE_WRITE_BACK in Figure 5), batching the verbs per poll. The
 // version word, the state word (reset to INIT = unlock) and the value are
@@ -434,7 +503,7 @@ func (t *Tx) commitRemotes() {
 			release = append(release, commitOp{r: r, off: kvs.StateOffset(r.off)})
 			continue
 		}
-		host := t.e.rt.C.Node(r.node).Unordered(r.table)
+		host := t.e.rt.C.Node(r.node).Unordered(r.region)
 		newIncVer := kvs.PackIncVer(t.readIncarnation(host, r), r.version+1)
 		span := 2 + len(r.buf) // incver, state, value...
 		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
@@ -453,9 +522,9 @@ func (t *Tx) commitRemotes() {
 		for i := range phase {
 			op := &phase[i]
 			if op.data != nil {
-				op.wr = sq.PostWrite(op.r.node, op.r.table, op.off, op.data)
+				op.wr = sq.PostWrite(op.r.node, op.r.region, op.off, op.data)
 			} else {
-				op.wr = sq.PostCAS(op.r.node, op.r.table, op.off,
+				op.wr = sq.PostCAS(op.r.node, op.r.region, op.off,
 					clock.WLocked(uint8(t.e.w.Node.ID)), clock.Init)
 			}
 		}
@@ -466,9 +535,9 @@ func (t *Tx) commitRemotes() {
 				continue
 			}
 			if op.data != nil {
-				t.e.mustWrite(op.r.node, op.r.table, op.off, op.data)
+				t.e.mustWrite(op.r.node, op.r.region, op.off, op.data)
 			} else {
-				t.e.mustUnlock(op.r.node, op.r.table, op.off)
+				t.e.mustUnlock(op.r.node, op.r.region, op.off)
 			}
 		}
 	}

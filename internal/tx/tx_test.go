@@ -113,7 +113,7 @@ func TestRemoteWriteConflictRetries(t *testing.T) {
 
 	// e0 stages a remote write lock on key 1 (node 1) and holds it.
 	t0 := e0.newTx()
-	if err := t0.stageRemote(tblAccounts, 1, 1, true); err != nil {
+	if err := t0.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	// e1's local write to key 1 must fail while the lock is held.
@@ -163,7 +163,7 @@ func TestConflictMatrix(t *testing.T) {
 				if first {
 					first = false
 					t1 := e1.newTx()
-					if err := t1.stageRemote(tblAccounts, key, 0, false); err != nil {
+					if err := t1.stageRemote(tblAccounts, key, 0, tblAccounts, 0, false); err != nil {
 						return err
 					}
 					t1.releaseLocks()
@@ -182,7 +182,7 @@ func TestConflictMatrix(t *testing.T) {
 	// Row "L RD after R RD": share — local reads overlook leases.
 	t.Run("RRD_then_LRD_share", func(t *testing.T) {
 		t1 := e1.newTx()
-		if err := t1.stageRemote(tblAccounts, key, 0, false); err != nil {
+		if err := t1.stageRemote(tblAccounts, key, 0, tblAccounts, 0, false); err != nil {
 			t.Fatal(err)
 		}
 		before := rt.Stats.HTMAborts.Load()
@@ -207,7 +207,7 @@ func TestConflictMatrix(t *testing.T) {
 	// Row "L WR after R RD": conflict — local writes respect the lease.
 	t.Run("RRD_then_LWR_conflict", func(t *testing.T) {
 		t1 := e1.newTx()
-		if err := t1.stageRemote(tblAccounts, key, 0, false); err != nil {
+		if err := t1.stageRemote(tblAccounts, key, 0, tblAccounts, 0, false); err != nil {
 			t.Fatal(err)
 		}
 		before := rt.Stats.HTMAborts.Load()
@@ -240,7 +240,7 @@ func TestConflictMatrix(t *testing.T) {
 	// Rows "after R WR": both local read and write conflict.
 	t.Run("RWR_then_local_conflict", func(t *testing.T) {
 		t1 := e1.newTx()
-		if err := t1.stageRemote(tblAccounts, key, 0, true); err != nil {
+		if err := t1.stageRemote(tblAccounts, key, 0, tblAccounts, 0, true); err != nil {
 			t.Fatal(err)
 		}
 		before := rt.Stats.HTMAborts.Load()
@@ -281,7 +281,7 @@ func TestConflictMatrix(t *testing.T) {
 				if first {
 					first = false
 					t1 := e1.newTx()
-					if err := t1.stageRemote(tblAccounts, key, 0, true); err == nil {
+					if err := t1.stageRemote(tblAccounts, key, 0, tblAccounts, 0, true); err == nil {
 						t1.releaseLocks()
 					}
 				}
@@ -304,10 +304,10 @@ func TestLeaseSharingAcrossNodes(t *testing.T) {
 	// Key 3 lives on node 0; readers on nodes 1 and 2.
 	t1 := rt.Executor(1, 0).newTx()
 	t2 := rt.Executor(2, 0).newTx()
-	if err := t1.stageRemote(tblAccounts, 3, 0, false); err != nil {
+	if err := t1.stageRemote(tblAccounts, 3, 0, tblAccounts, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := t2.stageRemote(tblAccounts, 3, 0, false); err != nil {
+	if err := t2.stageRemote(tblAccounts, 3, 0, tblAccounts, 0, false); err != nil {
 		t.Fatalf("second reader could not share the lease: %v", err)
 	}
 	// Both observed a lease; the second shares the first's end time.
@@ -328,17 +328,17 @@ func TestRemoteWriterBlockedByLease(t *testing.T) {
 	})
 	defer stop()
 	tr := rt.Executor(0, 0).newTx()
-	if err := tr.stageRemote(tblAccounts, 1, 1, false); err != nil {
+	if err := tr.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	tw := rt.Executor(0, 0).newTx()
-	if err := tw.stageRemote(tblAccounts, 1, 1, true); !errors.Is(err, ErrRetry) {
+	if err := tw.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, true); !errors.Is(err, ErrRetry) {
 		t.Fatalf("writer acquired a leased record: %v", err)
 	}
 	// After expiry (30 ms lease + delta) the writer gets in.
 	time.Sleep(50 * time.Millisecond)
 	tw2 := rt.Executor(0, 0).newTx()
-	if err := tw2.stageRemote(tblAccounts, 1, 1, true); err != nil {
+	if err := tw2.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, true); err != nil {
 		t.Fatalf("writer blocked after lease expiry: %v", err)
 	}
 	tw2.releaseLocks()
@@ -419,7 +419,7 @@ func TestReadOnlyLeaseVisibleToWriters(t *testing.T) {
 	}
 	// A remote writer must now fail fast on key 1.
 	tw := rt.Executor(0, 0).newTx()
-	if err := tw.stageRemote(tblAccounts, 1, 1, true); !errors.Is(err, ErrRetry) {
+	if err := tw.stageRemote(tblAccounts, 1, 1, tblAccounts, 1, true); !errors.Is(err, ErrRetry) {
 		t.Fatalf("writer ignored RO lease: %v", err)
 	}
 	if !ro.confirm() {

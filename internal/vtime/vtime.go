@@ -79,6 +79,12 @@ type Model struct {
 	NVRAMAppendBaseNS    int64
 	NVRAMAppendPerByteNS float64
 
+	// Replication: one-sided log-append WRITE into a backup's ring-buffer
+	// log region (FaRM commit-backup). Slightly above a plain RDMA WRITE:
+	// the NIC-side append steers through the remote ring's head register.
+	LogAppendBaseNS    int64
+	LogAppendPerByteNS float64
+
 	// TimeoutNS is the modeled cost of a verb that fails (lost completion,
 	// unreachable target): the issuing worker's virtual clock is charged a
 	// full local timeout before the error surfaces, as a real QP would spin
@@ -129,6 +135,9 @@ func DefaultModel() Model {
 		NVRAMAppendBaseNS:    180,
 		NVRAMAppendPerByteNS: 0.12,
 
+		LogAppendBaseNS:    1400,
+		LogAppendPerByteNS: 0.15,
+
 		TimeoutNS: 1_000_000, // 1 ms QP completion timeout
 
 		DoorbellNS: 200, // WQE build + doorbell MMIO + CQ poll per WR
@@ -177,6 +186,12 @@ func (m *Model) BatchOverlapNS(costs []int64) int64 {
 	return max + int64(len(costs))*m.DoorbellNS
 }
 
+// LogAppend returns the modeled latency of a one-sided log-append WRITE of
+// n bytes into a remote backup's ring-buffer log region.
+func (m *Model) LogAppend(n int) time.Duration {
+	return time.Duration(m.LogAppendBaseNS + int64(float64(n)*m.LogAppendPerByteNS))
+}
+
 // NVRAMAppend returns the cost of persisting n bytes to emulated NVRAM.
 func (m *Model) NVRAMAppend(n int) time.Duration {
 	return time.Duration(m.NVRAMAppendBaseNS + int64(float64(n)*m.NVRAMAppendPerByteNS))
@@ -187,8 +202,9 @@ func (m *Model) String() string {
 	return fmt.Sprintf(
 		"cost model: rdma{read %dns+%.2fns/B, write %dns+%.2fns/B, cas %dns} "+
 			"localCAS %dns doorbell %dns verbs %dns ipoib %dns htm{begin %d commit %d} "+
-			"hash %dns btree %dns nvram %dns",
+			"hash %dns btree %dns nvram %dns logappend %dns",
 		m.RDMAReadBaseNS, m.RDMAReadPerByteNS, m.RDMAWriteBaseNS, m.RDMAWritePerByteNS,
 		m.RDMACASNS, m.LocalCASNS, m.DoorbellNS, m.VerbsMsgBaseNS, m.IPoIBMsgBaseNS,
-		m.HTMBeginNS, m.HTMCommitNS, m.HashProbeNS, m.BTreeOpNS, m.NVRAMAppendBaseNS)
+		m.HTMBeginNS, m.HTMCommitNS, m.HashProbeNS, m.BTreeOpNS, m.NVRAMAppendBaseNS,
+		m.LogAppendBaseNS)
 }

@@ -119,6 +119,16 @@ func TestGoldenCosts(t *testing.T) {
 	if m.DoorbellNS != 200 {
 		t.Errorf("DoorbellNS = %d, want 200", m.DoorbellNS)
 	}
+	if m.LogAppendBaseNS != 1400 {
+		t.Errorf("LogAppendBaseNS = %d, want 1400", m.LogAppendBaseNS)
+	}
+	// The commit-backup wave must stay a one-sided-WRITE-class operation:
+	// cheaper than a SEND/RECV RPC of the same payload and far below an
+	// RDMA CAS, or the "faster than RPCs" premise of log-append commit dies.
+	if la := int64(m.LogAppend(64)); la >= int64(m.VerbsMsg(64)) || la >= m.RDMACASNS {
+		t.Errorf("LogAppend(64) = %d, want < VerbsMsg(64)=%d and < CAS=%d",
+			la, int64(m.VerbsMsg(64)), m.RDMACASNS)
+	}
 	// One speculative read-set record costs one entry READ; the lease arm
 	// pays a CAS on top. The arm's raison d'être: ≥2.5x per-record gap even
 	// counting the commit-time validation re-READ against the spec arm.
