@@ -14,12 +14,21 @@ package nvram
 // Wire format, in words:
 //
 //	[txid, k,
-//	  (part, epoch, table, key, version, vw, val[0..vw-1]) × k]
+//	  (part, epoch, table, key, version, gen, vw, val[0..vw-1]) × k]
 //
 // per update: the home partition of the key, the partition's view epoch as
 // observed by the appender (the backup's fence compares it against the
 // current view and rejects stale appends — zombie containment), the logical
-// table, the key, the new post-commit version, and the value words.
+// table, the key, the new post-commit version, the key's delete generation
+// as observed by the appender, and the value words.
+//
+// Deletes themselves never appear in the redo stream — they are shipped
+// store ops applied immediately to the primary and every replica shard. The
+// generation word is what keeps the two streams ordered: every delete bumps
+// the key's generation, updates are stamped with the generation current at
+// commit, and a drain refuses records from an older generation, so a redo
+// record logged before a delete can never resurrect the key (or its stale
+// value, if the key was re-inserted since).
 
 // RedoUpdate is one write of a redo record.
 type RedoUpdate struct {
@@ -28,10 +37,11 @@ type RedoUpdate struct {
 	Table   int    // logical table ID
 	Key     uint64
 	Version uint32 // post-commit version (apply iff > current)
+	Gen     uint64 // key's delete generation (apply iff current)
 	Val     []uint64
 }
 
-const redoUpdateHeaderWords = 6
+const redoUpdateHeaderWords = 7
 
 // RedoWords returns the encoded size in words of a record with the given
 // updates (for pre-sizing buffers and cost accounting).
@@ -55,7 +65,7 @@ func EncodeRedo(buf []uint64, txid uint64, ups []RedoUpdate) []uint64 {
 	for i := range ups {
 		u := &ups[i]
 		buf = append(buf, uint64(u.Part), u.Epoch, uint64(u.Table), u.Key,
-			uint64(u.Version), uint64(len(u.Val)))
+			uint64(u.Version), u.Gen, uint64(len(u.Val)))
 		buf = append(buf, u.Val...)
 	}
 	return buf
@@ -75,7 +85,7 @@ func DecodeRedo(rec []uint64) (txid uint64, ups []RedoUpdate, ok bool) {
 		if off+redoUpdateHeaderWords > len(rec) {
 			return 0, nil, false
 		}
-		vw := int(rec[off+5])
+		vw := int(rec[off+6])
 		if off+redoUpdateHeaderWords+vw > len(rec) {
 			return 0, nil, false
 		}
@@ -85,6 +95,7 @@ func DecodeRedo(rec []uint64) (txid uint64, ups []RedoUpdate, ok bool) {
 			Table:   int(rec[off+2]),
 			Key:     rec[off+3],
 			Version: uint32(rec[off+4]),
+			Gen:     rec[off+5],
 			Val:     rec[off+redoUpdateHeaderWords : off+redoUpdateHeaderWords+vw],
 		})
 		off += redoUpdateHeaderWords + vw

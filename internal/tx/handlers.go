@@ -68,8 +68,17 @@ func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 	}
 	region := m.Table
 	part := rt.Part(m.Table, m.Key)
+	repl := part >= 0 && rt.C.ReplicationFactor() > 0
 	if part >= 0 && rt.C.OwnerOf(part) != part {
 		region = cluster.ReplicaRegion(part, m.Table)
+	}
+	if repl {
+		// Serialized with redo application (repl.go): a drain must never
+		// observe the copies mid-op or interleave with a delete, and a
+		// delete's generation bump must be atomic with removing the entry so
+		// stale redo records are recognized (applyRedoTo's guards).
+		rt.redoMu.Lock()
+		defer rt.redoMu.Unlock()
 	}
 	t := n.Unordered(region)
 	var err error
@@ -77,9 +86,13 @@ func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 		err = t.Insert(m.Key, m.Val)
 	} else {
 		t.Delete(m.Key)
+		if repl {
+			rt.delGen[delKey{part, m.Table, m.Key}]++
+		}
 	}
-	if err == nil && part >= 0 && rt.C.ReplicationFactor() > 0 && rt.C.OwnerOf(part) == part {
-		for _, b := range rt.C.Backups(nil, part) {
+	if err == nil && repl && rt.C.OwnerOf(part) == part {
+		rt.bkScr = rt.C.Backups(rt.bkScr[:0], part)
+		for _, b := range rt.bkScr {
 			rep := rt.C.Node(b).Unordered(cluster.ReplicaRegion(part, m.Table))
 			if m.Insert {
 				err = rep.Insert(m.Key, m.Val)

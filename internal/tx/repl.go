@@ -59,6 +59,7 @@ func (t *Tx) replicate() error {
 	if len(ups) == 0 {
 		return nil
 	}
+	rt.stampRedoGens(ups)
 	if err := t.appendRedo(ups); err != nil {
 		return t.nodeDown()
 	}
@@ -89,7 +90,22 @@ func (t *Tx) replicateFallback(fb *fallbackCtx) error {
 	if len(ups) == 0 {
 		return nil
 	}
+	rt.stampRedoGens(ups)
 	return t.appendRedo(ups)
+}
+
+// stampRedoGens stamps every update with its key's current delete
+// generation, under the same lock the generation bumps take. Runs after the
+// serialization point; remote records' exclusive locks are still held, so no
+// delete of them can race in. (A deferred delete of a LOCAL record can slip
+// into the tiny XEND→stamp window — the residual of modeling deletes as
+// shipped ops rather than transactional writes; see applyRedoTo.)
+func (rt *Runtime) stampRedoGens(ups []nvram.RedoUpdate) {
+	rt.redoMu.Lock()
+	for i := range ups {
+		ups[i].Gen = rt.delGen[delKey{ups[i].Part, ups[i].Table, ups[i].Key}]
+	}
+	rt.redoMu.Unlock()
 }
 
 // replView returns the view word an update of part should be stamped with
@@ -124,7 +140,11 @@ func (t *Tx) appendRedo(ups []nvram.RedoUpdate) error {
 
 	dsts := t.redoDst[:0]
 	for i := range ups {
-		for _, b := range c.Backups(nil, ups[i].Part) {
+		if i > 0 && ups[i].Part == ups[i-1].Part {
+			continue // same partition, same backups
+		}
+		t.redoBk = c.Backups(t.redoBk[:0], ups[i].Part)
+		for _, b := range t.redoBk {
 			seen := false
 			for _, d := range dsts {
 				if d == b {
@@ -254,25 +274,34 @@ func (rt *Runtime) applyRedoUpdate(u nvram.RedoUpdate) bool {
 	return rt.applyRedoTo(rt.C.Node(owner).Unordered(region), u)
 }
 
-// applyRedoTo applies one redo update to a specific table copy, inserting
-// the record if the copy has never seen the key and otherwise updating value
-// and version iff the logged version is newer.
+// applyRedoTo applies one redo update to a specific table copy: value and
+// version are written iff the logged version is newer. The whole
+// check-then-write runs under redoMu: rings drain concurrently (two rings on
+// one backup can hold successive versions of the same key when different
+// sender workers committed them, and Failover's crashed-sender replay can
+// race a checkpoint drain), so without the lock an interleaved pair of
+// drains could publish the older value under the newer version word — a lost
+// update that the version guard would then freeze in place forever.
+//
+// A missing key is never re-inserted. Replica shards mirror the primary's
+// membership — seeded at load, inserts and deletes shipped synchronously to
+// every copy (execStoreOp) — so a miss means the key was deleted after this
+// record was logged, and re-inserting would resurrect it. The
+// delete-generation guard catches the delete-then-reinsert variant of the
+// same staleness, where the key exists again but this record's value
+// predates the delete (the reinserted entry restarts at version 0, so the
+// version guard alone cannot tell).
 func (rt *Runtime) applyRedoTo(host *kvs.Table, u nvram.RedoUpdate) bool {
-	off, ok := host.LookupLocal(u.Key)
-	arena := host.Arena()
-	if !ok {
-		if err := host.Insert(u.Key, u.Val); err != nil {
-			return false
-		}
-		off, ok = host.LookupLocal(u.Key)
-		if !ok {
-			return false
-		}
-		cur := arena.LoadWord(kvs.IncVerOffset(off))
-		arena.Write(kvs.IncVerOffset(off),
-			[]uint64{kvs.PackIncVer(kvs.Incarnation(cur), u.Version)})
-		return true
+	rt.redoMu.Lock()
+	defer rt.redoMu.Unlock()
+	if u.Gen < rt.delGen[delKey{u.Part, u.Table, u.Key}] {
+		return false // logged before a delete of the key: stale
 	}
+	off, ok := host.LookupLocal(u.Key)
+	if !ok {
+		return false // deleted since the append; never resurrect
+	}
+	arena := host.Arena()
 	cur := arena.LoadWord(kvs.IncVerOffset(off))
 	if kvs.Version(cur) >= u.Version {
 		return false

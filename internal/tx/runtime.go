@@ -185,6 +185,24 @@ type Runtime struct {
 	pendMu  sync.Mutex
 	pending map[int][]func(*Runtime)
 	recMu   sync.Mutex
+
+	// Replication's redo-apply serialization and delete fencing (repl.go).
+	// redoMu makes applyRedoTo's version-guarded check-then-write atomic
+	// across concurrently drained rings and orders redo application against
+	// the shipped insert/delete store ops. delGen counts, per logical record,
+	// the deletes applied so far: redo updates are stamped with the
+	// generation observed at commit and a drain skips records from an older
+	// generation, so a record logged before a delete can never resurrect the
+	// key. bkScr is execStoreOp's Backups scratch, valid only under redoMu.
+	redoMu sync.Mutex
+	delGen map[delKey]uint64
+	bkScr  []int
+}
+
+// delKey identifies a logical record for delete-generation tracking.
+type delKey struct {
+	part, table int
+	key         uint64
 }
 
 // Errors.
@@ -214,6 +232,7 @@ func NewRuntime(c *cluster.Cluster, part Partitioner) *Runtime {
 		CacheBudgetBytes:  1 << 22,
 		Stats:             newStats(c.Obs),
 		policyCfg:         DefaultPolicyConfig(),
+		delGen:            make(map[delKey]uint64),
 	}
 	rt.heat = rt.policyCfg.newHeatMap()
 	for i := 0; i < c.Nodes(); i++ {

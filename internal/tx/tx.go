@@ -119,10 +119,12 @@ type Tx struct {
 	views map[int]uint64
 
 	// Replication scratch, reused across transactions on this shell: the
-	// redo update set, the encoded record, and the destination backup list.
+	// redo update set, the encoded record, the destination backup list and
+	// the per-partition Backups scratch it is deduplicated from.
 	redoUps []nvram.RedoUpdate
 	redoBuf []uint64
 	redoDst []int
+	redoBk  []int
 
 	// lcScratch is the Local handed to the transaction body, reused across
 	// attempts (the body must not retain it past Execute).

@@ -282,6 +282,77 @@ func TestZombieAppendFenced(t *testing.T) {
 	}
 }
 
+// TestRedoDrainDoesNotResurrectDeletedKeys pins the ordering between the
+// redo stream and shipped deletes. Deletes are applied immediately to the
+// primary and every replica shard and never appear in the redo stream, so a
+// backup's ring can still hold an older write record for a deleted key when
+// it is drained (checkpoint or failover). The drain must recognize such
+// records as stale — both when the key is still gone (never re-insert it)
+// and when it was re-inserted since (never clobber the fresh value, whose
+// version restarted at 0).
+func TestRedoDrainDoesNotResurrectDeletedKeys(t *testing.T) {
+	const accounts = 1
+	db := openReplicated(t, 12, nil)
+	defer db.Close()
+
+	e := db.Executor(0, 0)
+	write := func(key, val uint64) {
+		t.Helper()
+		if err := e.Exec(func(tx *drtm.Tx) error {
+			if err := tx.W(accounts, key); err != nil {
+				return err
+			}
+			return tx.Execute(func(lc *drtm.Local) error {
+				return lc.Write(accounts, key, []uint64{val})
+			})
+		}); err != nil {
+			t.Fatalf("write %d: %v", key, err)
+		}
+	}
+
+	// Keys 4 and 7 are homed on partition 1, backed up by node 2. The writes
+	// leave redo records for both keys in node 2's rings.
+	write(4, 444)
+	write(7, 777)
+	// Delete both (applied to the primary and mirrored to the replica), then
+	// re-insert key 7 with a fresh value: its version restarts at 0, so only
+	// the delete-generation fence can tell the old record is stale.
+	if err := e.Exec(func(tx *drtm.Tx) error {
+		return tx.Execute(func(lc *drtm.Local) error {
+			lc.Delete(accounts, 4)
+			lc.Delete(accounts, 7)
+			return nil
+		})
+	}); err != nil {
+		t.Fatalf("delete tx: %v", err)
+	}
+	if err := e.Exec(func(tx *drtm.Tx) error {
+		return tx.Execute(func(lc *drtm.Local) error {
+			lc.Insert(accounts, 7, []uint64{70})
+			return nil
+		})
+	}); err != nil {
+		t.Fatalf("reinsert tx: %v", err)
+	}
+
+	// Promote node 2: the failover drain replays every ring it hosts,
+	// including the stale write records for keys 4 and 7.
+	db.Crash(1)
+	if rep := db.Failover(1); !rep.Promoted {
+		t.Fatalf("Failover did not promote: %+v", rep)
+	}
+	if got, ok := db.Get(accounts, 4); ok {
+		t.Errorf("deleted key 4 resurrected by redo drain: %v", got)
+	}
+	if got, ok := db.Get(accounts, 7); !ok || got[0] != 70 {
+		t.Errorf("Get(7) after failover = %v %v, want [70] (stale pre-delete redo value must not win)", got, ok)
+	}
+	// An untouched key on the same partition still serves its seeded value.
+	if got, ok := db.Get(accounts, 1); !ok || got[0] != 100 {
+		t.Errorf("Get(1) after failover = %v %v, want [100]", got, ok)
+	}
+}
+
 // TestFailoverSmallBankConservation is the replication chaos test: a
 // durable, replicated SmallBank cluster with lease-based failure detection
 // runs live traffic while a primary is killed. The coordinator must promote
