@@ -1,7 +1,7 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench bench-baseline batch chaos occ adaptive failover
+.PHONY: check build vet test race bench bench-baseline batch chaos occ adaptive failover scan
 
-check: build vet race batch occ adaptive chaos failover
+check: build vet race batch occ adaptive chaos failover scan
 
 build:
 	go build ./...
@@ -47,10 +47,18 @@ failover:
 	go test -run TestFailoverAcceptance ./internal/bench/
 	go test -race -run TestFailoverSmallBankConservation .
 
+# Range-scan gate: the RO-scheme scan must keep its >=2x amortization win
+# over per-key lease reads (scanexp_test.go), and the workload invariant
+# suites must hold under -race with faults and mid-run failover.
+scan:
+	go run ./cmd/drtm-bench -exp scan -quick
+	go test -run TestScanAcceptance ./internal/bench/
+	go test -race ./internal/tatp/ ./internal/socialgraph/
+
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:
 	go run ./cmd/drtm-bench -exp all
 
 # Regenerate the committed baseline tables at full scale, fixed seed.
 bench-baseline:
-	go run ./cmd/drtm-bench -exp batch,occ,adaptive,failover -seed 42 -json BENCH_baseline.json
+	go run ./cmd/drtm-bench -exp batch,occ,adaptive,failover,scan -seed 42 -json BENCH_baseline.json

@@ -55,6 +55,7 @@ import (
 
 	"drtm/internal/clock"
 	"drtm/internal/cluster"
+	"drtm/internal/kvs"
 	"drtm/internal/obs"
 	"drtm/internal/rdma"
 	"drtm/internal/tx"
@@ -86,6 +87,14 @@ type (
 	// PolicyOptions tunes PolicyAdaptive's conflict-heat table; see
 	// Options.Policies. Zero fields select defaults.
 	PolicyOptions = tx.PolicyConfig
+	// ScanRow is one live row returned by a transactional range scan
+	// (Tx.Scan / RO.Scan). Val aliases transaction-private scratch and is
+	// only valid inside the transaction body.
+	ScanRow = tx.ScanRow
+	// IndexSpec declares a secondary index over an ordered base table for
+	// DB.CreateIndex: Key maps a base row to its unique index key, and the
+	// index entry's first value word carries the base key back.
+	IndexSpec = tx.IndexSpec
 )
 
 // Read policies, re-exported from the transaction layer.
@@ -414,6 +423,25 @@ func (db *DB) CreateOrderedTable(id, capacity, valueWords int) {
 	db.RT.DefineOrdered(id, capacity, valueWords)
 }
 
+// CreateOrderedTableSeg is CreateOrderedTable with an explicit segment
+// shift for the table's phantom-detection stamps: scans validate the stamp
+// words covering key>>segShift for their range, so segShift should strip
+// the intra-entity low bits of a composite key encoding (e.g. 8 for keys of
+// the form id<<8|sub) to keep unrelated inserts from invalidating a scan.
+func (db *DB) CreateOrderedTableSeg(id, capacity, valueWords int, segShift uint) {
+	db.RT.DefineOrderedSeg(id, capacity, valueWords, segShift)
+}
+
+// CreateIndex attaches a declared secondary index to an ordered base table.
+// Both tables must already be created (ordered; the index with >= 1 value
+// word). Tx.WInsert and Tx.Erase maintain the index atomically with the
+// base write — inside the same HTM region on the fast path, under ordered
+// index locks on the fallback. The partitioner must co-locate each index
+// key with its base row's partition.
+func (db *DB) CreateIndex(base int, spec IndexSpec) {
+	db.RT.DefineIndex(base, spec)
+}
+
 // Executor returns worker w of node n's transaction executor. Executors
 // are single-goroutine objects: create one per worker goroutine.
 func (db *DB) Executor(node, worker int) *Executor { return db.RT.Executor(node, worker) }
@@ -475,12 +503,22 @@ func (db *DB) Get(table int, key uint64) ([]uint64, bool) {
 	if part < 0 {
 		part = 0
 	}
-	if db.RT.Meta(table).Kind == tx.Ordered {
-		return db.C.Node(part).Ordered(table).Get(key)
-	}
 	node, region := part, table
 	if owner := db.C.OwnerOf(part); owner != part {
 		node, region = owner, cluster.ReplicaRegion(part, table)
+	}
+	if db.RT.Meta(table).Kind == tx.Ordered {
+		o, ok := db.C.Node(node).OrderedRegion(region)
+		if !ok {
+			return nil, false
+		}
+		off, ok := o.Lookup(key)
+		if !ok || !kvs.Live(kvs.Incarnation(o.Arena().LoadWord(off+kvs.EntryIncVerWord))) {
+			// Structurally present but dead: a staged insert's first half or
+			// an erased row awaiting removal — logically absent.
+			return nil, false
+		}
+		return o.Get(key)
 	}
 	return db.C.Node(node).Unordered(region).Get(key)
 }

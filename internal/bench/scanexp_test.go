@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+func TestSmokeScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scan experiment is slow")
+	}
+	runSmoke(t, "scan")
+}
+
+// TestScanAcceptance pins the scan experiment's claim: an RO range scan
+// amortizes the shipped host round-trip and the per-row lease CAS across
+// the whole range, so at fanout 8 it must be at least 2x cheaper per
+// transaction than fetching the same rows with per-key lease reads — and
+// the advantage must grow with fanout.
+func TestScanAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scan acceptance is slow")
+	}
+	const txns = 100
+
+	lease8 := measureScan(txns, 8, false)
+	scan8 := measureScan(txns, 8, true)
+	if lease8.usPerTxn <= 0 || scan8.usPerTxn <= 0 {
+		t.Fatalf("missing samples: lease=%v scan=%v", lease8.usPerTxn, scan8.usPerTxn)
+	}
+	if scan8.usPerTxn > lease8.usPerTxn/2 {
+		t.Errorf("ro-scan %.1fus/txn not >=2x cheaper than lease %.1fus/txn",
+			scan8.usPerTxn, lease8.usPerTxn)
+	}
+
+	lease32 := measureScan(txns, 32, false)
+	scan32 := measureScan(txns, 32, true)
+	if lease32.usPerTxn/scan32.usPerTxn <= lease8.usPerTxn/scan8.usPerTxn {
+		t.Errorf("scan advantage did not grow with fanout: 8 -> %.1fx, 32 -> %.1fx",
+			lease8.usPerTxn/scan8.usPerTxn, lease32.usPerTxn/scan32.usPerTxn)
+	}
+}

@@ -196,7 +196,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig10c", "fig10d",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"ablate-cache", "ablate-fallback", "ablate-atomics", "ablate-assoc",
-		"obs", "chaos", "batch", "occ", "adaptive", "failover",
+		"obs", "chaos", "batch", "occ", "adaptive", "failover", "scan",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

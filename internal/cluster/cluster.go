@@ -322,25 +322,39 @@ func (c *Cluster) RegisterUnordered(tableID, mainBuckets, indirectBuckets, capac
 }
 
 // RegisterOrdered creates one shard of an ordered (B+ tree) table on every
-// node. Remote data access to ordered tables goes through verbs, as in the
-// paper — but the record arenas are still fabric-registered because the
-// protocol locks *local* ordered records with loopback RDMA CAS under
-// HCA-level atomicity (Section 6.3: read-only transactions and the
-// fallback handler).
-func (c *Cluster) RegisterOrdered(tableID, capacity, valueWords int) {
-	if c.cfg.ReplicationFactor > 0 {
-		// Ordered shards are not replicated (remote access is two-sided, so
-		// a one-sided log-append commit cannot keep a B+ tree replica in
-		// step); a replicated deployment must keep its data in hash tables.
-		panic("cluster: ordered tables are not supported with ReplicationFactor > 0")
-	}
+// node. Record entries are fabric-registered like hash-table entries: point
+// accesses resolve the entry offset through the host's index (a shipped
+// lookup when remote), then lock/fetch/write-back the entry one-sided
+// exactly like unordered records; only structural index changes are
+// two-sided. With replication on, each node hosts a replica shard for every
+// partition it backs up, registered under ReplicaRegion(p, tableID) —
+// value updates ride the redo stream, structural changes are mirrored
+// synchronously (tx layer), so a promotion serves the tree without moving
+// data.
+func (c *Cluster) RegisterOrdered(tableID, capacity, valueWords int, segShift uint) {
 	for _, n := range c.nodes {
 		o := kvs.NewOrdered(kvs.OrderedConfig{
 			Node: n.ID, RegionID: tableID,
-			Capacity: capacity, ValueWords: valueWords,
+			Capacity: capacity, ValueWords: valueWords, SegShift: segShift,
 		}, n.Engine)
 		n.ordered[tableID] = o
 		c.Fabric.Register(n.ID, tableID, o.Arena())
+	}
+	if c.cfg.ReplicationFactor > 0 {
+		var backups []int
+		for p := 0; p < c.cfg.Nodes; p++ {
+			backups = c.Backups(backups[:0], p)
+			for _, b := range backups {
+				n := c.nodes[b]
+				region := ReplicaRegion(p, tableID)
+				o := kvs.NewOrdered(kvs.OrderedConfig{
+					Node: n.ID, RegionID: region,
+					Capacity: capacity, ValueWords: valueWords, SegShift: segShift,
+				}, n.Engine)
+				n.ordered[region] = o
+				c.Fabric.Register(n.ID, region, o.Arena())
+			}
+		}
 	}
 }
 
@@ -360,6 +374,14 @@ func (n *Node) Ordered(tableID int) *kvs.Ordered {
 		panic(fmt.Sprintf("cluster: node %d has no ordered table %d", n.ID, tableID))
 	}
 	return o
+}
+
+// OrderedRegion returns node n's ordered shard for a storage region —
+// either a primary shard (region == tableID) or a replica shard
+// (region == ReplicaRegion(p, tableID)).
+func (n *Node) OrderedRegion(region int) (*kvs.Ordered, bool) {
+	o, ok := n.ordered[region]
+	return o, ok
 }
 
 // HasOrdered reports whether the node hosts ordered table tableID.

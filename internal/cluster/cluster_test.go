@@ -29,7 +29,7 @@ func TestRegisterTables(t *testing.T) {
 	c := New(DefaultConfig(2, 1))
 	defer c.Stop()
 	c.RegisterUnordered(1, 64, 64, 128, 2)
-	c.RegisterOrdered(2, 128, 2)
+	c.RegisterOrdered(2, 128, 2, 0)
 
 	t0 := c.Node(0).Unordered(1)
 	if err := t0.Insert(5, []uint64{1, 2}); err != nil {

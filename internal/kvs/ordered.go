@@ -25,6 +25,34 @@ type OrderedConfig struct {
 	RegionID   int
 	Capacity   int
 	ValueWords int
+
+	// SegShift selects which key bits pick a record's segment stamp:
+	// segment = (key >> SegShift) & (SegCount-1). Workloads whose range
+	// scans cover a contiguous sub-key space (e.g. TATP's s_id<<8|sf_type
+	// composite keys) set SegShift to the width of the sub-key so that one
+	// subscriber's rows share a segment and scans validate few stamps.
+	SegShift uint
+}
+
+// SegCount is the number of range-scan segment stamps per ordered shard.
+// Each stamp is a word counter bumped atomically with every structural
+// change (insert/remove of a tree entry) whose key falls in the segment —
+// the bump and the tree mutation happen under the shard's structural latch.
+// A scan reads its segments' stamps before walking the tree (the walk's
+// read-latch orders it after any in-flight change whose bump it observed)
+// and re-reads them at commit: unchanged stamps prove the tree's [lo,hi]
+// membership did not change between the pre-walk read and the commit-time
+// read (see DESIGN.md, "Range scans & secondary indexes").
+const SegCount = 64
+
+// segBase is the arena offset where record entries start: SegCount stamps,
+// one per cache line so a bump's seqlock conflict stays private to its
+// segment.
+const segBase = memory.Offset(SegCount * memory.WordsPerLine)
+
+// SegStampOffset returns the arena offset of segment s's stamp word.
+func SegStampOffset(s int) memory.Offset {
+	return memory.Offset(s * memory.WordsPerLine)
 }
 
 // Ordered is one node's shard of an ordered table.
@@ -37,6 +65,13 @@ type Ordered struct {
 
 	mu       sync.Mutex
 	freeList []memory.Offset
+	zeroVal  []uint64
+
+	// smu is the structural latch: writers hold it exclusively across a
+	// stamp bump + tree mutation pair (making them atomic to observers of
+	// the stamp), scans hold it shared across their walk. Point lookups use
+	// only the tree's internal latch.
+	smu sync.RWMutex
 }
 
 // NewOrdered builds an empty ordered table.
@@ -54,12 +89,55 @@ func NewOrdered(cfg OrderedConfig, eng *htm.Engine) *Ordered {
 		tree:       btree.New(),
 		entryWords: ew,
 	}
-	o.arena = memory.NewArena(cfg.RegionID, cfg.Capacity*ew)
+	o.arena = memory.NewArena(cfg.RegionID, int(segBase)+cfg.Capacity*ew)
 	o.freeList = make([]memory.Offset, 0, cfg.Capacity)
 	for i := cfg.Capacity - 1; i >= 0; i-- {
-		o.freeList = append(o.freeList, memory.Offset(i*ew))
+		o.freeList = append(o.freeList, segBase+memory.Offset(i*ew))
 	}
+	o.zeroVal = make([]uint64, cfg.ValueWords)
 	return o
+}
+
+// SegOf maps a key to its segment index.
+func (o *Ordered) SegOf(key uint64) int {
+	return int((key >> o.cfg.SegShift) & (SegCount - 1))
+}
+
+// SegStamp reads segment s's current stamp.
+func (o *Ordered) SegStamp(s int) uint64 {
+	return o.arena.LoadWord(SegStampOffset(s))
+}
+
+// SegSpan appends to dst the segment indices covering keys in [lo, hi].
+// When the span wraps the whole stamp table, every segment is returned.
+func (o *Ordered) SegSpan(dst []int, lo, hi uint64) []int {
+	l, h := lo>>o.cfg.SegShift, hi>>o.cfg.SegShift
+	if h < l {
+		return dst
+	}
+	if h-l >= SegCount-1 {
+		for s := 0; s < SegCount; s++ {
+			dst = append(dst, s)
+		}
+		return dst
+	}
+	for v := l; ; v++ {
+		dst = append(dst, int(v&(SegCount-1)))
+		if v == h {
+			break
+		}
+	}
+	return dst
+}
+
+// bumpSeg advances key's segment stamp. Callers hold smu exclusively, so
+// the bump is atomic with the tree mutation it announces: a scanner whose
+// pre-walk and validation stamp reads match is guaranteed no membership
+// change committed in between — any change it raced was either fully
+// visible to its walk (the bump predates the scanner's pre-walk read, so
+// the walk's read-latch waited out the writer) or bumped the stamp.
+func (o *Ordered) bumpSeg(key uint64) {
+	o.arena.FAA(SegStampOffset(o.SegOf(key)), 1)
 }
 
 // Arena returns the record arena (for fabric registration; remote verbs
@@ -108,7 +186,11 @@ func (o *Ordered) Insert(key uint64, val []uint64) error {
 	o.arena.Write(off+EntryStateWord, []uint64{0})
 	o.arena.Write(off+EntryValueWord, val)
 
-	if !o.tree.InsertIfAbsent(key, uint64(off)) {
+	o.smu.Lock()
+	o.bumpSeg(key)
+	ok := o.tree.InsertIfAbsent(key, uint64(off))
+	o.smu.Unlock()
+	if !ok {
 		// Key already existed: kill and recycle the prepared entry.
 		o.arena.Write(off+EntryIncVerWord, []uint64{PackIncVer(inc+2, 0)})
 		o.mu.Lock()
@@ -122,11 +204,16 @@ func (o *Ordered) Insert(key uint64, val []uint64) error {
 // Delete removes key. The record dies (even incarnation) before the entry
 // is recycled.
 func (o *Ordered) Delete(key uint64) bool {
+	o.smu.Lock()
 	off, ok := o.Lookup(key)
 	if !ok {
+		o.smu.Unlock()
 		return false
 	}
-	if !o.tree.Delete(key) {
+	o.bumpSeg(key)
+	ok = o.tree.Delete(key)
+	o.smu.Unlock()
+	if !ok {
 		return false
 	}
 	incver := o.arena.LoadWord(off + EntryIncVerWord)
@@ -137,6 +224,86 @@ func (o *Ordered) Delete(key uint64) bool {
 	o.mu.Unlock()
 	return true
 }
+
+// EnsureDead makes key structurally present as a DEAD entry and returns its
+// offset — the first half of a transactional insert. The tx layer then
+// CAS-locks the entry's state word, re-verifies key+deadness (the slot could
+// have been recycled in between), and flips the incarnation live at commit.
+// An existing live entry is ErrExists; an existing dead entry is reused
+// as-is (its version is kept, so the flip's version bump stays monotonic).
+// A fresh slot gets incarnation inc+2 — still even (dead), but distinct from
+// anything the slot's previous occupant published, so stale validation
+// headers can never match a recycled slot.
+//
+// Aborted inserts simply leave the dead entry in place: scans skip dead
+// entries, and a later insert of the same key reuses it.
+func (o *Ordered) EnsureDead(key uint64) (memory.Offset, error) {
+	for {
+		if v, ok := o.tree.Get(key); ok {
+			off := memory.Offset(v)
+			if Live(Incarnation(o.arena.LoadWord(off + EntryIncVerWord))) {
+				return 0, ErrExists
+			}
+			return off, nil
+		}
+		o.mu.Lock()
+		if len(o.freeList) == 0 {
+			o.mu.Unlock()
+			return 0, ErrFull
+		}
+		off := o.freeList[len(o.freeList)-1]
+		o.freeList = o.freeList[:len(o.freeList)-1]
+		o.mu.Unlock()
+
+		inc := Incarnation(o.arena.LoadWord(off + EntryIncVerWord))
+		o.arena.Write(off+EntryKeyWord, []uint64{key})
+		o.arena.Write(off+EntryIncVerWord, []uint64{PackIncVer(inc+2, 0)})
+		o.arena.Write(off+EntryStateWord, []uint64{0})
+		o.arena.Write(off+EntryValueWord, o.zeroVal)
+
+		o.smu.Lock()
+		o.bumpSeg(key)
+		inserted := o.tree.InsertIfAbsent(key, uint64(off))
+		o.smu.Unlock()
+		if inserted {
+			return off, nil
+		}
+		// Lost an insert race: recycle the prepared slot and re-resolve.
+		o.mu.Lock()
+		o.freeList = append(o.freeList, off)
+		o.mu.Unlock()
+	}
+}
+
+// RemoveEntry unlinks a DEAD entry from the tree and recycles its slot —
+// the deferred second half of a transactional delete. The caller holds the
+// entry's state-word lock and has verified the entry is dead; the off check
+// skips the removal if the key was re-inserted under a different slot since
+// the caller resolved it. The freed slot's state word is left as the caller
+// set it — Insert/EnsureDead re-initialize it on reuse.
+func (o *Ordered) RemoveEntry(key uint64, off memory.Offset) bool {
+	o.smu.Lock()
+	if v, ok := o.tree.Get(key); !ok || memory.Offset(v) != off {
+		o.smu.Unlock()
+		return false
+	}
+	o.bumpSeg(key)
+	ok := o.tree.Delete(key)
+	o.smu.Unlock()
+	if !ok {
+		return false
+	}
+	o.mu.Lock()
+	o.freeList = append(o.freeList, off)
+	o.mu.Unlock()
+	return true
+}
+
+// EntryWords returns the line-aligned words per record entry.
+func (o *Ordered) EntryWords() int { return o.entryWords }
+
+// SegShift returns the configured segment shift.
+func (o *Ordered) SegShift() uint { return o.cfg.SegShift }
 
 // ReadTx copies key's value transactionally.
 func (o *Ordered) ReadTx(tx *htm.Txn, key uint64) ([]uint64, bool) {
@@ -162,13 +329,18 @@ func (o *Ordered) WriteTx(tx *htm.Txn, key uint64, val []uint64) bool {
 	return true
 }
 
-// Scan visits entry offsets for keys in [lo, hi] ascending.
+// Scan visits entry offsets for keys in [lo, hi] ascending, holding the
+// structural latch shared for the whole walk (see smu).
 func (o *Ordered) Scan(lo, hi uint64, fn func(key uint64, off memory.Offset) bool) {
+	o.smu.RLock()
+	defer o.smu.RUnlock()
 	o.tree.Ascend(lo, hi, func(k, v uint64) bool { return fn(k, memory.Offset(v)) })
 }
 
 // ScanDesc visits entry offsets for keys in [lo, hi] descending.
 func (o *Ordered) ScanDesc(lo, hi uint64, fn func(key uint64, off memory.Offset) bool) {
+	o.smu.RLock()
+	defer o.smu.RUnlock()
 	o.tree.Descend(lo, hi, func(k, v uint64) bool { return fn(k, memory.Offset(v)) })
 }
 

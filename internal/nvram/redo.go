@@ -14,7 +14,7 @@ package nvram
 // Wire format, in words:
 //
 //	[txid, k,
-//	  (part, epoch, table, key, version, gen, vw, val[0..vw-1]) × k]
+//	  (part, epoch, table, key, inc<<32|version, gen, vw, val[0..vw-1]) × k]
 //
 // per update: the home partition of the key, the partition's view epoch as
 // observed by the appender (the backup's fence compares it against the
@@ -39,6 +39,14 @@ type RedoUpdate struct {
 	Version uint32 // post-commit version (apply iff > current)
 	Gen     uint64 // key's delete generation (apply iff current)
 	Val     []uint64
+
+	// Inc is the post-commit incarnation for ordered-table rows (0 for
+	// unordered rows, whose entries have no liveness). Packed into the high
+	// half of the version word on the wire. A drain adopts only its
+	// PARITY — replica incarnation counters diverge from the primary's, so
+	// the absolute number is meaningless across copies; odd means the row
+	// committed live, even means it committed erased.
+	Inc uint32
 }
 
 const redoUpdateHeaderWords = 7
@@ -65,7 +73,7 @@ func EncodeRedo(buf []uint64, txid uint64, ups []RedoUpdate) []uint64 {
 	for i := range ups {
 		u := &ups[i]
 		buf = append(buf, uint64(u.Part), u.Epoch, uint64(u.Table), u.Key,
-			uint64(u.Version), u.Gen, uint64(len(u.Val)))
+			uint64(u.Inc)<<32|uint64(u.Version), u.Gen, uint64(len(u.Val)))
 		buf = append(buf, u.Val...)
 	}
 	return buf
@@ -79,22 +87,30 @@ func DecodeRedo(rec []uint64) (txid uint64, ups []RedoUpdate, ok bool) {
 	}
 	txid = rec[0]
 	k := int(rec[1])
+	// An update needs at least its header: a count the frame cannot hold is
+	// a corrupt length word, not a short tail — reject before allocating.
+	if k < 0 || k > (len(rec)-2)/redoUpdateHeaderWords {
+		return 0, nil, false
+	}
 	ups = make([]RedoUpdate, 0, k)
 	off := 2
 	for i := 0; i < k; i++ {
 		if off+redoUpdateHeaderWords > len(rec) {
 			return 0, nil, false
 		}
-		vw := int(rec[off+6])
-		if off+redoUpdateHeaderWords+vw > len(rec) {
+		// Compare in uint64 space: a corrupt length word cast through int()
+		// can wrap negative and sneak past an int-typed bounds check.
+		if rec[off+6] > uint64(len(rec)-off-redoUpdateHeaderWords) {
 			return 0, nil, false
 		}
+		vw := int(rec[off+6])
 		ups = append(ups, RedoUpdate{
 			Part:    int(rec[off]),
 			Epoch:   rec[off+1],
 			Table:   int(rec[off+2]),
 			Key:     rec[off+3],
 			Version: uint32(rec[off+4]),
+			Inc:     uint32(rec[off+4] >> 32),
 			Gen:     rec[off+5],
 			Val:     rec[off+redoUpdateHeaderWords : off+redoUpdateHeaderWords+vw],
 		})

@@ -105,6 +105,13 @@ const (
 	EvPromoteNanos // wall-clock nanoseconds spent inside Failover
 	EvRedoTailLen  // redo records replayed during promotions
 
+	// Range scans and secondary indexes.
+	EvScan             // one transactional range scan collected (Tx.Scan / RO.Scan)
+	EvScanRow          // one live row returned by a range scan
+	EvScanValidateFail // commit-time range validation found a stamp/header change
+	EvIndexMaint       // one secondary-index entry maintained by a base write
+	EvRemoveDead       // one dead entry physically unlinked post-commit
+
 	NumEvents int = iota
 )
 
@@ -156,6 +163,11 @@ var eventNames = [NumEvents]string{
 	EvFailover:           "repl.failover",
 	EvPromoteNanos:       "repl.promote_ns",
 	EvRedoTailLen:        "repl.redo_tail",
+	EvScan:               "scan.collect",
+	EvScanRow:            "scan.row",
+	EvScanValidateFail:   "scan.validate_fail",
+	EvIndexMaint:         "index.maint",
+	EvRemoveDead:         "index.remove_dead",
 }
 
 func (e Event) String() string {
@@ -199,6 +211,11 @@ const (
 	// which has no virtual clock).
 	PhaseFailover
 
+	// PhaseScan times range-scan collection (tree walk + row reads), a
+	// sub-phase of PhaseHTM for read-write transactions and of the read-only
+	// build for RO scans.
+	PhaseScan
+
 	NumPhases int = iota
 )
 
@@ -213,6 +230,7 @@ var phaseNames = [NumPhases]string{
 	PhaseValidate:       "validate",
 	PhaseBatchOps:       "batch-ops",
 	PhaseFailover:       "failover",
+	PhaseScan:           "scan",
 }
 
 func (p Phase) String() string {
@@ -557,6 +575,7 @@ const (
 	CauseRemote              // remote lock/lease acquisition conflict
 	CauseUser                // user abort / user error
 	CauseSpec                // speculative read validation failed at commit
+	CauseScan                // range-scan validation failed at commit (phantom)
 )
 
 func (c AbortCause) String() string {
@@ -579,6 +598,8 @@ func (c AbortCause) String() string {
 		return "user"
 	case CauseSpec:
 		return "spec-validate"
+	case CauseScan:
+		return "scan-validate"
 	default:
 		return fmt.Sprintf("AbortCause(%d)", int(c))
 	}

@@ -1,0 +1,197 @@
+package tatp_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drtm"
+	"drtm/internal/tatp"
+)
+
+func openTATP(t *testing.T, nodes, workers int, opts drtm.Options) (*drtm.DB, *tatp.Workload) {
+	t.Helper()
+	cfg := tatp.Config{Nodes: nodes, Subscribers: 20 * nodes}
+	opts.Nodes = nodes
+	opts.WorkersPerNode = workers
+	db := drtm.MustOpen(opts, cfg.Partitioner())
+	w, err := tatp.Setup(db.RT, cfg)
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	return db, w
+}
+
+func TestSetupPassesAudit(t *testing.T) {
+	db, w := openTATP(t, 2, 1, drtm.Options{})
+	defer db.Close()
+	if err := w.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the index resolves a subscriber's phone number back.
+	if v, ok := db.Get(tatp.TableSubNbrIndex, tatp.SubNbr(3)); !ok || v[0] != 3 {
+		t.Fatalf("index row for subscriber 3 = %v,%v", v, ok)
+	}
+}
+
+func TestTransactionsMaintainInvariant(t *testing.T) {
+	db, w := openTATP(t, 2, 1, drtm.Options{})
+	defer db.Close()
+	cl := w.NewClient(db.Executor(0, 0), 1)
+	for i := 0; i < 800; i++ {
+		if err := cl.RunOne(); err != nil && !errors.Is(err, drtm.ErrRetry) {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := w.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Counts) < 5 {
+		t.Fatalf("mix too narrow: %v", cl.Counts)
+	}
+}
+
+// The index/base divergence audit (satellite): a randomized op-mix stress —
+// inserts, updates, deletes, scans — under verb-level fault injection, with
+// live RO invariant checkers riding along; at quiesce, every secondary
+// index is rebuilt from its base table and diffed against the maintained
+// one. Run with -race.
+func TestTATPDivergenceAuditUnderFaults(t *testing.T) {
+	const nodes, workers = 2, 2
+	db, w := openTATP(t, nodes, workers, drtm.Options{FaultSeed: 7})
+	defer db.Close()
+	db.InjectNodeFaults(0, drtm.FaultRule{FailProb: 0.01})
+	db.InjectNodeFaults(1, drtm.FaultRule{FailProb: 0.01})
+
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		violations atomic.Value
+	)
+	for n := 0; n < nodes; n++ {
+		for wk := 0; wk < workers; wk++ {
+			cl := w.NewClient(db.Executor(n, wk), int64(100+n*workers+wk))
+			wg.Add(1)
+			go func(n, wk int, cl *tatp.Client) {
+				defer wg.Done()
+				sid := uint64(1)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if wk == workers-1 && i%4 == 0 {
+						// Live checker lane: one RO snapshot check per burst.
+						sid = sid%uint64(w.Cfg.Subscribers) + 1
+						if err := cl.CheckSubscriberRO(sid); err != nil {
+							violations.Store(err)
+							return
+						}
+						continue
+					}
+					if err := cl.RunOne(); err != nil &&
+						!errors.Is(err, drtm.ErrRetry) && !errors.Is(err, drtm.ErrNodeDown) {
+						violations.Store(err)
+						return
+					}
+				}
+			}(n, wk, cl)
+		}
+	}
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != nil {
+		t.Fatal(v.(error))
+	}
+	db.ClearFaults()
+	if err := w.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The TATP consistency checker (satellite): the facility invariant holds
+// live under concurrent traffic THROUGH a mid-run crash and hot failover
+// (ReplicationFactor=1), with verb faults injected, and the quiesced audit
+// passes against the promoted backup's shards afterwards. Run with -race.
+func TestTATPConsistencyAcrossFailover(t *testing.T) {
+	const (
+		nodes   = 3
+		workers = 2
+		victim  = 1
+	)
+	db, w := openTATP(t, nodes, workers, drtm.Options{
+		Durability:        true,
+		ReplicationFactor: 1,
+		FaultSeed:         11,
+	})
+	defer db.Close()
+	db.InjectNodeFaults(2, drtm.FaultRule{FailProb: 0.005})
+
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		violations atomic.Value
+	)
+	for n := 0; n < nodes; n++ {
+		for wk := 0; wk < workers; wk++ {
+			cl := w.NewClient(db.Executor(n, wk), int64(200+n*workers+wk))
+			wg.Add(1)
+			go func(n, wk int, cl *tatp.Client) {
+				defer wg.Done()
+				sid := uint64(n)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if !db.C.Node(n).Alive() {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					var err error
+					if wk == workers-1 && i%4 == 0 {
+						sid = sid%uint64(w.Cfg.Subscribers) + 1
+						err = cl.CheckSubscriberRO(sid)
+						if err != nil {
+							violations.Store(err)
+							return
+						}
+						continue
+					}
+					err = cl.RunOne()
+					if err != nil && !errors.Is(err, drtm.ErrRetry) && !errors.Is(err, drtm.ErrNodeDown) {
+						violations.Store(err)
+						return
+					}
+				}
+			}(n, wk, cl)
+		}
+	}
+
+	time.Sleep(25 * time.Millisecond) // build replicated state
+	db.Crash(victim)
+	rep := db.Failover(victim)
+	if !rep.Promoted {
+		t.Fatalf("failover did not promote: %+v", rep)
+	}
+	time.Sleep(25 * time.Millisecond) // traffic against the promoted partition
+
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != nil {
+		t.Fatal(v.(error))
+	}
+	db.ClearFaults()
+	if db.PartitionOwner(victim) == victim {
+		t.Fatal("partition not failed over")
+	}
+	if err := w.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

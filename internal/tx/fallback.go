@@ -1,6 +1,7 @@
 package tx
 
 import (
+	"fmt"
 	"sort"
 
 	"drtm/internal/clock"
@@ -22,6 +23,15 @@ type fbRec struct {
 	buf         []uint64
 	dirty       bool
 	version     uint32
+
+	// Ordered-table structural state: insert recs lock a dead entry and
+	// publish val with the live flip; erase recs lock a live entry and
+	// publish the dead flip. inc is the incarnation observed under our lock.
+	ordered bool
+	insert  bool
+	erase   bool
+	val     []uint64
+	inc     uint32
 }
 
 // fallbackCtx carries the state of a fallback execution.
@@ -62,13 +72,32 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 	// stale read could not be retried away.
 	fb := &fallbackCtx{t: t, index: make(map[refKey]*fbRec)}
 	for _, r := range prevRemotes {
-		fb.add(&fbRec{table: r.table, node: r.node, region: r.region, part: r.part,
-			key: r.key, write: r.write})
+		nr := &fbRec{table: r.table, node: r.node, region: r.region, part: r.part,
+			key: r.key, write: r.write, ordered: r.ordered, insert: r.insert, erase: r.erase}
+		if r.insert {
+			nr.val = append([]uint64(nil), r.buf...)
+		}
+		fb.add(nr)
 	}
 	t.e.putRecs(prevRemotes)
 	for _, l := range t.locals {
 		fb.add(&fbRec{table: l.table, node: t.e.w.Node.ID, region: l.region,
-			part: l.part, key: l.key, write: l.write})
+			part: l.part, key: l.key, write: l.write,
+			ordered: rt.Meta(l.table).Kind == Ordered})
+	}
+	// Structural halves staged for the HTM path convert to fallback insert /
+	// erase records: the dead entries already exist (EnsureDead at declare),
+	// so the fallback locks and flips them like any other write.
+	for i := range t.localIns {
+		op := &t.localIns[i]
+		fb.add(&fbRec{table: op.table, node: t.e.w.Node.ID, region: op.region,
+			part: op.part, key: op.key, write: true, ordered: true, insert: true,
+			val: append([]uint64(nil), op.val...)})
+	}
+	for i := range t.localErase {
+		op := &t.localErase[i]
+		fb.add(&fbRec{table: op.table, node: t.e.w.Node.ID, region: op.region,
+			part: op.part, key: op.key, write: true, ordered: true, erase: true})
 	}
 	sort.Slice(fb.recs, func(i, j int) bool {
 		if fb.recs[i].table != fb.recs[j].table {
@@ -144,6 +173,15 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		}
 	}
 
+	// Re-validate collected range scans (stamps + row headers) while every
+	// declared record is locked — the fallback's phantom check.
+	if !t.fbValidateScans(fb) {
+		fb.release(len(fb.recs), false)
+		t.finished = true
+		t.lastAbort = obs.CauseScan
+		return ErrRetry
+	}
+
 	// Log ahead of in-place updates (Section 6.2, last paragraph).
 	if rt.C.Config().Durability {
 		t.logFallbackWAL(fb)
@@ -162,6 +200,7 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 	fb.publish()
 	t.vCommit += int64(t.e.w.VClock.Now()) - cstart
 	t.applyDeferred()
+	t.applyRemovals()
 	t.finished = true
 	return nil
 }
@@ -172,6 +211,13 @@ func (fb *fallbackCtx) add(r *fbRec) {
 		if r.write {
 			prev.write = true
 		}
+		if r.insert {
+			prev.insert, prev.val = true, r.val
+		}
+		if r.erase {
+			prev.erase = true
+		}
+		prev.ordered = prev.ordered || r.ordered
 		return
 	}
 	fb.index[k] = r
@@ -197,13 +243,13 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 	t := fb.t
 	// Resolve the entry offset.
 	meta := t.e.rt.Meta(r.table)
-	if r.node == t.e.w.Node.ID {
-		var ok bool
-		if meta.Kind == Ordered {
-			r.off, ok = t.e.w.Node.Ordered(r.table).Lookup(r.key)
-		} else {
-			r.off, ok = t.e.w.Node.Unordered(r.region).LookupLocal(r.key)
+	if meta.Kind == Ordered {
+		if err := fb.resolveOrdered(r); err != nil {
+			return err
 		}
+	} else if r.node == t.e.w.Node.ID {
+		var ok bool
+		r.off, ok = t.e.w.Node.Unordered(r.region).LookupLocal(r.key)
 		if !ok {
 			return ErrNotFound
 		}
@@ -237,7 +283,7 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 				sh.Inc(obs.EvLeaseGrant)
 			}
 			r.leaseEnd = t.leaseEnd
-			return nil
+			return fb.verifyOrdered(r)
 		}
 		if clock.IsWriteLocked(cur) {
 			sh.Inc(obs.EvRemoteLockConflict)
@@ -249,7 +295,7 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 		if !r.write && !clock.Expired(end, now, delta) {
 			sh.Inc(obs.EvLeaseShare)
 			r.leaseEnd = end // share the existing lease
-			return nil
+			return fb.verifyOrdered(r)
 		}
 		if !clock.Expired(end, now, delta) {
 			sh.Inc(obs.EvRemoteLockConflict) // writer must wait out the lease
@@ -264,7 +310,7 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 				sh.Inc(obs.EvLeaseGrant)
 			}
 			r.leaseEnd = t.leaseEnd
-			return nil
+			return fb.verifyOrdered(r)
 		}
 	}
 	sh.Inc(obs.EvRemoteLockConflict)
@@ -272,10 +318,112 @@ func (fb *fallbackCtx) acquire(r *fbRec) error {
 	return ErrRetry
 }
 
+// resolveOrdered maps an ordered record's key to its entry offset via the
+// shard's tree — locally or shipped (Section 6.5). An insert record whose
+// dead entry vanished between declare and fallback (a scavenged abort
+// leftover) re-runs EnsureDead.
+func (fb *fallbackCtx) resolveOrdered(r *fbRec) error {
+	t := fb.t
+	t.e.charge(t.e.model().BTreeOpNS)
+	if r.node == t.e.w.Node.ID {
+		var ok bool
+		r.off, ok = t.e.w.Node.Ordered(r.region).Lookup(r.key)
+		if ok {
+			return nil
+		}
+		if !r.insert {
+			return ErrNotFound
+		}
+		off, err := t.e.rt.execEnsureEntry(t.e.w.Node, ensureEntryMsg{
+			Region: r.region, Table: r.table, Part: r.part, Key: r.key})
+		if err != nil {
+			t.lastAbort = obs.CauseRemote
+			return ErrRetry // live again (ErrExists) or full: whole-txn retry resolves
+		}
+		r.off = off
+		return nil
+	}
+	off, found, err := t.e.orderedLookupRemote(r.node, r.region, r.key)
+	if err != nil {
+		return ErrNodeDown
+	}
+	if !found {
+		if !r.insert {
+			return ErrNotFound
+		}
+		var resp any
+		if cerr := t.e.verbRetry(func() error {
+			var e2 error
+			resp, e2 = t.e.w.QP.Call(r.node, clusterMsg(msgEnsureEntry, ensureEntryMsg{
+				Region: r.region, Table: r.table, Part: r.part, Key: r.key}), 40, 16)
+			return e2
+		}); cerr != nil {
+			return ErrNodeDown
+		}
+		o, ok := resp.(memory.Offset)
+		if !ok {
+			t.lastAbort = obs.CauseRemote
+			return ErrRetry
+		}
+		off = o
+	}
+	r.off = off
+	return nil
+}
+
+// verifyOrdered re-checks an ordered entry under the freshly acquired
+// protection: the slot still holds this key, with the liveness the record
+// expects (insert records hold a dead entry, everything else a live one).
+// The incarnation observed here is what publish flips.
+func (fb *fallbackCtx) verifyOrdered(r *fbRec) error {
+	if !r.ordered {
+		return nil
+	}
+	t := fb.t
+	hdr := make([]uint64, 2) // key, incver
+	if r.node == t.e.w.Node.ID {
+		arena := t.e.arenaAt(r.node, r.region)
+		hdr[0] = arena.LoadWord(r.off + kvs.EntryKeyWord)
+		hdr[1] = arena.LoadWord(kvs.IncVerOffset(r.off))
+	} else if err := t.e.verbRetry(func() error {
+		return t.e.w.QP.TryRead(r.node, r.region, r.off+kvs.EntryKeyWord, hdr)
+	}); err != nil {
+		fb.unlockSelf(r)
+		return ErrNodeDown
+	}
+	live := kvs.Live(kvs.Incarnation(hdr[1]))
+	if hdr[0] != r.key || r.insert == live {
+		fb.unlockSelf(r)
+		if hdr[0] == r.key && !live && !r.insert {
+			return ErrNotFound // the row was erased under a committed delete
+		}
+		t.lastAbort = obs.CauseRemote
+		return ErrRetry
+	}
+	r.inc = kvs.Incarnation(hdr[1])
+	r.version = kvs.Version(hdr[1])
+	return nil
+}
+
+// unlockSelf releases the record's own exclusive lock after a post-lock
+// verification failure — release(i) only covers the records before it.
+func (fb *fallbackCtx) unlockSelf(r *fbRec) {
+	if r.write {
+		fb.t.e.mustUnlock(r.node, r.region, kvs.StateOffset(r.off))
+	}
+}
+
 // fetch loads the record's value and version into the private buffer.
 func (fb *fallbackCtx) fetch(r *fbRec) error {
 	t := fb.t
 	vw := t.e.rt.Meta(r.table).ValueWords
+	if r.insert {
+		// The locked dead slot has no meaningful value; the body reads the
+		// declared insert value. version/inc were set by verifyOrdered.
+		r.buf = append([]uint64(nil), r.val...)
+		r.dirty = true
+		return nil
+	}
 	r.buf = make([]uint64, vw)
 	if r.node == t.e.w.Node.ID {
 		arena := fb.arenaOf(r)
@@ -297,16 +445,12 @@ func (fb *fallbackCtx) fetch(r *fbRec) error {
 }
 
 func (fb *fallbackCtx) arenaOf(r *fbRec) *memory.Arena {
-	n := fb.t.e.rt.C.Node(r.node)
-	if fb.t.e.rt.Meta(r.table).Kind == Ordered {
-		return n.Ordered(r.table).Arena()
-	}
-	return n.Unordered(r.region).Arena()
+	return fb.t.e.arenaAt(r.node, r.region)
 }
 
 func (fb *fallbackCtx) read(table int, key uint64) ([]uint64, error) {
 	r, ok := fb.index[refKey{table, key}]
-	if !ok {
+	if !ok || r.erase {
 		return nil, ErrNotFound
 	}
 	return r.buf, nil
@@ -317,6 +461,10 @@ func (fb *fallbackCtx) write(table int, key uint64, val []uint64) error {
 	if !ok || !r.write {
 		return ErrNotFound
 	}
+	if r.erase {
+		panic(fmt.Sprintf("tx: write to erased record table %d key %d", table, key))
+	}
+	fb.t.checkIndexKeys(table, key, r.buf, val)
 	copy(r.buf, val)
 	r.dirty = true
 	return nil
@@ -333,12 +481,22 @@ func (fb *fallbackCtx) publish() {
 		}
 		arena := fb.arenaOf(r)
 		inc := kvs.Incarnation(arena.LoadWord(kvs.IncVerOffset(r.off)))
+		incverOff := kvs.IncVerOffset(r.off)
+		if r.erase {
+			// Flip to dead and unlock; the value stays for the dead entry
+			// (physical removal is deferred to applyRemovals).
+			t.e.mustWrite(r.node, r.region, incverOff,
+				[]uint64{kvs.PackIncVer(inc+1, r.version+1), clock.Init})
+			continue
+		}
 		if !r.dirty {
 			t.e.mustUnlock(r.node, r.region, kvs.StateOffset(r.off))
 			continue
 		}
-		incverOff := kvs.IncVerOffset(r.off)
 		newIncVer := kvs.PackIncVer(inc, r.version+1)
+		if r.insert {
+			newIncVer = kvs.PackIncVer(inc+1, r.version+1) // dead → live
+		}
 		span := 2 + len(r.buf)
 		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
 			words := make([]uint64, span)

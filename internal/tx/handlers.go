@@ -58,14 +58,6 @@ func (rt *Runtime) installStoreHandlers() {
 // shard so a later promotion sees the record.
 func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 	meta := rt.Meta(m.Table)
-	if meta.Kind == Ordered {
-		o := n.Ordered(m.Table)
-		if m.Insert {
-			return o.Insert(m.Key, m.Val)
-		}
-		o.Delete(m.Key)
-		return nil
-	}
 	region := m.Table
 	part := rt.Part(m.Table, m.Key)
 	repl := part >= 0 && rt.C.ReplicationFactor() > 0
@@ -79,6 +71,9 @@ func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 		// stale redo records are recognized (applyRedoTo's guards).
 		rt.redoMu.Lock()
 		defer rt.redoMu.Unlock()
+	}
+	if meta.Kind == Ordered {
+		return rt.execOrderedStoreOp(n, m, region, part, repl)
 	}
 	t := n.Unordered(region)
 	var err error
@@ -105,6 +100,46 @@ func (rt *Runtime) execStoreOp(n *cluster.Node, m storeOpMsg) error {
 		}
 	}
 	return err
+}
+
+// execOrderedStoreOp is execStoreOp for ordered tables: the host resolves
+// its ordered shard under the current view (a promoted owner serves the
+// adopted partition from its replica shard), applies the op, and — when it
+// is the home primary — mirrors it to every backup's ordered replica shard.
+// The caller holds redoMu when repl is set.
+func (rt *Runtime) execOrderedStoreOp(n *cluster.Node, m storeOpMsg,
+	region, part int, repl bool) error {
+	o, ok := n.OrderedRegion(region)
+	if !ok {
+		return fmt.Errorf("tx: no ordered region %d on node %d", region, n.ID)
+	}
+	if m.Insert {
+		if err := o.Insert(m.Key, m.Val); err != nil {
+			return err
+		}
+	} else {
+		o.Delete(m.Key)
+		if repl {
+			rt.delGen[delKey{part, m.Table, m.Key}]++
+		}
+	}
+	if repl && rt.C.OwnerOf(part) == part {
+		rt.bkScr = rt.C.Backups(rt.bkScr[:0], part)
+		for _, b := range rt.bkScr {
+			rep, ok := rt.C.Node(b).OrderedRegion(cluster.ReplicaRegion(part, m.Table))
+			if !ok {
+				continue
+			}
+			if m.Insert {
+				if err := rep.Insert(m.Key, m.Val); err != nil {
+					return err
+				}
+			} else {
+				rep.Delete(m.Key)
+			}
+		}
+	}
+	return nil
 }
 
 // applyStoreOp applies a deferred insert/delete: directly when the record

@@ -48,7 +48,7 @@ func (lc *Local) resolve(table, region int, key uint64) (*memory.Arena, memory.O
 	model := lc.t.e.model()
 	if m.Kind == Ordered {
 		lc.t.e.charge(model.BTreeOpNS)
-		o := n.Ordered(table)
+		o := n.Ordered(region)
 		off, ok := o.Lookup(key)
 		return o.Arena(), off, ok
 	}
@@ -74,7 +74,17 @@ func (lc *Local) Read(table int, key uint64) ([]uint64, error) {
 		return lc.fallback.read(table, key)
 	}
 	if r, ok := lc.t.rIndex[k]; ok {
+		if r.erase {
+			return nil, ErrNotFound
+		}
 		return r.buf, nil
+	}
+	// Rows this transaction structurally staged read their own effects.
+	if op := findStructOp(lc.t.localErase, table, key); op != nil {
+		return nil, ErrNotFound
+	}
+	if op := findStructOp(lc.t.localIns, table, key); op != nil {
+		return op.val, nil
 	}
 	li, ok := lc.t.lIndex[k]
 	if !ok {
@@ -92,6 +102,13 @@ func (lc *Local) Read(table int, key uint64) ([]uint64, error) {
 	s := lc.htx.Read(arena, kvs.StateOffset(off))
 	if clock.IsWriteLocked(s) {
 		lc.htx.Abort(abortCodeLocked)
+	}
+	// Ordered entries can be structurally present but dead (the staged half
+	// of an insert, or a committed erase awaiting removal); the incarnation
+	// word joins the read set, so a concurrent flip aborts this region.
+	if lc.t.e.rt.Meta(table).Kind == Ordered &&
+		!kvs.Live(kvs.Incarnation(lc.htx.Read(arena, kvs.IncVerOffset(off)))) {
+		return nil, ErrNotFound
 	}
 	// Leases are ignored by local reads: HTM protects read-read sharing.
 	vw := lc.t.e.rt.Meta(table).ValueWords
@@ -122,9 +139,21 @@ func (lc *Local) Write(table int, key uint64, val []uint64) error {
 		if !r.write {
 			panic(fmt.Sprintf("tx: write to read-staged record table %d key %d", table, key))
 		}
+		if r.erase {
+			panic(fmt.Sprintf("tx: write to erased record table %d key %d", table, key))
+		}
+		lc.t.checkIndexKeys(table, key, r.buf, val)
 		copy(r.buf, val)
 		r.dirty = true
 		return nil
+	}
+	if op := findStructOp(lc.t.localIns, table, key); op != nil {
+		lc.t.checkIndexKeys(table, key, op.val, val)
+		copy(op.val, val)
+		return nil
+	}
+	if findStructOp(lc.t.localErase, table, key) != nil {
+		panic(fmt.Sprintf("tx: write to erased record table %d key %d", table, key))
 	}
 	li, ok := lc.t.lIndex[k]
 	if !ok || !lc.t.locals[li].write {
@@ -154,6 +183,17 @@ func (lc *Local) Write(table int, key uint64, val []uint64) error {
 		lc.htx.Write(arena, kvs.StateOffset(off), clock.Init)
 	}
 	incver := lc.htx.Read(arena, kvs.IncVerOffset(off))
+	ordered := lc.t.e.rt.Meta(table).Kind == Ordered
+	if ordered {
+		if !kvs.Live(kvs.Incarnation(incver)) {
+			return ErrNotFound
+		}
+		if len(lc.t.e.rt.indexesOf(table)) > 0 {
+			old := make([]uint64, len(val))
+			lc.htx.ReadN(arena, kvs.ValueOffset(off), old)
+			lc.t.checkIndexKeys(table, key, old, val)
+		}
+	}
 	newVer := kvs.Version(incver) + 1
 	lc.htx.Write(arena, kvs.IncVerOffset(off), kvs.PackIncVer(kvs.Incarnation(incver), newVer))
 	lc.htx.WriteN(arena, kvs.ValueOffset(off), val)
@@ -163,13 +203,39 @@ func (lc *Local) Write(table int, key uint64, val []uint64) error {
 	// shipped to the partition's backups (replication); the storage region —
 	// not the logical table — addresses the copy this write landed in.
 	if lc.t.e.rt.C.Config().Durability || (l.part >= 0 && lc.t.e.rt.C.ReplicationFactor() > 0) {
+		var inc uint32
+		if ordered {
+			inc = kvs.Incarnation(incver)
+		}
 		lc.t.walLocal = append(lc.t.walLocal, walRec{
 			node: lc.t.e.w.Node.ID, table: l.region, off: off,
-			version: newVer, val: append([]uint64(nil), val...),
+			version: newVer, inc: inc, val: append([]uint64(nil), val...),
 			ltable: table, part: l.part, key: key,
 		})
 	}
 	return nil
+}
+
+// findStructOp locates this transaction's staged structural op for a key.
+func findStructOp(ops []structOp, table int, key uint64) *structOp {
+	for i := range ops {
+		if ops[i].table == table && ops[i].key == key {
+			return &ops[i]
+		}
+	}
+	return nil
+}
+
+// checkIndexKeys enforces the index-maintenance contract: a plain Write may
+// not change any declared index's key for the row — such updates must go
+// through Erase + WInsert so the index rows move inside the same commit.
+func (t *Tx) checkIndexKeys(table int, key uint64, old, val []uint64) {
+	for _, spec := range t.e.rt.indexesOf(table) {
+		if spec.Key(key, old) != spec.Key(key, val) {
+			panic(fmt.Sprintf("tx: Write changes index table %d key for base table %d key %d (use Erase + WInsert)",
+				spec.Table, table, key))
+		}
+	}
 }
 
 // Insert schedules a record insertion, applied right after the transaction
@@ -193,8 +259,9 @@ type KeyOff struct {
 
 // ScanLocal returns up to limit index entries of a local ordered table in
 // [lo, hi] ascending (limit <= 0 means unbounded). The index itself is
-// latched, not HTM-tracked; record bodies read afterwards are transactional
-// (phantom protection for ranges is out of scope, as in the paper).
+// latched, not HTM-tracked, and the result carries no phantom protection —
+// use Tx.Scan (declared before Execute) for validated transactional range
+// reads; ScanLocal remains for non-transactional walks over entry offsets.
 func (lc *Local) ScanLocal(table int, lo, hi uint64, limit int) []KeyOff {
 	o := lc.t.e.w.Node.Ordered(table)
 	lc.t.e.charge(lc.t.e.model().BTreeOpNS)

@@ -12,7 +12,12 @@ import (
 //
 //	chopping log:   [txid, info...]
 //	lock-ahead log: [txid, n, (node, table, off) x n]
-//	write-ahead log:[txid, n, (node, table, off, version, vw, val...) x n]
+//	write-ahead log:[txid, n, (node, table, off, inc<<32|version, vw, val...) x n]
+//
+// The inc half of the packed word is the committed incarnation for
+// ordered-table rows (live odd, erased even) and 0 for unordered rows, whose
+// entries have no liveness; recovery redo applies an ordered row iff the
+// packed word exceeds the entry's current incver word.
 //
 // The `table` slots carry the record's storage region — identical to the
 // logical table ID except for replica regions after a failover promotion —
@@ -62,12 +67,23 @@ func (t *Tx) walBody() []uint64 {
 	var recs []walRec
 	recs = append(recs, t.walLocal...)
 	for _, r := range t.remotes {
-		if r.write && r.dirty {
-			recs = append(recs, walRec{
-				node: r.node, table: r.region, off: r.off,
-				version: r.version + 1, val: r.buf,
-			})
+		if !r.write || (!r.dirty && !r.erase) {
+			continue
 		}
+		rec := walRec{
+			node: r.node, table: r.region, off: r.off,
+			version: r.version + 1, val: r.buf,
+		}
+		switch {
+		case r.insert, r.erase:
+			rec.inc = r.inc + 1
+		case r.ordered:
+			rec.inc = r.inc
+		}
+		if r.erase {
+			rec.val = nil
+		}
+		recs = append(recs, rec)
 	}
 	if len(recs) == 0 {
 		return nil
@@ -75,7 +91,7 @@ func (t *Tx) walBody() []uint64 {
 	out := []uint64{t.txid, uint64(len(recs))}
 	for _, rec := range recs {
 		out = append(out, uint64(rec.node), uint64(rec.table), uint64(rec.off),
-			uint64(rec.version), uint64(len(rec.val)))
+			uint64(rec.inc)<<32|uint64(rec.version), uint64(len(rec.val)))
 		out = append(out, rec.val...)
 	}
 	return out
@@ -111,13 +127,24 @@ func (t *Tx) logFallbackWAL(fb *fallbackCtx) {
 	var count uint64
 	var recs []uint64
 	for _, r := range fb.recs {
-		if !r.write || !r.dirty {
+		if !r.write || (!r.dirty && !r.erase) {
 			continue
+		}
+		var inc uint32
+		switch {
+		case r.insert, r.erase:
+			inc = r.inc + 1
+		case r.ordered:
+			inc = r.inc
+		}
+		val := r.buf
+		if r.erase {
+			val = nil
 		}
 		count++
 		recs = append(recs, uint64(r.node), uint64(r.region), uint64(r.off),
-			uint64(r.version+1), uint64(len(r.buf)))
-		recs = append(recs, r.buf...)
+			uint64(inc)<<32|uint64(r.version+1), uint64(len(val)))
+		recs = append(recs, val...)
 	}
 	if count == 0 {
 		return
@@ -149,6 +176,7 @@ func parseWAL(rec []uint64) (txid uint64, recs []walRec, ok bool) {
 			table:   int(rec[i+1]),
 			off:     memory.Offset(rec[i+2]),
 			version: uint32(rec[i+3]),
+			inc:     uint32(rec[i+3] >> 32),
 			val:     append([]uint64(nil), rec[i+5:i+5+vw]...),
 		})
 		i += 5 + vw

@@ -2,9 +2,9 @@ package tx
 
 import (
 	"errors"
+	"fmt"
 
 	"drtm/internal/clock"
-	"drtm/internal/cluster"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
 	"drtm/internal/obs"
@@ -32,6 +32,13 @@ type RO struct {
 	// behaves as PolicyLease here: read-only transactions never take write
 	// locks.
 	policy ReadPolicy
+
+	// scans holds collected range scans; confirm re-validates their segment
+	// stamps and row headers (leaseless, like the speculative arm — sound
+	// because a read-only transaction writes nothing, so unchanged words at
+	// confirm make that instant the serialization point).
+	scans    []scanRec
+	scanVals []uint64
 }
 
 type roRec struct {
@@ -52,6 +59,11 @@ type roRec struct {
 	lossy   uint64
 	version uint32
 	inc     uint32
+
+	// ordered marks records resolved through an ordered shard's tree: their
+	// confirm re-READ covers key+incver+state (a freed tree slot can be
+	// recycled for a different key, which the incver alone may not betray).
+	ordered bool
 }
 
 // ExecRO runs a read-only transaction to completion with retries.
@@ -107,12 +119,14 @@ func (ro *RO) confirm() bool {
 		sh.Inc(obs.EvLeaseConfirm)
 	}
 	if nspec == 0 {
-		return true
+		return ro.confirmScans()
 	}
 	e := ro.e
 	vstart := int64(e.w.VClock.Now())
-	if cap(e.hdrBuf) < nspec*kvs.EntryHeaderWords {
-		e.hdrBuf = make([]uint64, nspec*kvs.EntryHeaderWords)
+	// Three words per record: ordered entries re-read key+incver+state
+	// (slot-recycle check), unordered ones their 2-word header.
+	if cap(e.hdrBuf) < nspec*3 {
+		e.hdrBuf = make([]uint64, nspec*3)
 	}
 	sq := e.sendq()
 	wrs := e.activeWR[:0]
@@ -121,10 +135,15 @@ func (ro *RO) confirm() bool {
 		if !r.spec {
 			continue
 		}
-		host := e.rt.C.Node(r.node).Unordered(r.region)
 		i := len(specs)
-		wrs = append(wrs, host.PostHeaderRead(sq, kvs.Loc{Off: r.off, Lossy: r.lossy},
-			e.hdrBuf[i*kvs.EntryHeaderWords:(i+1)*kvs.EntryHeaderWords]))
+		if r.ordered {
+			wrs = append(wrs, sq.PostRead(r.node, r.region, r.off+kvs.EntryKeyWord,
+				e.hdrBuf[i*3:i*3+3]))
+		} else {
+			host := e.rt.C.Node(r.node).Unordered(r.region)
+			wrs = append(wrs, host.PostHeaderRead(sq, kvs.Loc{Off: r.off, Lossy: r.lossy},
+				e.hdrBuf[i*3:i*3+kvs.EntryHeaderWords]))
+		}
 		specs = append(specs, r)
 	}
 	sq.Poll()
@@ -138,17 +157,174 @@ func (ro *RO) confirm() bool {
 			break
 		}
 		hdr := wr.Dst
-		if kvs.Version(hdr[0]) != r.version || kvs.Incarnation(hdr[0]) != r.inc ||
-			clock.IsWriteLocked(hdr[1]) {
+		var incver, state uint64
+		stale := false
+		if r.ordered {
+			incver, state = hdr[1], hdr[2]
+			stale = hdr[0] != r.key
+		} else {
+			incver, state = hdr[0], hdr[1]
+		}
+		if stale || kvs.Version(incver) != r.version || kvs.Incarnation(incver) != r.inc ||
+			clock.IsWriteLocked(state) {
 			sh.Inc(obs.EvSpecValidateFail)
-			e.feedConflict(e.rt.C.Node(r.node).Unordered(r.region), r.node, r.table, r.key, 1)
+			if !r.ordered {
+				e.feedConflict(e.rt.C.Node(r.node).Unordered(r.region), r.node, r.table, r.key, 1)
+			}
 			ok = false
 			break
 		}
 	}
 	e.activeWR = wrs[:0]
 	sh.Observe(obs.PhaseValidate, int64(e.w.VClock.Now())-vstart)
-	return ok
+	return ok && ro.confirmScans()
+}
+
+// confirmScans re-validates every collected range scan at the confirmation
+// point: segment stamps unchanged (no membership change in the scanned
+// ranges) and every collected row's incarnation|version word unchanged with
+// no live exclusive lock. Remote words are re-read in one doorbell-batched
+// wave; local ones directly.
+func (ro *RO) confirmScans() bool {
+	if len(ro.scans) == 0 || ro.e.rt.NoScanValidation {
+		return true
+	}
+	e := ro.e
+	sh := e.w.Obs
+	nwords := 0
+	for i := range ro.scans {
+		if ro.scans[i].node == e.w.Node.ID {
+			continue
+		}
+		nwords += len(ro.scans[i].segs) + len(ro.scans[i].rows)
+	}
+	remote := make(map[*scanRec][]uint64, len(ro.scans))
+	if nwords > 0 {
+		buf := make([]uint64, nwords)
+		sq := e.sendq()
+		wrs := e.activeWR[:0]
+		j := 0
+		for i := range ro.scans {
+			sc := &ro.scans[i]
+			if sc.node == e.w.Node.ID {
+				continue
+			}
+			start := j
+			for _, s := range sc.segs {
+				wrs = append(wrs, sq.PostRead(sc.node, sc.region,
+					kvs.SegStampOffset(s), buf[j:j+1]))
+				j++
+			}
+			for _, r := range sc.rows {
+				wrs = append(wrs, sq.PostRead(sc.node, sc.region,
+					kvs.IncVerOffset(r.off), buf[j:j+1]))
+				j++
+			}
+			remote[sc] = buf[start:j]
+		}
+		sq.Poll()
+		for _, wr := range wrs {
+			if wr.Err == nil {
+				continue
+			}
+			dst := wr.Dst
+			if err := e.verbRetry(func() error {
+				return e.w.QP.TryRead(wr.Node, wr.Region, wr.Off, dst)
+			}); err != nil {
+				e.activeWR = wrs[:0]
+				return false
+			}
+		}
+		e.activeWR = wrs[:0]
+	}
+	for i := range ro.scans {
+		sc := &ro.scans[i]
+		if words, ok := remote[sc]; ok {
+			for k := range sc.segs {
+				if words[k] != sc.stamps[k] {
+					sh.Inc(obs.EvScanValidateFail)
+					return false
+				}
+			}
+			rowWords := words[len(sc.segs):]
+			for k, r := range sc.rows {
+				if rowWords[k] != r.incver {
+					sh.Inc(obs.EvScanValidateFail)
+					return false
+				}
+			}
+			continue
+		}
+		arena := e.arenaAt(sc.node, sc.region)
+		for k, s := range sc.segs {
+			if arena.LoadWord(kvs.SegStampOffset(s)) != sc.stamps[k] {
+				sh.Inc(obs.EvScanValidateFail)
+				return false
+			}
+		}
+		for _, r := range sc.rows {
+			if arena.LoadWord(kvs.IncVerOffset(r.off)) != r.incver ||
+				clock.IsWriteLocked(arena.LoadWord(kvs.StateOffset(r.off))) {
+				sh.Inc(obs.EvScanValidateFail)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Scan performs a range read of ordered table rows with keys in [lo, hi]
+// ascending, up to limit rows, collected leaselessly and re-validated at
+// confirm (the scan-heavy RO arm the `scan` experiment measures against
+// per-key leases). Same co-location contract as Tx.Scan.
+func (ro *RO) Scan(table int, lo, hi uint64, limit int) ([]ScanRow, error) {
+	if hi < lo {
+		return nil, nil
+	}
+	if ro.e.rt.Meta(table).Kind != Ordered {
+		panic(fmt.Sprintf("tx: Scan of unordered table %d", table))
+	}
+	node, region, part := ro.e.route(table, lo)
+	if nodeHi, _, _ := ro.e.route(table, hi); nodeHi != node {
+		panic(fmt.Sprintf("tx: Scan range [%d, %d] of table %d spans nodes %d and %d; "+
+			"partition scans by the routing attribute", lo, hi, table, node, nodeHi))
+	}
+	ro.stampView(part)
+	sh := ro.e.w.Obs
+	sstart := int64(ro.e.w.VClock.Now())
+	rec := scanRec{table: table, node: node, region: region}
+	var out []ScanRow
+	if node == ro.e.w.Node.ID {
+		o := ro.e.w.Node.Ordered(region)
+		rows, busy := collectOrderedRange(ro.e, o, &rec, lo, hi, limit, &ro.scanVals)
+		if busy {
+			sh.Inc(obs.EvRemoteLockConflict)
+			return nil, ErrRetry
+		}
+		out = rows
+	} else {
+		rs, err := ro.e.callRangeScan(node, rangeScanMsg{Region: region, Lo: lo, Hi: hi, Limit: limit},
+			ro.e.rt.Meta(table).ValueWords)
+		if err != nil {
+			return nil, err
+		}
+		if rs.Busy {
+			sh.Inc(obs.EvRemoteLockConflict)
+			return nil, ErrRetry
+		}
+		rec.segs, rec.stamps = rs.Segs, rs.Stamps
+		for _, r := range rs.Rows {
+			rec.rows = append(rec.rows, scanRowRec{key: r.Key, off: r.Off, incver: r.IncVer})
+			if r.Val != nil {
+				out = append(out, ScanRow{Key: r.Key, Val: r.Val})
+			}
+		}
+	}
+	ro.scans = append(ro.scans, rec)
+	sh.Observe(obs.PhaseScan, int64(ro.e.w.VClock.Now())-sstart)
+	sh.Inc(obs.EvScan)
+	sh.Add(obs.EvScanRow, int64(len(out)))
+	return out, nil
 }
 
 // stateCAS locks a state word: RDMA CAS for remote records, CPU CAS for
@@ -234,20 +410,35 @@ func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 	ro.stampView(part)
 	meta := ro.e.rt.Meta(table)
 
+	if meta.Kind == Ordered {
+		var off memory.Offset
+		var found bool
+		if node == ro.e.w.Node.ID {
+			ro.e.charge(ro.e.model().BTreeOpNS)
+			off, found = ro.e.w.Node.Ordered(region).Lookup(key)
+		} else {
+			var err error
+			off, found, err = ro.e.orderedLookupRemote(node, region, key)
+			if err != nil {
+				return nil, ErrNodeDown
+			}
+		}
+		if !found {
+			return nil, ErrNotFound
+		}
+		// PolicyAdaptive routes ordered reads to the lease arm (the heat
+		// table is keyed by hash buckets, which ordered shards lack).
+		if node != ro.e.w.Node.ID && ro.policy == PolicySpeculative {
+			return ro.specReadOrdered(node, table, region, key, off)
+		}
+		return ro.readAtOrdered(node, table, region, key, off)
+	}
 	var off memory.Offset
 	var ok bool
 	if node == ro.e.w.Node.ID {
-		if meta.Kind == Ordered {
-			off, ok = ro.e.w.Node.Ordered(table).Lookup(key)
-			ro.e.charge(ro.e.model().BTreeOpNS)
-		} else {
-			off, ok = ro.e.w.Node.Unordered(region).LookupLocal(key)
-			ro.e.charge(ro.e.model().HashProbeNS)
-		}
+		off, ok = ro.e.w.Node.Unordered(region).LookupLocal(key)
+		ro.e.charge(ro.e.model().HashProbeNS)
 	} else {
-		if meta.Kind == Ordered {
-			return nil, ErrNotFound // remote ordered reads are shipped at workload level
-		}
 		host := ro.e.rt.C.Node(node).Unordered(region)
 		loc, lok, err := host.LookupRemoteE(ro.e.w.QP, ro.e.cacheFor(node, region), key)
 		if err != nil {
@@ -299,6 +490,73 @@ func (ro *RO) specReadAt(node, table, region int, key uint64, loc kvs.Loc) ([]ui
 	return buf, nil
 }
 
+// specReadOrdered fetches a remote ordered record speculatively: one entry
+// READ at the resolved offset, verified in place (key, liveness, no live
+// exclusive lock) and re-validated by confirm.
+func (ro *RO) specReadOrdered(node, table, region int, key uint64, off memory.Offset) ([]uint64, error) {
+	e := ro.e
+	sh := e.w.Obs
+	vw := e.rt.Meta(table).ValueWords
+	words := make([]uint64, kvs.EntryValueWord+vw)
+	if err := e.verbRetry(func() error {
+		return e.w.QP.TryRead(node, region, off, words)
+	}); err != nil {
+		return nil, ErrNodeDown
+	}
+	if words[kvs.EntryKeyWord] != key {
+		return nil, ErrRetry // slot recycled under a stale lookup
+	}
+	// Lock before liveness: a write-locked row is mid-flip (a transactional
+	// insert or erase committing), so neither "found" nor "not found" is a
+	// stable answer yet — treating locked-dead as NotFound would let a
+	// reader observe half of an atomic multi-row commit.
+	if clock.IsWriteLocked(words[kvs.EntryStateWord]) {
+		sh.Inc(obs.EvRemoteLockConflict)
+		return nil, ErrRetry
+	}
+	incver := words[kvs.EntryIncVerWord]
+	if !kvs.Live(kvs.Incarnation(incver)) {
+		return nil, ErrNotFound
+	}
+	sh.Inc(obs.EvSpecRead)
+	buf := append([]uint64(nil), words[kvs.EntryValueWord:]...)
+	r := &roRec{table: table, node: node, region: region, key: key, off: off, buf: buf,
+		spec: true, ordered: true,
+		version: kvs.Version(incver), inc: kvs.Incarnation(incver)}
+	ro.index[refKey{table, key}] = r
+	ro.recs = append(ro.recs, r)
+	return buf, nil
+}
+
+// readAtOrdered leases and fetches an ordered record, then verifies the
+// slot still holds this key alive — the tree resolution happened before the
+// lease, so the slot could have been recycled or the row erased in between.
+func (ro *RO) readAtOrdered(node, table, region int, key uint64, off memory.Offset) ([]uint64, error) {
+	buf, err := ro.readAt(node, table, region, key, off)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]uint64, 2)
+	if node == ro.e.w.Node.ID {
+		arena := ro.e.arenaAt(node, region)
+		hdr[0] = arena.LoadWord(off + kvs.EntryKeyWord)
+		hdr[1] = arena.LoadWord(kvs.IncVerOffset(off))
+	} else if rerr := ro.e.verbRetry(func() error {
+		return ro.e.w.QP.TryRead(node, region, off+kvs.EntryKeyWord, hdr)
+	}); rerr != nil {
+		return nil, ErrNodeDown
+	}
+	if hdr[0] != key {
+		delete(ro.index, refKey{table, key})
+		return nil, ErrRetry
+	}
+	if !kvs.Live(kvs.Incarnation(hdr[1])) {
+		delete(ro.index, refKey{table, key})
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
 // ReadAtLocal leases and fetches a local record found via a scan.
 func (ro *RO) ReadAtLocal(table int, off memory.Offset) ([]uint64, error) {
 	return ro.readAt(ro.e.w.Node.ID, table, table, ^uint64(0), off)
@@ -334,12 +592,7 @@ func (ro *RO) readAt(node, table, region int, key uint64, off memory.Offset) ([]
 }
 
 func (ro *RO) arenaOf(node, region int) *memory.Arena {
-	n := ro.e.rt.C.Node(node)
-	if _, _, isReplica := cluster.ReplicaRegionInfo(region); !isReplica &&
-		ro.e.rt.Meta(region).Kind == Ordered {
-		return n.Ordered(region).Arena()
-	}
-	return n.Unordered(region).Arena()
+	return ro.e.arenaAt(node, region)
 }
 
 // ScanLocal returns index entries of a local ordered table in [lo, hi].

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"drtm/internal/clock"
-	"drtm/internal/cluster"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
 	"drtm/internal/obs"
@@ -127,11 +126,24 @@ func (rt *Runtime) Recover(crashed int) RecoveryReport {
 // redo applies one logged update if it is newer than the record's current
 // version, and clears any exclusive lock the crashed machine still holds on
 // it. Returns whether the value was written.
+//
+// Ordered rows (inc != 0 in the log) carry the committed incarnation: the
+// update applies iff the packed inc<<32|version word exceeds the entry's
+// current incver word, and the whole word — liveness included — is restored.
+// An erase logs no value words, so redoing it flips the row dead without
+// touching the payload.
 func (rt *Runtime) redo(crashed int, u walRec) bool {
 	arena := rt.arenaOf(u.node, u.table)
 	cur := arena.LoadWord(kvs.IncVerOffset(u.off))
 	applied := false
-	if kvs.Version(cur) < u.version {
+	if u.inc != 0 {
+		packed := uint64(u.inc)<<32 | uint64(u.version)
+		if cur < packed {
+			arena.Write(kvs.ValueOffset(u.off), u.val)
+			arena.Write(kvs.IncVerOffset(u.off), []uint64{packed})
+			applied = true
+		}
+	} else if kvs.Version(cur) < u.version {
 		arena.Write(kvs.ValueOffset(u.off), u.val)
 		arena.Write(kvs.IncVerOffset(u.off),
 			[]uint64{kvs.PackIncVer(kvs.Incarnation(cur), u.version)})
@@ -155,15 +167,13 @@ func (rt *Runtime) unlockIfOwned(crashed int, l lockRef) bool {
 	return false
 }
 
-// arenaOf resolves a storage region's arena on node: a plain table region
-// (ordered or unordered) or a replica region installed by replication.
+// arenaOf resolves a storage region's arena on node: an ordered shard
+// (primary or replica) if one is registered under the region ID, else the
+// unordered region (plain table or replica region installed by replication).
 func (rt *Runtime) arenaOf(node, region int) *memory.Arena {
 	n := rt.C.Node(node)
-	if _, _, isReplica := cluster.ReplicaRegionInfo(region); isReplica {
-		return n.Unordered(region).Arena()
-	}
-	if rt.Meta(region).Kind == Ordered {
-		return n.Ordered(region).Arena()
+	if o, ok := n.OrderedRegion(region); ok {
+		return o.Arena()
 	}
 	return n.Unordered(region).Arena()
 }

@@ -40,19 +40,29 @@ func (t *Tx) replicate() error {
 		if w, ok := t.replView(u.part); ok {
 			ups = append(ups, nvram.RedoUpdate{
 				Part: u.part, Epoch: cluster.ViewEpoch(w), Table: u.ltable,
-				Key: u.key, Version: u.version, Val: u.val,
+				Key: u.key, Version: u.version, Inc: u.inc, Val: u.val,
 			})
 		}
 	}
 	for _, r := range t.remotes {
-		if !r.write || !r.dirty {
+		if !r.write || (!r.dirty && !r.erase) {
 			continue
 		}
 		if w, ok := t.replView(r.part); ok {
-			ups = append(ups, nvram.RedoUpdate{
+			u := nvram.RedoUpdate{
 				Part: r.part, Epoch: cluster.ViewEpoch(w), Table: r.table,
 				Key: r.key, Version: r.version + 1, Val: r.buf,
-			})
+			}
+			switch {
+			case r.insert, r.erase:
+				u.Inc = r.inc + 1 // the committed flip
+			case r.ordered:
+				u.Inc = r.inc
+			}
+			if r.erase {
+				u.Val = nil // the flip to dead carries no value
+			}
+			ups = append(ups, u)
 		}
 	}
 	t.redoUps = ups
@@ -76,14 +86,24 @@ func (t *Tx) replicateFallback(fb *fallbackCtx) error {
 	}
 	ups := t.redoUps[:0]
 	for _, r := range fb.recs {
-		if !r.write || !r.dirty {
+		if !r.write || (!r.dirty && !r.erase) {
 			continue
 		}
 		if w, ok := t.replView(r.part); ok {
-			ups = append(ups, nvram.RedoUpdate{
+			u := nvram.RedoUpdate{
 				Part: r.part, Epoch: cluster.ViewEpoch(w), Table: r.table,
 				Key: r.key, Version: r.version + 1, Val: r.buf,
-			})
+			}
+			switch {
+			case r.insert, r.erase:
+				u.Inc = r.inc + 1
+			case r.ordered:
+				u.Inc = r.inc
+			}
+			if r.erase {
+				u.Val = nil
+			}
+			ups = append(ups, u)
 		}
 	}
 	t.redoUps = ups
@@ -252,8 +272,14 @@ func (rt *Runtime) drainCheckpoint(n *cluster.Node, sender, worker int) {
 			if !rt.C.IsBackup(n.ID, u.Part) || rt.C.OwnerOf(u.Part) != u.Part {
 				continue
 			}
-			host := n.Unordered(cluster.ReplicaRegion(u.Part, u.Table))
-			rt.applyRedoTo(host, u)
+			region := cluster.ReplicaRegion(u.Part, u.Table)
+			if rt.Meta(u.Table).Kind == Ordered {
+				if o, ok := n.OrderedRegion(region); ok {
+					rt.applyRedoOrdered(o, u)
+				}
+				continue
+			}
+			rt.applyRedoTo(n.Unordered(region), u)
 		}
 	})
 }
@@ -270,6 +296,13 @@ func (rt *Runtime) applyRedoUpdate(u nvram.RedoUpdate) bool {
 	region := u.Table
 	if owner != u.Part {
 		region = cluster.ReplicaRegion(u.Part, u.Table)
+	}
+	if rt.Meta(u.Table).Kind == Ordered {
+		o, ok := rt.C.Node(owner).OrderedRegion(region)
+		if !ok {
+			return false
+		}
+		return rt.applyRedoOrdered(o, u)
 	}
 	return rt.applyRedoTo(rt.C.Node(owner).Unordered(region), u)
 }
@@ -291,6 +324,38 @@ func (rt *Runtime) applyRedoUpdate(u nvram.RedoUpdate) bool {
 // same staleness, where the key exists again but this record's value
 // predates the delete (the reinserted entry restarts at version 0, so the
 // version guard alone cannot tell).
+// applyRedoOrdered is applyRedoTo for ordered-table copies. Same guards
+// (generation, never-resurrect, version), plus incarnation handling: the
+// drain adopts the logged incarnation's PARITY, not its counter — each
+// copy's incarnation counter advances independently (a replica's dead slot
+// may have cycled a different number of times), so only liveness is
+// meaningful across copies. Erase flips (even Inc) carry no value.
+func (rt *Runtime) applyRedoOrdered(o *kvs.Ordered, u nvram.RedoUpdate) bool {
+	rt.redoMu.Lock()
+	defer rt.redoMu.Unlock()
+	if u.Gen < rt.delGen[delKey{u.Part, u.Table, u.Key}] {
+		return false // logged before a removal of the key: stale
+	}
+	off, ok := o.Lookup(u.Key)
+	if !ok {
+		return false // removed since the append; never resurrect
+	}
+	arena := o.Arena()
+	cur := arena.LoadWord(kvs.IncVerOffset(off))
+	if kvs.Version(cur) >= u.Version {
+		return false
+	}
+	newInc := kvs.Incarnation(cur)
+	if kvs.Live(u.Inc) != kvs.Live(newInc) {
+		newInc++
+	}
+	if len(u.Val) > 0 {
+		arena.Write(kvs.ValueOffset(off), u.Val)
+	}
+	arena.Write(kvs.IncVerOffset(off), []uint64{kvs.PackIncVer(newInc, u.Version)})
+	return true
+}
+
 func (rt *Runtime) applyRedoTo(host *kvs.Table, u nvram.RedoUpdate) bool {
 	rt.redoMu.Lock()
 	defer rt.redoMu.Unlock()

@@ -170,6 +170,16 @@ type Runtime struct {
 	// arm of the `batch` experiment).
 	BatchWindow int
 
+	// NoScanValidation disables commit-time range validation of Tx.Scan /
+	// RO.Scan results — the deliberately broken control arm of the phantom
+	// regression test. Never set outside tests: scans lose phantom
+	// protection entirely.
+	NoScanValidation bool
+
+	// indexes maps an ordered base table to its declared secondary indexes.
+	// Written only during setup (DefineIndex); read lock-free afterwards.
+	indexes map[int][]IndexSpec
+
 	Stats Stats
 
 	// Adaptive routing state: the normalized tuning and the conflict-EWMA
@@ -239,6 +249,7 @@ func NewRuntime(c *cluster.Cluster, part Partitioner) *Runtime {
 		rt.caches = append(rt.caches, newCacheSet())
 	}
 	rt.installStoreHandlers()
+	rt.installOrderedHandlers()
 	return rt
 }
 
@@ -250,9 +261,54 @@ func (rt *Runtime) DefineUnordered(id, mainBuckets, indirectBuckets, capacity, v
 
 // DefineOrdered registers an ordered table across the cluster.
 func (rt *Runtime) DefineOrdered(id, capacity, valueWords int) {
-	rt.C.RegisterOrdered(id, capacity, valueWords)
+	rt.DefineOrderedSeg(id, capacity, valueWords, 0)
+}
+
+// DefineOrderedSeg registers an ordered table whose phantom-detection segment
+// stamps are keyed on key>>segShift (see kvs.Ordered): scans validate the
+// stamp words covering their range, so segShift should strip the intra-range
+// low bits of the table's key encoding (e.g. 8 for keys of the form
+// id<<8|sub) to keep unrelated inserts from invalidating a scan.
+func (rt *Runtime) DefineOrderedSeg(id, capacity, valueWords int, segShift uint) {
+	rt.C.RegisterOrdered(id, capacity, valueWords, segShift)
 	rt.tables[id] = TableMeta{ID: id, Kind: Ordered, ValueWords: valueWords}
 }
+
+// IndexSpec declares a secondary index over an ordered base table: for every
+// live base row (key, val), the index table holds a live entry at
+// Key(key, val) whose single value word is the base key. Index keys must be
+// unique across live rows (encode the base key into the low bits when the
+// indexed attribute can collide), and the partitioner must co-locate every
+// index entry with its base row — index maintenance happens inside the base
+// write's HTM region and cannot hop nodes mid-region.
+type IndexSpec struct {
+	Table int // the index's own ordered table
+	Key   func(baseKey uint64, val []uint64) uint64
+}
+
+// DefineIndex attaches a secondary index to an ordered base table. The index
+// table must already be defined (ordered, ValueWords >= 1). Tx.WInsert and
+// Tx.Erase maintain it transactionally. Plain writes must not change the
+// indexed attribute — Local.Write panics if they would (update such rows
+// with Erase + WInsert, which carries the index fixup in the same
+// transaction).
+func (rt *Runtime) DefineIndex(base int, spec IndexSpec) {
+	bm := rt.Meta(base)
+	im := rt.Meta(spec.Table)
+	if bm.Kind != Ordered || im.Kind != Ordered {
+		panic("tx: secondary indexes require ordered base and index tables")
+	}
+	if im.ValueWords < 1 {
+		panic("tx: index table needs >= 1 value word for the base key")
+	}
+	if rt.indexes == nil {
+		rt.indexes = make(map[int][]IndexSpec)
+	}
+	rt.indexes[base] = append(rt.indexes[base], spec)
+}
+
+// indexesOf returns the secondary indexes declared over a base table.
+func (rt *Runtime) indexesOf(table int) []IndexSpec { return rt.indexes[table] }
 
 // Meta returns a table's metadata.
 func (rt *Runtime) Meta(table int) TableMeta {
@@ -356,6 +412,11 @@ func (e *Executor) recycle(t *Tx) {
 	clear(t.lIndex)
 	t.walLocal = t.walLocal[:0]
 	t.deferred = t.deferred[:0]
+	t.scans = t.scans[:0]
+	t.scanVals = t.scanVals[:0]
+	t.localIns = t.localIns[:0]
+	t.localErase = t.localErase[:0]
+	t.removals = t.removals[:0]
 	t.choppingInfo = nil
 	clear(t.views)
 	t.finished = false

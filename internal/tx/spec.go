@@ -70,10 +70,16 @@ func (t *Tx) validateSpeculative(htx *htm.Txn) {
 		if !r.spec {
 			continue
 		}
-		host := e.rt.C.Node(r.node).Unordered(r.region)
-		loc := kvs.Loc{Off: r.off, Lossy: r.lossy}
-		wrs = append(wrs, host.PostHeaderRead(sq, loc,
-			hdr[i*kvs.EntryHeaderWords:(i+1)*kvs.EntryHeaderWords]))
+		dst := hdr[i*kvs.EntryHeaderWords : (i+1)*kvs.EntryHeaderWords]
+		if r.ordered {
+			// Ordered entries have no lossy hash locator; re-read the
+			// key+incver words at the resolved offset directly.
+			wrs = append(wrs, sq.PostRead(r.node, r.region, r.off+kvs.EntryKeyWord, dst))
+		} else {
+			host := e.rt.C.Node(r.node).Unordered(r.region)
+			loc := kvs.Loc{Off: r.off, Lossy: r.lossy}
+			wrs = append(wrs, host.PostHeaderRead(sq, loc, dst))
+		}
 		i++
 	}
 	sq.Poll()
@@ -104,17 +110,26 @@ func (t *Tx) validateSpeculative(htx *htm.Txn) {
 			if !r.spec {
 				continue
 			}
-			host := e.rt.C.Node(r.node).Unordered(r.region)
-			arena := host.Arena()
+			arena := t.arenaAt(r.node, r.region)
 			incver := htx.Read(arena, kvs.IncVerOffset(r.off))
 			state := htx.Read(arena, kvs.StateOffset(r.off))
-			if kvs.Version(incver) != r.version ||
+			stale := kvs.Version(incver) != r.version ||
 				kvs.Incarnation(incver) != r.inc ||
-				clock.IsWriteLocked(state) {
+				clock.IsWriteLocked(state)
+			if r.ordered {
+				// The slot could also have been recycled for another key.
+				stale = stale || htx.Read(arena, r.off+kvs.EntryKeyWord) != r.key
+			}
+			if stale {
 				fails++
-				// Adaptive feedback: a validation failure is the spec arm's
-				// defining loss — heat the bucket so future reads lease it.
-				e.feedConflict(host, r.node, r.table, r.key, 1)
+				if !r.ordered {
+					// Adaptive feedback: a validation failure is the spec
+					// arm's defining loss — heat the bucket so future reads
+					// lease it. (The heat map is keyed by hash bucket, so
+					// ordered records don't feed it.)
+					host := e.rt.C.Node(r.node).Unordered(r.region)
+					e.feedConflict(host, r.node, r.table, r.key, 1)
+				}
 			}
 		}
 	}

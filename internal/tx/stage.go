@@ -1,8 +1,6 @@
 package tx
 
 import (
-	"fmt"
-
 	"drtm/internal/clock"
 	"drtm/internal/kvs"
 	"drtm/internal/memory"
@@ -191,6 +189,11 @@ func (t *Tx) gatherRemote(table int, key uint64, node, region, part int, write b
 		if !write || r.write {
 			return nil, nil
 		}
+		if r.ordered {
+			// Ordered upgrades run serially: there is no one-sided lookup
+			// to overlap, and the record is already resolved.
+			return nil, t.upgradeOrdered(r)
+		}
 		s := t.e.getReq()
 		s.k, s.node, s.table, s.key, s.write = k, r.node, table, key, true
 		s.region, s.part = r.region, r.part
@@ -200,7 +203,10 @@ func (t *Tx) gatherRemote(table int, key uint64, node, region, part int, write b
 		return s, nil
 	}
 	if meta.Kind == Ordered {
-		return nil, fmt.Errorf("tx: remote access to ordered table %d must be shipped (Section 6.5)", table)
+		// Ordered accesses ship the tree walk to the host (Section 6.5)
+		// and then run the usual one-sided arms serially on the resolved
+		// entry; they do not join the batched pipeline.
+		return nil, t.stageOrderedPoint(table, key, node, region, part, write)
 	}
 	s := t.e.getReq()
 	s.k, s.node, s.table, s.key, s.write = k, node, table, key, write

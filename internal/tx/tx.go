@@ -18,6 +18,8 @@ const (
 	abortCodeLease  uint8 = 2 // lease confirmation failed at commit
 	abortCodeSpec   uint8 = 3 // speculative read validation failed at commit
 	abortCodeView   uint8 = 4 // a touched partition's view changed (failover)
+	abortCodeScan   uint8 = 5 // range-scan validation failed at commit (phantom)
+	abortCodeStale  uint8 = 6 // a staged insert/erase entry was recycled under us
 )
 
 // remoteRec is a staged remote record.
@@ -35,6 +37,14 @@ type remoteRec struct {
 	write       bool          // exclusive lock held (writes)
 	spec        bool          // speculative read: no lock held, validated at commit
 	dirty       bool          // buffer modified; needs write-back
+
+	// Ordered-store records (shipped lookups; Section 6.5). insert marks a
+	// transactional insert staged against a dead entry (flipped live at
+	// commit); erase marks a transactional delete (flipped dead at commit,
+	// physical removal deferred to applyRemovals).
+	ordered bool
+	insert  bool
+	erase   bool
 }
 
 // localRec is a declared local record (needed for the fallback handler,
@@ -55,7 +65,12 @@ type walRec struct {
 	node, table int
 	off         memory.Offset
 	version     uint32
-	val         []uint64
+	// inc is the post-commit incarnation for ordered records (never 0: a
+	// live record's incarnation is odd >= 1, an erased one's even >= 2); 0 is
+	// the unordered sentinel, where recovery and redo compare the version
+	// alone. Packed with version into one WAL word.
+	inc uint32
+	val []uint64
 
 	// In-memory only (not serialized to the WAL): the logical table, home
 	// partition and key, used to build redo records for the backups.
@@ -92,6 +107,19 @@ type Tx struct {
 	locals   []localRec
 	lIndex   map[refKey]int
 	deferred []deferredOp
+
+	// Ordered-store transactional state: range scans collected by the body
+	// (reset per HTM attempt), local structural ops declared before Execute
+	// (inserts flip a staged dead entry live at commit; erases flip a live
+	// entry dead), and post-commit physical removals of dead entries.
+	scans      []scanRec
+	localIns   []structOp
+	localErase []structOp
+	removals   []removalOp
+
+	// Scan scratch, reused across attempts: row values and segment indices.
+	scanVals []uint64
+	segScr   []int
 
 	// walLocal accumulates local updates for the write-ahead log.
 	walLocal []walRec
@@ -339,6 +367,10 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			t.confirmLeases(htx)
 			t.confirmViews(htx)
 			t.validateSpeculative(htx)
+			// Scan validation precedes the structural flips: the flips change
+			// incver words of entries the scans recorded.
+			t.validateScans(htx)
+			t.applyLocalStructural(htx)
 			if cfg.Durability {
 				t.logWALTx(htx)
 			}
@@ -357,6 +389,7 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			t.commitRemotes()
 			t.vCommit += int64(t.e.w.VClock.Now()) - cstart
 			t.applyDeferred()
+			t.applyRemovals()
 			t.finished = true
 			return nil
 		}
@@ -391,6 +424,20 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			if t.specDown {
 				return t.nodeDown()
 			}
+			return t.fail()
+		case ae.Code == htm.AbortExplicit && ae.User == abortCodeScan:
+			// Range-scan validation failed: a writer structurally changed a
+			// scanned range (phantom) or rewrote a collected row. The
+			// collected rows are stale; retry from the Start phase.
+			t.lastAbort = obs.CauseScan
+			if t.specDown {
+				return t.nodeDown()
+			}
+			return t.fail()
+		case ae.Code == htm.AbortExplicit && ae.User == abortCodeStale:
+			// A staged ordered insert/erase slot was recycled between staging
+			// and the region (slot reuse race); restage from scratch.
+			t.lastAbort = obs.CauseRemote
 			return t.fail()
 		case ae.Code == htm.AbortExplicit && ae.User == abortCodeView:
 			// A touched partition's ownership moved (hot failover) between
@@ -500,13 +547,28 @@ func (t *Tx) commitRemotes() {
 			continue
 		}
 		incverOff := kvs.IncVerOffset(r.off)
+		if r.erase {
+			// Transactional erase: flip the entry dead (incarnation+1 → even)
+			// and unlock in one release-phase write. Physical removal of the
+			// dead entry is deferred to applyRemovals, after all locks drop.
+			release = append(release, commitOp{r: r, off: incverOff,
+				data: []uint64{kvs.PackIncVer(r.inc+1, r.version+1), clock.Init}})
+			continue
+		}
 		if !r.dirty {
 			// Clean write lock: just unlock (owner-guarded CAS).
 			release = append(release, commitOp{r: r, off: kvs.StateOffset(r.off)})
 			continue
 		}
-		host := t.e.rt.C.Node(r.node).Unordered(r.region)
-		newIncVer := kvs.PackIncVer(t.readIncarnation(host, r), r.version+1)
+		var newInc uint32
+		if r.insert {
+			// Transactional insert: flip the staged dead entry live
+			// (incarnation+1 → odd). The value rides the same commit.
+			newInc = r.inc + 1
+		} else {
+			newInc = t.readIncarnation(r)
+		}
+		newIncVer := kvs.PackIncVer(newInc, r.version+1)
 		span := 2 + len(r.buf) // incver, state, value...
 		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
 			words := make([]uint64, span)
@@ -547,10 +609,28 @@ func (t *Tx) commitRemotes() {
 	// right after, and Exec's recycle harvests the records into the pool.
 }
 
+// arenaAt returns the arena backing a storage region on a node, whichever
+// store kind (ordered or hash) hosts it. Replica regions of ordered tables
+// are registered under Node.OrderedRegion, so that lookup goes first.
+func (t *Tx) arenaAt(node, region int) *memory.Arena {
+	return t.e.arenaAt(node, region)
+}
+
+// arenaAt resolves a storage region's arena on any node, ordered or
+// unordered (replica ordered regions are registered in the ordered map, so
+// the ordered probe must come first).
+func (e *Executor) arenaAt(node, region int) *memory.Arena {
+	n := e.rt.C.Node(node)
+	if o, ok := n.OrderedRegion(region); ok {
+		return o.Arena()
+	}
+	return n.Unordered(region).Arena()
+}
+
 // readIncarnation returns the record's current incarnation; we hold its
 // exclusive lock, so a plain load is stable.
-func (t *Tx) readIncarnation(host *kvs.Table, r *remoteRec) uint32 {
-	return kvs.Incarnation(host.Arena().LoadWord(kvs.IncVerOffset(r.off)))
+func (t *Tx) readIncarnation(r *remoteRec) uint32 {
+	return kvs.Incarnation(t.arenaAt(r.node, r.region).LoadWord(kvs.IncVerOffset(r.off)))
 }
 
 // applyDeferred applies inserts/deletes collected during the region.
