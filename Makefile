@@ -1,10 +1,15 @@
 # Tier-1 gate: everything CI (and the ROADMAP) requires to stay green.
-.PHONY: check build vet test race bench bench-baseline batch chaos occ adaptive failover scan
+.PHONY: check build fmt vet test race bench bench-baseline batch chaos occ adaptive failover scan mvcc
 
-check: build vet race batch occ adaptive chaos failover scan
+check: build fmt vet race batch occ adaptive chaos failover scan mvcc
 
 build:
 	go build ./...
+
+# Formatting gate: gofmt must have nothing to rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	go vet ./...
@@ -55,10 +60,20 @@ scan:
 	go test -run TestScanAcceptance ./internal/bench/
 	go test -race ./internal/tatp/ ./internal/socialgraph/
 
+# Snapshot-read gate: the MVCC arm must keep its >=1.5x win over the
+# confirm-wave scan at fanout >= 32 under writes, the adaptive footprint
+# router must stay within 5% of the best static arm in every sweep cell
+# (mvccexp_test.go), and the RO hot path must stay inside its allocation
+# budget (alloc_guard_test.go).
+mvcc:
+	go run ./cmd/drtm-bench -exp mvcc -quick
+	go test -run TestMVCCAcceptance ./internal/bench/
+	go test -run TestExecAllocSteadyState ./internal/tx/
+
 # Full-scale experiment sweep (slow); see cmd/drtm-bench -h for single runs.
 bench:
 	go run ./cmd/drtm-bench -exp all
 
 # Regenerate the committed baseline tables at full scale, fixed seed.
 bench-baseline:
-	go run ./cmd/drtm-bench -exp batch,occ,adaptive,failover,scan -seed 42 -json BENCH_baseline.json
+	go run ./cmd/drtm-bench -exp batch,occ,adaptive,failover,scan,mvcc -seed 42 -json BENCH_baseline.json

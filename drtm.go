@@ -67,7 +67,9 @@ type (
 	Tx = tx.Tx
 	// Local is the transaction body's view inside the HTM region.
 	Local = tx.Local
-	// RO is a lease-based read-only transaction.
+	// RO is a read-only transaction: confirm-wave (lease or speculative
+	// arm) by default, snapshot-stamped over the version chains under
+	// PolicyMVCC.
 	RO = tx.RO
 	// Executor runs transactions on behalf of one worker thread.
 	Executor = tx.Executor
@@ -113,6 +115,14 @@ const (
 	// PolicyExclusive: remote reads take exclusive write locks (the
 	// paper's Figure 17 "no read lease" ablation; no read-read sharing).
 	PolicyExclusive = tx.PolicyExclusive
+	// PolicyMVCC: read-only transactions resolve every key against a
+	// cluster-wide snapshot stamp using the per-entry version chains
+	// (Options.MVCCDepth) — one batched READ wave, no lease CAS and no
+	// confirm wave. A chain too shallow for the snapshot falls back to the
+	// confirm-wave scheme for that RO execution. Read-write transactions
+	// under this policy use the lease arm; requires MVCCDepth ≥ 0 (chains
+	// enabled).
+	PolicyMVCC = tx.PolicyMVCC
 )
 
 // Common errors, re-exported.
@@ -185,19 +195,34 @@ type Options struct {
 	BatchWindow int
 
 	// ReadPolicy selects the concurrency-control arm for remote read-set
-	// records: PolicyLease, PolicySpeculative, PolicyAdaptive or
-	// PolicyExclusive (see the constants' docs). The zero value selects
+	// records: PolicyLease, PolicySpeculative, PolicyAdaptive,
+	// PolicyExclusive or PolicyMVCC (see the constants' docs; PolicyMVCC
+	// affects read-only transactions). The zero value selects
 	// PolicyAdaptive — per-bucket online routing between the lease and
 	// speculative arms, which the `adaptive` experiment shows tracks the
 	// better static arm across skew and write ratios. The software
 	// fallback path always uses locks regardless of policy.
 	ReadPolicy ReadPolicy
 
-	// Policies tunes PolicyAdaptive's heat table: conflict-EWMA half-life
+	// Policies tunes PolicyAdaptive's heat table — conflict-EWMA half-life
 	// (in bucket accesses), the hot-entry threshold, the exit hysteresis
-	// fraction, and the table size. Zero fields select defaults
-	// (64 accesses / 8.0 / 0.5 / 4096 slots). Ignored by static policies.
+	// fraction, and the table size; zero fields select defaults
+	// (64 accesses / 8.0 / 0.5 / 4096 slots) — plus the adaptive RO-scan
+	// routing thresholds MVCCScanFanout/MVCCHotFanout (defaults 32 / 8):
+	// an RO scan whose fanout reaches the threshold takes the snapshot
+	// (MVCC) arm, with the lower threshold applying to ranges the heat
+	// table classifies hot. Ignored by static policies.
 	Policies PolicyOptions
+
+	// MVCCDepth is the per-entry version-chain ring depth backing
+	// PolicyMVCC snapshot reads: each writer retires the previous
+	// (stamp, version, value) triple into a fixed ring of this many slots,
+	// and snapshot reads resolve the newest version at or below their
+	// stamp. 0 selects the default depth (4); a negative value disables
+	// version chains entirely (PolicyMVCC then degrades to the confirm-wave
+	// scheme). Deeper chains tolerate staler snapshots at the cost of
+	// value-words × depth extra memory per entry.
+	MVCCDepth int
 
 	// SpeculativeReads selects the speculative (OCC) read arm for every
 	// remote read.
@@ -284,29 +309,42 @@ func (o Options) normalize() (Options, error) {
 	if o.BatchWindow < 0 {
 		return o, fmt.Errorf("drtm: Options.BatchWindow must be >= 0, got %d", o.BatchWindow)
 	}
-	// Resolve the read policy: the typed knob wins; the deprecated bools
-	// map onto it, erroring on any conflicting combination rather than
-	// silently picking a precedence.
+	// Resolve the read policy: the typed knob wins; the deprecated alias
+	// bools map onto it through one uniform rule — an alias forces its
+	// policy, any two set aliases conflict, and an alias set alongside a
+	// different explicit ReadPolicy conflicts — rather than each alias
+	// hand-rolling its own precedence.
 	if !o.ReadPolicy.Valid() {
 		return o, fmt.Errorf("drtm: unknown Options.ReadPolicy %d", int(o.ReadPolicy))
 	}
-	if o.SpeculativeReads && o.NoReadLease {
-		return o, errors.New("drtm: Options.SpeculativeReads and Options.NoReadLease conflict; set Options.ReadPolicy instead")
+	aliases := []struct {
+		set    bool
+		name   string
+		policy ReadPolicy
+	}{
+		{o.SpeculativeReads, "SpeculativeReads", PolicySpeculative},
+		{o.NoReadLease, "NoReadLease", PolicyExclusive},
 	}
-	if o.SpeculativeReads {
-		if o.ReadPolicy != tx.PolicyDefault && o.ReadPolicy != PolicySpeculative {
-			return o, fmt.Errorf("drtm: deprecated Options.SpeculativeReads conflicts with Options.ReadPolicy %v", o.ReadPolicy)
+	forced := ""
+	for _, a := range aliases {
+		if !a.set {
+			continue
 		}
-		o.ReadPolicy = PolicySpeculative
-	}
-	if o.NoReadLease {
-		if o.ReadPolicy != tx.PolicyDefault && o.ReadPolicy != PolicyExclusive {
-			return o, fmt.Errorf("drtm: deprecated Options.NoReadLease conflicts with Options.ReadPolicy %v", o.ReadPolicy)
+		if forced != "" {
+			return o, fmt.Errorf("drtm: deprecated Options.%s and Options.%s conflict; set Options.ReadPolicy instead",
+				forced, a.name)
 		}
-		o.ReadPolicy = PolicyExclusive
+		if o.ReadPolicy != tx.PolicyDefault && o.ReadPolicy != a.policy {
+			return o, fmt.Errorf("drtm: deprecated Options.%s conflicts with Options.ReadPolicy %v",
+				a.name, o.ReadPolicy)
+		}
+		o.ReadPolicy, forced = a.policy, a.name
 	}
 	if o.ReadPolicy == tx.PolicyDefault {
 		o.ReadPolicy = PolicyAdaptive
+	}
+	if o.ReadPolicy == PolicyMVCC && o.MVCCDepth < 0 {
+		return o, errors.New("drtm: Options.ReadPolicy PolicyMVCC requires version chains; leave Options.MVCCDepth >= 0")
 	}
 	return o, nil
 }
@@ -354,6 +392,10 @@ func Open(o Options, part PartitionFunc) (*DB, error) {
 	}
 	if o.HTMReadLines > 0 {
 		cfg.HTM.ReadLines = o.HTMReadLines
+	}
+	if o.MVCCDepth != 0 {
+		// Negative disables chains; cluster validation clamps it to 0.
+		cfg.MVCCDepth = o.MVCCDepth
 	}
 	cfg.FailureDetection = o.FailureDetection
 	if o.HeartbeatInterval > 0 {
@@ -610,6 +652,14 @@ type Stats struct {
 	SpecReads         int64 // records fetched with a versioned READ, no lock
 	SpecValidateFails int64 // commit-time validations that found a version bump or live lock
 
+	// Snapshot (MVCC) read-arm events (PolicyMVCC, or adaptive wide-scan
+	// routes over the version chains).
+	ChainRetires     int64 // superseded versions retired into entry ring chains
+	MVCCReads        int64 // keys resolved against a snapshot stamp (point or scan row)
+	MVCCTruncations  int64 // resolutions that fell off the chain (stamp older than ring depth)
+	MVCCInconsistent int64 // torn chain images observed (head/tail mismatch)
+	MVCCFallbacks    int64 // RO executions that fell back to the confirm-wave arm
+
 	// Adaptive read-arm selection (PolicyAdaptive).
 	AdaptiveSpecReads  int64   // reads routed to the speculative arm (bucket cold)
 	AdaptiveLeaseReads int64   // reads routed to the lease arm (bucket hot)
@@ -656,10 +706,12 @@ type Stats struct {
 	// transaction. Only committed read-write transactions are recorded.
 	// ValidateLatency covers the speculative arm's commit-time validation
 	// wave (a sub-phase of the HTM region, or of RO confirm).
+	// MVCCROLatency times PolicyMVCC read-only executions end to end.
 	LockRemoteLatency Latency
 	HTMRegionLatency  Latency
 	CommitLatency     Latency
 	ValidateLatency   Latency
+	MVCCROLatency     Latency
 	TotalLatency      Latency
 
 	snap obs.Snapshot
@@ -691,6 +743,12 @@ func newStats(sn obs.Snapshot) Stats {
 
 		SpecReads:         c(obs.EvSpecRead),
 		SpecValidateFails: c(obs.EvSpecValidateFail),
+
+		ChainRetires:     c(obs.EvChainRetire),
+		MVCCReads:        c(obs.EvMVCCRead),
+		MVCCTruncations:  c(obs.EvMVCCTrunc),
+		MVCCInconsistent: c(obs.EvMVCCInconsist),
+		MVCCFallbacks:    c(obs.EvMVCCFallback),
 
 		AdaptiveSpecReads:  c(obs.EvAdaptSpec),
 		AdaptiveLeaseReads: c(obs.EvAdaptLease),
@@ -728,6 +786,7 @@ func newStats(sn obs.Snapshot) Stats {
 		HTMRegionLatency:  latencyOf(sn.Phases[obs.PhaseHTM]),
 		CommitLatency:     latencyOf(sn.Phases[obs.PhaseCommit]),
 		ValidateLatency:   latencyOf(sn.Phases[obs.PhaseValidate]),
+		MVCCROLatency:     latencyOf(sn.Phases[obs.PhaseMVCC]),
 		TotalLatency:      latencyOf(sn.Phases[obs.PhaseTotal]),
 
 		snap: sn,
@@ -770,6 +829,8 @@ func (s Stats) String() string {
 		s.LeaseGrants, s.LeaseShares, s.LeaseConfirms, s.LeaseConfirmFails,
 		s.LeaseExpiries, s.RemoteLockConflicts, s.LockUpgrades)
 	fmt.Fprintf(&b, "spec:    reads=%d validate-fails=%d\n", s.SpecReads, s.SpecValidateFails)
+	fmt.Fprintf(&b, "mvcc:    retires=%d reads=%d truncations=%d inconsistent=%d fallbacks=%d\n",
+		s.ChainRetires, s.MVCCReads, s.MVCCTruncations, s.MVCCInconsistent, s.MVCCFallbacks)
 	fmt.Fprintf(&b, "adapt:   spec-routes=%d lease-routes=%d spec-share=%.1f%% hot-keys=%d switches=%d (to-lease=%d to-spec=%d)\n",
 		s.AdaptiveSpecReads, s.AdaptiveLeaseReads, s.SpecShare, s.HotKeys,
 		s.ArmSwitches, s.ArmSwitchesToLease, s.ArmSwitchesToSpec)
@@ -791,6 +852,7 @@ func (s Stats) String() string {
 		{"htm-region", s.HTMRegionLatency},
 		{"commit-remotes", s.CommitLatency},
 		{"validate", s.ValidateLatency},
+		{"mvcc-ro", s.MVCCROLatency},
 		{"total", s.TotalLatency},
 	} {
 		fmt.Fprintf(&b, "latency: %-14s n=%-8d p50=%-10v p95=%-10v p99=%-10v max=%v\n",

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+
+	"drtm/internal/tx"
+)
+
+func TestSmokeMVCC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mvcc experiment is slow")
+	}
+	runSmoke(t, "mvcc")
+}
+
+// TestMVCCAcceptance gates the snapshot read arm (ISSUE 9):
+//
+//  1. at fanout >= 32 under the write-heavy staging, the snapshot arm must
+//     be at least 1.5x cheaper per transaction than the PR-8 confirm-wave
+//     scan (it skips the confirm wave entirely and resolves past the
+//     conflicting write instead of retrying);
+//  2. in every sweep cell, PolicyAdaptive's footprint router must land
+//     within 5% of the best static arm — wide scans route the snapshot arm
+//     up front, and the narrow contended cell converges once scan
+//     validation failures heat the range (the per-range warmup failure is
+//     amortized over the run, so the bar needs the full txn count);
+//  3. the snapshot arm must actually run on chains: every transaction one
+//     mvcc read, no truncation fallbacks.
+//
+// The rig stages conflicts deterministically (one overwrite committed
+// inside the scanned range between collection and confirm, first attempt
+// only) and prices by the reader worker's virtual clock, so the run is
+// reproducible — no multi-seed averaging needed.
+func TestMVCCAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mvcc acceptance is slow")
+	}
+	const txns = 300
+
+	for _, cell := range mvccSweep {
+		ro := measureMVCCScan(txns, cell.fanout, cell.writes, tx.PolicySpeculative)
+		mv := measureMVCCScan(txns, cell.fanout, cell.writes, tx.PolicyMVCC)
+		ad := measureMVCCScan(txns, cell.fanout, cell.writes, tx.PolicyAdaptive)
+		if ro.usPerTxn <= 0 || mv.usPerTxn <= 0 || ad.usPerTxn <= 0 {
+			t.Fatalf("fanout=%d writes=%v: missing samples: ro=%v mvcc=%v adaptive=%v",
+				cell.fanout, cell.writes, ro.usPerTxn, mv.usPerTxn, ad.usPerTxn)
+		}
+
+		// Claim 3: the snapshot arm serves (nearly) every transaction from
+		// the chains. A handful of truncation fallbacks are tolerated — on a
+		// heavily loaded host the snapshot stamp's bounded staleness can
+		// exceed a hot row's retained history, and falling back to the
+		// confirm wave is the designed response — but more than 2% means the
+		// arm isn't actually doing snapshot reads.
+		slack := int64(txns / 50)
+		if mv.mvccReads < int64(txns)-slack {
+			t.Errorf("fanout=%d writes=%v: mvcc arm did %d snapshot reads, want >= %d",
+				cell.fanout, cell.writes, mv.mvccReads, int64(txns)-slack)
+		}
+		if mv.fallbacks > slack {
+			t.Errorf("fanout=%d writes=%v: mvcc arm fell back %d times (trunc=%d inconsist=%d), want <= %d",
+				cell.fanout, cell.writes, mv.fallbacks, mv.truncs, mv.inconsist, slack)
+		}
+		if mv.retriesPerTx > float64(slack)/float64(txns) {
+			t.Errorf("fanout=%d writes=%v: mvcc arm retried %.3f/txn — "+
+				"snapshot reads must resolve past the staged write, not re-run it",
+				cell.fanout, cell.writes, mv.retriesPerTx)
+		}
+
+		// Claim 1: >= 1.5x at fanout >= 32 under writes.
+		if cell.fanout >= 32 && cell.writes {
+			if ro.usPerTxn < 1.5*mv.usPerTxn {
+				t.Errorf("fanout=%d heavy: mvcc %.1fus/txn not >=1.5x cheaper than ro-scan %.1fus/txn",
+					cell.fanout, mv.usPerTxn, ro.usPerTxn)
+			}
+		}
+
+		// Claim 2: adaptive within 5% of the best static arm.
+		best := ro.usPerTxn
+		if mv.usPerTxn < best {
+			best = mv.usPerTxn
+		}
+		if ad.usPerTxn > 1.05*best {
+			t.Errorf("fanout=%d writes=%v: adaptive %.2fus/txn > 1.05x best static %.2fus/txn (ro %.2f, mvcc %.2f)",
+				cell.fanout, cell.writes, ad.usPerTxn, best, ro.usPerTxn, mv.usPerTxn)
+		}
+	}
+}

@@ -197,6 +197,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"ablate-cache", "ablate-fallback", "ablate-atomics", "ablate-assoc",
 		"obs", "chaos", "batch", "occ", "adaptive", "failover", "scan",
+		"mvcc",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

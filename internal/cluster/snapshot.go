@@ -1,0 +1,142 @@
+package cluster
+
+import "drtm/internal/memory"
+
+// Snapshot stamps (the MVCC read arm's notion of "now").
+//
+// Every node publishes a snapshot stamp into its membership-arena word at
+// [3*Nodes + id]: a soft-time value p such that every commit this node will
+// EVER finish publishing carries a chain stamp > p. A read-only transaction
+// takes the minimum published stamp across alive nodes as its snapshot S
+// and resolves every key against its version chain at S (kvs.ResolveAtStamp)
+// — no commit anywhere in the cluster can later materialize "inside" the
+// snapshot, so a multi-row commit is observed all-or-nothing.
+//
+// The publish rule needs two ingredients:
+//
+//   - Bracketing. A committing worker stores a lower bound for its commit
+//     stamp into its active word BEFORE selecting the stamp
+//     (Worker.BeginCommitStamp) and clears it only after the last write of
+//     the commit — local HTM publish, remote write-backs, replica mirrors —
+//     is visible (Worker.EndCommitStamp). The publisher takes
+//     min(activeStamp - 1) over the node's workers, so an in-flight commit
+//     pins the published stamp below everything it is about to write.
+//
+//   - Ordering. The publisher reads the clock BEFORE scanning the active
+//     words, and workers store the bracket BEFORE re-reading the clock for
+//     the stamp. If the publisher misses a racing bracket, its clock value
+//     predates the worker's stamp selection, so the published p (clock - 1)
+//     still sits below the commit's stamp.
+//
+// Published stamps only move forward (monotone-max CAS), so a snapshot taken
+// at S stays valid: later publishes only raise the bound. Staleness is
+// bounded by the clock skew plus the publish cadence — every commit
+// republishes its node's stamp, detectors gossip it on the PR-2 heartbeat
+// FAA, and SnapshotStamp refreshes all alive nodes directly (an in-process
+// shortcut; a real deployment would read the possibly-stale gossiped words
+// and inherit the heartbeat interval as extra staleness).
+//
+// Crashed nodes are excluded from the minimum: their published word freezes,
+// but their in-flight commits never finish publishing, and the failover
+// machinery (tx recovery) decides those transactions' fates before the
+// promoted replicas serve reads.
+
+// stampOff is the published-snapshot-stamp word of node i.
+func (c *Cluster) stampOff(i int) memory.Offset {
+	return memory.Offset(3*c.cfg.Nodes + i)
+}
+
+// BeginCommitStamp opens a commit bracket on this worker and returns the
+// soft-time the commit should stamp its version-chain writes with (the tx
+// layer may raise it above retired tail stamps, never lower it). Must be
+// paired with EndCommitStamp once every write of the commit has published.
+func (w *Worker) BeginCommitStamp() uint64 {
+	w.active.Store(w.Node.Clock.Read())
+	return w.Node.Clock.Read()
+}
+
+// EndCommitStamp closes the bracket opened by BeginCommitStamp and
+// republishes the node's snapshot stamp, advancing readers past the commit.
+func (w *Worker) EndCommitStamp() {
+	w.active.Store(0)
+	w.Node.cluster.PublishSnapshotStamp(w.Node.ID)
+}
+
+// PublishSnapshotStamp recomputes node i's snapshot stamp and publishes it
+// into the membership arena with a monotone-max CAS. Returns the published
+// (possibly pre-existing, higher) value.
+func (c *Cluster) PublishSnapshotStamp(node int) uint64 {
+	n := c.nodes[node]
+	now := n.Clock.Read() // MUST precede the active-word scan (see above)
+	var p uint64
+	if now > 0 {
+		p = now - 1
+	}
+	for _, w := range n.workers {
+		if a := w.active.Load(); a != 0 && a-1 < p {
+			p = a - 1
+		}
+	}
+	off := c.stampOff(node)
+	for {
+		cur := c.membership.LoadWord(off)
+		if cur >= p {
+			return cur
+		}
+		if _, ok := c.membership.CAS(off, cur, p); ok {
+			return p
+		}
+	}
+}
+
+// BeginSnapshotRead publishes the stamp of an in-flight snapshot read on
+// this worker so the removal gate (Cluster.MinActiveSnapshot) keeps dead
+// entries this reader could still resolve. Pair with EndSnapshotRead.
+func (w *Worker) BeginSnapshotRead(s uint64) { w.roActive.Store(s) }
+
+// EndSnapshotRead clears the stamp published by BeginSnapshotRead.
+func (w *Worker) EndSnapshotRead() { w.roActive.Store(0) }
+
+// MinActiveSnapshot returns the smallest snapshot stamp currently held by an
+// in-flight snapshot read on any alive worker, or ^uint64(0) when none is
+// active. Physical removal of a dead entry is safe only once its death
+// stamp is ≤ min(SnapshotStamp(), MinActiveSnapshot()): future readers take
+// S ≥ the current floor (stamps are monotone), and a reader registering
+// concurrently with the scan also takes S ≥ the floor, so it can never need
+// a version the gate allowed to be unlinked.
+func (c *Cluster) MinActiveSnapshot() uint64 {
+	min := ^uint64(0)
+	for _, n := range c.nodes {
+		if !n.alive.Load() {
+			continue
+		}
+		for _, w := range n.workers {
+			if s := w.roActive.Load(); s != 0 && s < min {
+				min = s
+			}
+		}
+	}
+	return min
+}
+
+// SnapshotStamp returns the cluster-wide snapshot read stamp: the minimum
+// published stamp over alive nodes, after refreshing each one. A read-only
+// transaction at this stamp observes every commit with chain stamps ≤ S in
+// full and no part of any commit stamped > S.
+func (c *Cluster) SnapshotStamp() uint64 {
+	s := ^uint64(0)
+	live := false
+	for i, n := range c.nodes {
+		if !n.alive.Load() {
+			continue
+		}
+		live = true
+		if p := c.PublishSnapshotStamp(i); p < s {
+			s = p
+		}
+	}
+	if !live {
+		return 0
+	}
+	return s
+}

@@ -142,17 +142,19 @@ func (t *Table) PostHeaderRead(sq *rdma.SendQueue, loc Loc, dst []uint64) *rdma.
 }
 
 // DecodeEntry decodes a fetched entry image (the Dst of a PostEntryRead WR,
-// or any EntryValueWord+ValueWords window at loc.Off). ok is false when
-// incarnation checking fails — the entry died or was reused since the
-// location was observed — in which case the caller should invalidate the
-// cached chain and re-resolve the location.
+// or any window at loc.Off spanning at least EntryValueWord+ValueWords —
+// e.g. a full EntryImageWords read that also carries the version chain).
+// Value is bounded to the table's ValueWords regardless of the window size.
+// ok is false when incarnation checking fails — the entry died or was reused
+// since the location was observed — in which case the caller should
+// invalidate the cached chain and re-resolve the location.
 func (t *Table) DecodeEntry(words []uint64, key uint64, loc Loc) (Entry, bool) {
 	e := Entry{
 		Key:         words[EntryKeyWord],
 		Incarnation: Incarnation(words[EntryIncVerWord]),
 		Version:     Version(words[EntryIncVerWord]),
 		State:       words[EntryStateWord],
-		Value:       words[EntryValueWord:],
+		Value:       words[EntryValueWord : EntryValueWord+t.cfg.ValueWords],
 	}
 	if !Live(e.Incarnation) || e.Key != key ||
 		uint64(e.Incarnation)&slotLossyMask != loc.Lossy {

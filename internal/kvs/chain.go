@@ -1,0 +1,106 @@
+package kvs
+
+import (
+	"drtm/internal/htm"
+	"drtm/internal/memory"
+)
+
+// Chain write-side helpers: every committed overwrite of an entry retires
+// the current (stamp, incver, value) triple into its ring slot and advances
+// the tail before the head word publishes the new version. The three write
+// paths — in-HTM local commits, one-sided remote write-backs, and plain
+// seqlocked writes (insert prep, redo drains, fallback publish) — share the
+// slot/tail math here; layout.go documents the ordering protocol that makes
+// a single ascending READ of the image torn-write-detectable.
+
+// RetireTx performs the chain side of an in-HTM overwrite of the entry at
+// off: the current triple moves into its ring slot and the tail advances to
+// (clamped now, newIncVer). Must run inside the same HTM transaction as the
+// value/head writes (the HTM publish locks every affected line, so remote
+// readers see the whole update or none of it per line wave). No-op when
+// depth <= 0.
+func RetireTx(hx *htm.Txn, a *memory.Arena, off memory.Offset, vw, depth int, now, newIncVer uint64) {
+	if depth <= 0 {
+		return
+	}
+	tailOff := TailOffset(off, vw, depth)
+	oldStamp := hx.Read(a, tailOff+TailStampWord)
+	oldHead := hx.Read(a, off+EntryIncVerWord)
+	if oldStamp != 0 {
+		so := ChainSlotOffset(off, vw, ChainSlotIndex(Version(oldHead), depth))
+		hx.Write(a, so+ChainStampWord, oldStamp)
+		hx.Write(a, so+ChainIncVerWord, oldHead)
+		for i := 0; i < vw; i++ {
+			hx.Write(a, so+memory.Offset(ChainValueWord+i),
+				hx.Read(a, off+memory.Offset(EntryValueWord+i)))
+		}
+	}
+	hx.Write(a, tailOff+TailStampWord, ClampStamp(now, oldStamp))
+	hx.Write(a, tailOff+TailIncVerWord, newIncVer)
+}
+
+// RetireSlotTx is the slot half of RetireTx: it moves the entry's current
+// (stamp, incver, value) triple into its ring slot inside the HTM region and
+// returns the previous tail stamp, but leaves the tail untouched. A
+// multi-entry transactional commit uses it so that ONE stamp can cover every
+// written entry: the caller collects the returned previous tail stamps,
+// raises its commit stamp above all of them, and publishes every entry's
+// tail pair (stamp, final head) in a fix-up pass before the HTM commit — a
+// commit whose entries carried different stamps could be observed half-done
+// by a snapshot reader between them. Returns 0 (and writes nothing) for an
+// unstamped entry or when depth <= 0.
+func RetireSlotTx(hx *htm.Txn, a *memory.Arena, off memory.Offset, vw, depth int) uint64 {
+	if depth <= 0 {
+		return 0
+	}
+	oldStamp := hx.Read(a, TailOffset(off, vw, depth)+TailStampWord)
+	if oldStamp == 0 {
+		return 0
+	}
+	oldHead := hx.Read(a, off+EntryIncVerWord)
+	so := ChainSlotOffset(off, vw, ChainSlotIndex(Version(oldHead), depth))
+	hx.Write(a, so+ChainStampWord, oldStamp)
+	hx.Write(a, so+ChainIncVerWord, oldHead)
+	for i := 0; i < vw; i++ {
+		hx.Write(a, so+memory.Offset(ChainValueWord+i),
+			hx.Read(a, off+memory.Offset(EntryValueWord+i)))
+	}
+	return oldStamp
+}
+
+// RetireLocal is RetireTx for plain seqlocked writes (redo drains, shipped
+// store ops): the caller must hold whatever serialization protects the entry
+// (redoMu, the entry's state lock). Writes follow the tail-first protocol:
+// tail dirties, then the slot, so a concurrent MVCC READ observes either the
+// old quiescent image or a head/tail mismatch. The caller writes value and
+// head afterwards. Returns the clamped stamp actually published.
+func RetireLocal(a *memory.Arena, off memory.Offset, vw, depth int, now, newIncVer uint64) uint64 {
+	if depth <= 0 {
+		return now
+	}
+	tailOff := TailOffset(off, vw, depth)
+	oldStamp := a.LoadWord(tailOff + TailStampWord)
+	oldHead := a.LoadWord(off + EntryIncVerWord)
+	stamp := ClampStamp(now, oldStamp)
+	a.Write(tailOff, []uint64{stamp, newIncVer})
+	if oldStamp != 0 {
+		so := ChainSlotOffset(off, vw, ChainSlotIndex(Version(oldHead), depth))
+		slot := make([]uint64, ChainSlotWords(vw))
+		slot[ChainStampWord] = oldStamp
+		slot[ChainIncVerWord] = oldHead
+		a.Read(slot[ChainValueWord:], off+EntryValueWord)
+		a.Write(so, slot)
+	}
+	return stamp
+}
+
+// ResetChain zeroes the entry's ring and tail with seqlocked writes. Insert
+// prep calls it on a dead entry before publication: a recycled entry's ring
+// belongs to the PREVIOUS key that lived at this offset, and must never be
+// resolvable under the new one.
+func ResetChain(a *memory.Arena, off memory.Offset, vw, depth int) {
+	if depth <= 0 {
+		return
+	}
+	a.Write(off+memory.Offset(EntryValueWord+vw), make([]uint64, ChainWords(vw, depth)))
+}

@@ -1,0 +1,141 @@
+package kvs
+
+import (
+	"testing"
+
+	"drtm/internal/memory"
+)
+
+// chainVersion is one committed version in the fuzz model: the stamp the
+// tail actually published (RetireLocal clamps), the head word, the value,
+// and whether the incarnation was live.
+type chainVersion struct {
+	stamp  uint64
+	incver uint64
+	val    []uint64
+}
+
+// FuzzChainRetireResolve drives the write side (RetireLocal, the seqlocked
+// retire path shared by redo drains and shipped stores) against the read
+// side (ResolveAtStamp) with a fuzz-chosen depth and write/delete/stamp
+// schedule, and checks every resolution against a shadow model:
+//
+//  1. round-trip — resolving at a retained version's exact stamp returns
+//     that version (incver and value intact), never a neighbor;
+//  2. resolve-at-stamp vs model — any non-Truncated answer must equal the
+//     model's version with the largest stamp ≤ S; versions the ring has
+//     clobbered may only produce ResolveTruncated, never a wrong value;
+//  3. a quiescent image is never ResolveInconsistent, and ResolveAtStamp
+//     never panics on a bit-flipped image (it may answer anything but
+//     Inconsistent/Truncated are the expected refusals).
+func FuzzChainRetireResolve(f *testing.F) {
+	// Seed corpus: plain overwrites, a delete + re-insert cycle, ring wrap
+	// (more writes than depth), and stamp collisions forcing the clamp.
+	f.Add(uint64(2), []byte{10, 1, 20, 1, 30, 1})
+	f.Add(uint64(4), []byte{5, 1, 0, 2, 9, 1, 9, 1, 9, 2, 1, 1})
+	f.Add(uint64(1), []byte{1, 1, 1, 1, 1, 1, 1, 1, 200, 1})
+	f.Add(uint64(6), []byte{255, 1, 254, 2, 253, 1, 7, 2, 7, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		const vw = 2
+		depth := int(seed%8) + 1 // 1..8
+		a := memory.NewArena(0, 4096)
+		off := memory.Offset(64)
+		key := uint64(0xD00D)
+		a.StoreWord(off+EntryKeyWord, key)
+
+		// Replay the schedule: each op pair is (stamp delta, kind). Kind
+		// even = overwrite (version+1), odd = incarnation flip (delete or
+		// re-insert: inc+1, version+1) — the transition protocol every
+		// structural commit follows.
+		var model []chainVersion
+		now := uint64(0)
+		inc, ver := uint32(1), uint32(0)
+		writeVersion := func(delta uint64, flip bool) {
+			now += delta
+			if flip {
+				inc++
+			}
+			if len(model) > 0 {
+				ver++
+			}
+			head := PackIncVer(inc, ver)
+			val := []uint64{uint64(ver) * 3, now ^ key}
+			stamp := RetireLocal(a, off, vw, depth, now, head)
+			a.Write(off+EntryValueWord, val)
+			a.StoreWord(off+EntryIncVerWord, head)
+			model = append(model, chainVersion{stamp: stamp, incver: head, val: val})
+		}
+		writeVersion(1, false) // initial insert
+		for i := 0; i+1 < len(ops) && len(model) < 40; i += 2 {
+			writeVersion(uint64(ops[i]), ops[i+1]%2 == 1)
+		}
+
+		img := make([]uint64, EntryImageWords(vw, depth))
+		a.Read(img, off)
+
+		// The ring retains the current version plus at most the last depth
+		// retired ones (versions advance by 1 per write, so slot indices
+		// cycle without gaps).
+		retainedFrom := len(model) - 1 - depth
+		if retainedFrom < 0 {
+			retainedFrom = 0
+		}
+		check := func(s uint64) {
+			r := ResolveAtStamp(img, vw, depth, key, s)
+			// Model answer: the version with the largest stamp ≤ s.
+			mi := -1
+			for i, v := range model {
+				if v.stamp <= s {
+					mi = i
+				}
+			}
+			switch r.Status {
+			case ResolveInconsistent:
+				t.Fatalf("depth %d stamp %d: quiescent image resolved Inconsistent", depth, s)
+			case ResolveTruncated:
+				if mi >= retainedFrom {
+					t.Fatalf("depth %d stamp %d: truncated but version %d (stamp %d) is retained",
+						depth, s, mi, model[mi].stamp)
+				}
+			case ResolveCurrent, ResolveRetired, ResolveDead:
+				if mi < 0 {
+					t.Fatalf("depth %d stamp %d: resolved %d but no version committed ≤ s",
+						depth, s, r.Status)
+				}
+				want := model[mi]
+				if r.IncVer != want.incver {
+					t.Fatalf("depth %d stamp %d: incver %#x, model says %#x",
+						depth, s, r.IncVer, want.incver)
+				}
+				live := Live(Incarnation(want.incver))
+				if live == (r.Status == ResolveDead) {
+					t.Fatalf("depth %d stamp %d: liveness mismatch: status %d, model live %v",
+						depth, s, r.Status, live)
+				}
+				if live {
+					for i := 0; i < vw; i++ {
+						if r.Value[i] != want.val[i] {
+							t.Fatalf("depth %d stamp %d: value %v, model %v",
+								depth, s, r.Value[:vw], want.val)
+						}
+					}
+				}
+			}
+		}
+		for _, v := range model {
+			check(v.stamp) // round-trip at the exact commit stamp
+			check(v.stamp - 1)
+			check(v.stamp + 1)
+		}
+		check(0)
+		check(^uint64(0))
+
+		// Robustness: a bit-flipped image must never panic the resolver.
+		if len(ops) >= 2 {
+			w := int(ops[0]) % len(img)
+			bad := append([]uint64(nil), img...)
+			bad[w] ^= 1 << (ops[1] % 64)
+			_ = ResolveAtStamp(bad, vw, depth, key, now)
+		}
+	})
+}

@@ -113,3 +113,163 @@ func mix64(x uint64) uint64 {
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	return x ^ (x >> 31)
 }
+
+// Version chains (the MVCC snapshot-read arm).
+//
+// When a table is built with ChainDepth > 0, every entry's footprint grows a
+// fixed-depth ring of retired versions plus a two-word tail, all inside the
+// entry's contiguous line-aligned span so ONE one-sided READ fetches the
+// whole image:
+//
+//	word 0:            key
+//	word 1:            incarnation|version        (the "head")
+//	word 2:            state
+//	word 3…3+vw-1:     current value
+//	then depth slots:  [stamp, incarnation|version, value…]   (ring)
+//	then the tail:     [stamp, incarnation|version]
+//
+// The tail's stamp is the soft-clock time at which the CURRENT version
+// committed; a slot's stamp is the time its (now retired) version committed.
+// Per entry, stamps strictly increase (writers clamp), so "the version
+// current at snapshot time S" is simply the stamped version with the largest
+// stamp ≤ S — the current one if tailStamp ≤ S, else a ring slot, else the
+// chain is truncated below S and the reader must fall back to the RO
+// confirm-wave scheme.
+//
+// The duplicated incarnation|version in the tail is the torn-read detector.
+// Arena reads (like real RDMA READs) are only per-cacheline consistent, and
+// an entry+chain image spans several lines read in ascending order. Every
+// writer therefore publishes in this order: tail first (the dirty marker),
+// then ring slot and value, then the head word last. A reader that observes
+// head == tailIncVer has observed a quiescent image: had any writer been
+// active between the head read (first line) and the tail read (last line),
+// the tail would already carry the next version while the head still showed
+// the old one — or the head the new one while a later writer re-dirtied the
+// tail. HTM-committed writes lock every affected line for the whole publish,
+// which degenerates to the same check. On mismatch the MVCC reader falls
+// back; it never retries in place (that would be a second wave).
+const (
+	// ChainStampWord and ChainIncVerWord index within one ring slot.
+	ChainStampWord  = 0
+	ChainIncVerWord = 1
+	ChainValueWord  = 2
+
+	// TailStampWord and TailIncVerWord index within the tail pair.
+	TailStampWord  = 0
+	TailIncVerWord = 1
+	TailWords      = 2
+)
+
+// ChainSlotWords is the footprint of one ring slot for a vw-word value.
+func ChainSlotWords(vw int) int { return ChainValueWord + vw }
+
+// ChainWords is the total chain footprint (ring + tail) appended to an
+// entry; zero when chains are disabled.
+func ChainWords(vw, depth int) int {
+	if depth <= 0 {
+		return 0
+	}
+	return depth*ChainSlotWords(vw) + TailWords
+}
+
+// EntryImageWords is the word count of a full entry+chain image — the span
+// an MVCC reader fetches in one READ.
+func EntryImageWords(vw, depth int) int {
+	return EntryValueWord + vw + ChainWords(vw, depth)
+}
+
+// ChainSlotOffset returns the arena offset of ring slot i of the entry at
+// off.
+func ChainSlotOffset(off memory.Offset, vw, i int) memory.Offset {
+	return off + memory.Offset(EntryValueWord+vw+i*ChainSlotWords(vw))
+}
+
+// TailOffset returns the arena offset of the entry's tail pair.
+func TailOffset(off memory.Offset, vw, depth int) memory.Offset {
+	return off + memory.Offset(EntryValueWord+vw+depth*ChainSlotWords(vw))
+}
+
+// ChainSlotIndex picks the ring slot that version v retires into.
+func ChainSlotIndex(v uint32, depth int) int { return int(v) % depth }
+
+// ResolveStatus classifies one ResolveAtStamp outcome.
+type ResolveStatus uint8
+
+const (
+	// ResolveCurrent: the entry's current version committed at or before the
+	// stamp; Value/IncVer describe it.
+	ResolveCurrent ResolveStatus = iota
+	// ResolveRetired: a ring slot holds the version current at the stamp.
+	ResolveRetired
+	// ResolveDead: the version current at the stamp was a dead incarnation —
+	// the key did not exist at the stamp.
+	ResolveDead
+	// ResolveTruncated: every retained version committed after the stamp
+	// (or the entry predates chain stamping); the reader must fall back.
+	ResolveTruncated
+	// ResolveInconsistent: the image failed the head/tail (or key) check —
+	// a writer raced the READ; the reader must fall back.
+	ResolveInconsistent
+)
+
+// Resolved is the outcome of resolving one entry image at a stamp.
+type Resolved struct {
+	Status ResolveStatus
+	IncVer uint64   // incarnation|version of the resolved version
+	Value  []uint64 // aliases the image; empty for Dead/Truncated/Inconsistent
+}
+
+// ResolveAtStamp resolves an entry+chain image (EntryImageWords long) to the
+// version current at snapshot stamp s. key guards against stale locations
+// and entry reuse; pass the key the image was looked up under.
+func ResolveAtStamp(img []uint64, vw, depth int, key, s uint64) Resolved {
+	tail := EntryValueWord + vw + depth*ChainSlotWords(vw)
+	head := img[EntryIncVerWord]
+	if img[EntryKeyWord] != key || head != img[tail+TailIncVerWord] {
+		return Resolved{Status: ResolveInconsistent}
+	}
+	ts := img[tail+TailStampWord]
+	if ts == 0 {
+		return Resolved{Status: ResolveTruncated}
+	}
+	if ts <= s {
+		if !Live(Incarnation(head)) {
+			return Resolved{Status: ResolveDead, IncVer: head}
+		}
+		return Resolved{Status: ResolveCurrent, IncVer: head,
+			Value: img[EntryValueWord : EntryValueWord+vw]}
+	}
+	// The current version is too new: the version current at s is the
+	// stamped slot with the largest stamp ≤ s.
+	sw := ChainSlotWords(vw)
+	best := -1
+	var bestStamp uint64
+	for i := 0; i < depth; i++ {
+		so := EntryValueWord + vw + i*sw
+		st := img[so+ChainStampWord]
+		if st != 0 && st <= s && st >= bestStamp {
+			best, bestStamp = so, st
+		}
+	}
+	if best < 0 {
+		return Resolved{Status: ResolveTruncated}
+	}
+	iv := img[best+ChainIncVerWord]
+	if !Live(Incarnation(iv)) {
+		return Resolved{Status: ResolveDead, IncVer: iv}
+	}
+	return Resolved{Status: ResolveRetired, IncVer: iv,
+		Value: img[best+ChainValueWord : best+ChainValueWord+vw]}
+}
+
+// ClampStamp returns the stamp a writer must publish in the tail so that
+// per-entry stamps strictly increase: the writer's commit soft-time, pushed
+// past the previous tail stamp when clock skew (stamps come from the
+// committing node's clock, which differs across coordinators) would order
+// them backwards.
+func ClampStamp(t, prevTail uint64) uint64 {
+	if t <= prevTail {
+		return prevTail + 1
+	}
+	return t
+}

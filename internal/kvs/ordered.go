@@ -3,6 +3,7 @@ package kvs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"drtm/internal/btree"
 	"drtm/internal/htm"
@@ -25,6 +26,12 @@ type OrderedConfig struct {
 	RegionID   int
 	Capacity   int
 	ValueWords int
+
+	// ChainDepth is the per-entry version-chain ring depth (0 disables
+	// chains; see layout.go). Stamp supplies commit soft-time for chain
+	// tails; nil falls back to a per-shard monotone counter.
+	ChainDepth int
+	Stamp      func() uint64
 
 	// SegShift selects which key bits pick a record's segment stamp:
 	// segment = (key >> SegShift) & (SegCount-1). Workloads whose range
@@ -67,6 +74,8 @@ type Ordered struct {
 	freeList []memory.Offset
 	zeroVal  []uint64
 
+	stampSeq atomic.Uint64 // fallback stamp source when cfg.Stamp is nil
+
 	// smu is the structural latch: writers hold it exclusively across a
 	// stamp bump + tree mutation pair (making them atomic to observers of
 	// the stamp), scans hold it shared across their walk. Point lookups use
@@ -79,7 +88,7 @@ func NewOrdered(cfg OrderedConfig, eng *htm.Engine) *Ordered {
 	if cfg.Capacity <= 0 || cfg.ValueWords < 0 {
 		panic("kvs: invalid ordered config")
 	}
-	ew := EntryValueWord + cfg.ValueWords
+	ew := EntryImageWords(cfg.ValueWords, cfg.ChainDepth)
 	if rem := ew % memory.WordsPerLine; rem != 0 {
 		ew += memory.WordsPerLine - rem
 	}
@@ -96,6 +105,17 @@ func NewOrdered(cfg OrderedConfig, eng *htm.Engine) *Ordered {
 	}
 	o.zeroVal = make([]uint64, cfg.ValueWords)
 	return o
+}
+
+// stampTail seqlock-writes the entry's chain tail (no-op when chains are
+// disabled). Used on private entries during insert prep; committed
+// overwrites go through RetireTx/RetireLocal instead.
+func (o *Ordered) stampTail(off memory.Offset, stamp, incver uint64) {
+	if o.cfg.ChainDepth <= 0 {
+		return
+	}
+	o.arena.Write(TailOffset(off, o.cfg.ValueWords, o.cfg.ChainDepth),
+		[]uint64{stamp, incver})
 }
 
 // SegOf maps a key to its segment index.
@@ -156,6 +176,17 @@ func (o *Ordered) ValueWords() int { return o.cfg.ValueWords }
 // Engine returns the owner's HTM engine.
 func (o *Ordered) Engine() *htm.Engine { return o.eng }
 
+// ChainDepth returns the version-chain ring depth (0 when disabled).
+func (o *Ordered) ChainDepth() int { return o.cfg.ChainDepth }
+
+// StampNow returns a commit stamp for chain tails.
+func (o *Ordered) StampNow() uint64 {
+	if o.cfg.Stamp != nil {
+		return o.cfg.Stamp()
+	}
+	return o.stampSeq.Add(1)
+}
+
 // Len returns the number of live records.
 func (o *Ordered) Len() int { return o.tree.Len() }
 
@@ -185,6 +216,10 @@ func (o *Ordered) Insert(key uint64, val []uint64) error {
 	o.arena.Write(off+EntryIncVerWord, []uint64{PackIncVer(inc+1, 0)})
 	o.arena.Write(off+EntryStateWord, []uint64{0})
 	o.arena.Write(off+EntryValueWord, val)
+	// The ring is zeroed (a recycled slot's chain belongs to the previous
+	// key) and the tail stamped while the entry is still private.
+	ResetChain(o.arena, off, o.cfg.ValueWords, o.cfg.ChainDepth)
+	o.stampTail(off, o.StampNow(), PackIncVer(inc+1, 0))
 
 	o.smu.Lock()
 	o.bumpSeg(key)
@@ -217,8 +252,9 @@ func (o *Ordered) Delete(key uint64) bool {
 		return false
 	}
 	incver := o.arena.LoadWord(off + EntryIncVerWord)
-	o.arena.Write(off+EntryIncVerWord,
-		[]uint64{PackIncVer(Incarnation(incver)+1, Version(incver))})
+	dead := PackIncVer(Incarnation(incver)+1, Version(incver))
+	RetireLocal(o.arena, off, o.cfg.ValueWords, o.cfg.ChainDepth, o.StampNow(), dead)
+	o.arena.Write(off+EntryIncVerWord, []uint64{dead})
 	o.mu.Lock()
 	o.freeList = append(o.freeList, off)
 	o.mu.Unlock()
@@ -260,6 +296,8 @@ func (o *Ordered) EnsureDead(key uint64) (memory.Offset, error) {
 		o.arena.Write(off+EntryIncVerWord, []uint64{PackIncVer(inc+2, 0)})
 		o.arena.Write(off+EntryStateWord, []uint64{0})
 		o.arena.Write(off+EntryValueWord, o.zeroVal)
+		ResetChain(o.arena, off, o.cfg.ValueWords, o.cfg.ChainDepth)
+		o.stampTail(off, o.StampNow(), PackIncVer(inc+2, 0))
 
 		o.smu.Lock()
 		o.bumpSeg(key)
@@ -323,8 +361,9 @@ func (o *Ordered) WriteTx(tx *htm.Txn, key uint64, val []uint64) bool {
 		return false
 	}
 	incver := tx.Read(o.arena, off+EntryIncVerWord)
-	tx.Write(o.arena, off+EntryIncVerWord,
-		PackIncVer(Incarnation(incver), Version(incver)+1))
+	next := PackIncVer(Incarnation(incver), Version(incver)+1)
+	RetireTx(tx, o.arena, off, o.cfg.ValueWords, o.cfg.ChainDepth, o.StampNow(), next)
+	tx.Write(o.arena, off+EntryIncVerWord, next)
 	tx.WriteN(o.arena, off+EntryValueWord, val)
 	return true
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"drtm/internal/htm"
 	"drtm/internal/memory"
@@ -18,6 +19,13 @@ type Config struct {
 	IndirectBuckets int // pool of shared indirect header buckets
 	Capacity        int // maximum number of entries
 	ValueWords      int // value length in words
+
+	// ChainDepth is the per-entry version-chain ring depth (0 disables
+	// chains and restores the single-slot entry layout). See layout.go.
+	ChainDepth int
+	// Stamp supplies commit soft-time for chain tails; nil falls back to a
+	// per-table monotone counter (tests and direct kvs use).
+	Stamp func() uint64
 }
 
 // Table is one node's shard of a DrTM-KV table. Local mutating operations
@@ -36,6 +44,8 @@ type Table struct {
 	freeEntries []memory.Offset
 	freeBuckets []memory.Offset
 	liveCount   int
+
+	stampSeq atomic.Uint64 // fallback stamp source when cfg.Stamp is nil
 }
 
 // Common errors.
@@ -56,7 +66,7 @@ func New(cfg Config, eng *htm.Engine) *Table {
 	}
 	cfg.MainBuckets = mb
 
-	ew := EntryValueWord + cfg.ValueWords
+	ew := EntryImageWords(cfg.ValueWords, cfg.ChainDepth)
 	if rem := ew % memory.WordsPerLine; rem != 0 {
 		ew += memory.WordsPerLine - rem
 	}
@@ -96,6 +106,17 @@ func (t *Table) ValueWords() int { return t.cfg.ValueWords }
 
 // EntryWords returns the line-aligned entry footprint.
 func (t *Table) EntryWords() int { return t.entryWords }
+
+// ChainDepth returns the version-chain ring depth (0 when disabled).
+func (t *Table) ChainDepth() int { return t.cfg.ChainDepth }
+
+// StampNow returns a commit stamp for chain tails.
+func (t *Table) StampNow() uint64 {
+	if t.cfg.Stamp != nil {
+		return t.cfg.Stamp()
+	}
+	return t.stampSeq.Add(1)
+}
 
 // Engine returns the owner's HTM engine.
 func (t *Table) Engine() *htm.Engine { return t.eng }
@@ -243,15 +264,28 @@ func (t *Table) Insert(key uint64, val []uint64) error {
 		return ErrFull
 	}
 
-	// Prepare the body: key, value, state=Init; incarnation stays even.
+	// Prepare the body: key, value, state=Init; incarnation stays even. The
+	// ring is zeroed here too — a recycled entry's chain belongs to the
+	// previous key at this offset.
 	oldIncVer := t.arena.LoadWord(entry + EntryIncVerWord)
 	inc := Incarnation(oldIncVer) // even (0 for fresh entries)
 	t.arena.Write(entry+EntryKeyWord, []uint64{key})
 	t.arena.Write(entry+EntryStateWord, []uint64{0})
 	t.arena.Write(entry+EntryValueWord, val)
+	ResetChain(t.arena, entry, t.cfg.ValueWords, t.cfg.ChainDepth)
 
 	newIncVer := PackIncVer(inc+1, 0)
 	lossy := uint64(inc+1) & slotLossyMask
+
+	// Stamp the fresh chain tail in the prep phase too: the entry is not
+	// resolvable until the slot publication below commits, so the seqlocked
+	// write costs no HTM capacity and races nobody. The zeroed ring means a
+	// snapshot older than this stamp resolves to Truncated (reads of a key
+	// below its insert stamp fall back to the confirm-wave arm).
+	if t.cfg.ChainDepth > 0 {
+		t.arena.Write(TailOffset(entry, t.cfg.ValueWords, t.cfg.ChainDepth),
+			[]uint64{t.StampNow(), newIncVer})
+	}
 
 	// Indirect buckets allocated during an attempt that aborts are returned
 	// to the pool before the retry (transactional writes to them were
@@ -344,6 +378,7 @@ func (t *Table) findInsertSlot(tx *htm.Txn, key uint64, pending *[]memory.Offset
 // holding a stale cached location detect it by incarnation checking.
 func (t *Table) Delete(key uint64) bool {
 	var victim memory.Offset
+	stamp := t.StampNow()
 	err := t.runLocal(func(tx *htm.Txn) error {
 		victim = 0
 		off := t.MainBucketOffset(t.bucketOf(key))
@@ -357,8 +392,9 @@ func (t *Table) Delete(key uint64) bool {
 					if tx.Read(t.arena, so+1) == key {
 						e := SlotOffset(w0)
 						incver := tx.Read(t.arena, e+EntryIncVerWord)
-						tx.Write(t.arena, e+EntryIncVerWord,
-							PackIncVer(Incarnation(incver)+1, Version(incver)))
+						dead := PackIncVer(Incarnation(incver)+1, Version(incver))
+						RetireTx(tx, t.arena, e, t.cfg.ValueWords, t.cfg.ChainDepth, stamp, dead)
+						tx.Write(t.arena, e+EntryIncVerWord, dead)
 						tx.Write(t.arena, so, 0)
 						tx.Write(t.arena, so+1, 0)
 						victim = e
@@ -405,8 +441,9 @@ func (t *Table) WriteTx(tx *htm.Txn, key uint64, val []uint64) bool {
 		return false
 	}
 	incver := tx.Read(t.arena, off+EntryIncVerWord)
-	tx.Write(t.arena, off+EntryIncVerWord,
-		PackIncVer(Incarnation(incver), Version(incver)+1))
+	next := PackIncVer(Incarnation(incver), Version(incver)+1)
+	RetireTx(tx, t.arena, off, t.cfg.ValueWords, t.cfg.ChainDepth, t.StampNow(), next)
+	tx.Write(t.arena, off+EntryIncVerWord, next)
 	tx.WriteN(t.arena, off+EntryValueWord, val)
 	return true
 }

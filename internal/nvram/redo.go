@@ -14,13 +14,17 @@ package nvram
 // Wire format, in words:
 //
 //	[txid, k,
-//	  (part, epoch, table, key, inc<<32|version, gen, vw, val[0..vw-1]) × k]
+//	  (part, epoch, table, key, inc<<32|version, gen, stamp, vw,
+//	   val[0..vw-1]) × k]
 //
 // per update: the home partition of the key, the partition's view epoch as
 // observed by the appender (the backup's fence compares it against the
 // current view and rejects stale appends — zombie containment), the logical
 // table, the key, the new post-commit version, the key's delete generation
-// as observed by the appender, and the value words.
+// as observed by the appender, the commit stamp (soft-time; lets backup
+// drains retire the superseded version into the replica's version chain, so
+// a promoted backup can keep serving MVCC snapshot reads), and the value
+// words.
 //
 // Deletes themselves never appear in the redo stream — they are shipped
 // store ops applied immediately to the primary and every replica shard. The
@@ -47,9 +51,13 @@ type RedoUpdate struct {
 	// the absolute number is meaningless across copies; odd means the row
 	// committed live, even means it committed erased.
 	Inc uint32
+
+	// Stamp is the commit's version-chain stamp (0 when chains are off): the
+	// backup drain retires the replica's superseded version at this stamp.
+	Stamp uint64
 }
 
-const redoUpdateHeaderWords = 7
+const redoUpdateHeaderWords = 8
 
 // RedoWords returns the encoded size in words of a record with the given
 // updates (for pre-sizing buffers and cost accounting).
@@ -73,7 +81,7 @@ func EncodeRedo(buf []uint64, txid uint64, ups []RedoUpdate) []uint64 {
 	for i := range ups {
 		u := &ups[i]
 		buf = append(buf, uint64(u.Part), u.Epoch, uint64(u.Table), u.Key,
-			uint64(u.Inc)<<32|uint64(u.Version), u.Gen, uint64(len(u.Val)))
+			uint64(u.Inc)<<32|uint64(u.Version), u.Gen, u.Stamp, uint64(len(u.Val)))
 		buf = append(buf, u.Val...)
 	}
 	return buf
@@ -100,10 +108,10 @@ func DecodeRedo(rec []uint64) (txid uint64, ups []RedoUpdate, ok bool) {
 		}
 		// Compare in uint64 space: a corrupt length word cast through int()
 		// can wrap negative and sneak past an int-typed bounds check.
-		if rec[off+6] > uint64(len(rec)-off-redoUpdateHeaderWords) {
+		if rec[off+7] > uint64(len(rec)-off-redoUpdateHeaderWords) {
 			return 0, nil, false
 		}
-		vw := int(rec[off+6])
+		vw := int(rec[off+7])
 		ups = append(ups, RedoUpdate{
 			Part:    int(rec[off]),
 			Epoch:   rec[off+1],
@@ -112,6 +120,7 @@ func DecodeRedo(rec []uint64) (txid uint64, ups []RedoUpdate, ok bool) {
 			Version: uint32(rec[off+4]),
 			Inc:     uint32(rec[off+4] >> 32),
 			Gen:     rec[off+5],
+			Stamp:   rec[off+6],
 			Val:     rec[off+redoUpdateHeaderWords : off+redoUpdateHeaderWords+vw],
 		})
 		off += redoUpdateHeaderWords + vw

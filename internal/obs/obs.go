@@ -112,6 +112,13 @@ const (
 	EvIndexMaint       // one secondary-index entry maintained by a base write
 	EvRemoveDead       // one dead entry physically unlinked post-commit
 
+	// MVCC snapshot reads over version chains (PolicyMVCC).
+	EvChainRetire   // one superseded version retired into an entry's ring chain
+	EvMVCCRead      // one key resolved against the snapshot stamp (point or scan row)
+	EvMVCCTrunc     // resolution fell off the chain (stamp older than ring depth)
+	EvMVCCInconsist // torn image (head/tail mismatch) observed by a snapshot read
+	EvMVCCFallback  // one RO execution that fell back to the confirm-wave arm
+
 	NumEvents int = iota
 )
 
@@ -168,6 +175,11 @@ var eventNames = [NumEvents]string{
 	EvScanValidateFail:   "scan.validate_fail",
 	EvIndexMaint:         "index.maint",
 	EvRemoveDead:         "index.remove_dead",
+	EvChainRetire:        "mvcc.retire",
+	EvMVCCRead:           "mvcc.read",
+	EvMVCCTrunc:          "mvcc.truncated",
+	EvMVCCInconsist:      "mvcc.inconsistent",
+	EvMVCCFallback:       "mvcc.fallback",
 }
 
 func (e Event) String() string {
@@ -216,6 +228,10 @@ const (
 	// build for RO scans.
 	PhaseScan
 
+	// PhaseMVCC times one PolicyMVCC read-only execution end to end: the
+	// single batched READ wave plus chain resolution (no confirm wave).
+	PhaseMVCC
+
 	NumPhases int = iota
 )
 
@@ -231,6 +247,7 @@ var phaseNames = [NumPhases]string{
 	PhaseBatchOps:       "batch-ops",
 	PhaseFailover:       "failover",
 	PhaseScan:           "scan",
+	PhaseMVCC:           "mvcc-ro",
 }
 
 func (p Phase) String() string {

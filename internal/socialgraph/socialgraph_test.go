@@ -186,3 +186,91 @@ func TestSymmetryAcrossFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The MVCC snapshot checker lane (satellite): CheckSnapshotRO runs through
+// PolicyMVCC — a friendship commit writes both edge directions, so a
+// snapshot scan observing one direction without its reverse (or mismatched
+// pair stamps) is half a multi-row commit — under verb faults and a
+// mid-run crash + hot failover (ReplicationFactor=1), so promoted replica
+// shards serve snapshot scans from their redo-maintained version chains.
+// Run with -race.
+func TestMVCCSnapshotAcrossFailover(t *testing.T) {
+	const (
+		nodes   = 3
+		workers = 2
+		victim  = 2
+	)
+	db, w := openGraph(t, nodes, workers, drtm.Options{
+		Durability:        true,
+		ReplicationFactor: 1,
+		FaultSeed:         19,
+		ReadPolicy:        drtm.PolicyMVCC,
+	})
+	defer db.Close()
+	db.InjectNodeFaults(0, drtm.FaultRule{FailProb: 0.005})
+
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		violations atomic.Value
+		checks     atomic.Int64
+	)
+	for n := 0; n < nodes; n++ {
+		for wk := 0; wk < workers; wk++ {
+			cl := w.NewClient(db.Executor(n, wk), int64(600+n*workers+wk))
+			checker := wk == workers-1
+			wg.Add(1)
+			go func(n int, cl *socialgraph.Client, checker bool) {
+				defer wg.Done()
+				person := uint64(n)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if !db.C.Node(n).Alive() {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					var err error
+					if checker {
+						person = (person + 1) % uint64(w.Cfg.People)
+						err = cl.CheckSnapshotRO(person)
+						checks.Add(1)
+					} else {
+						err = cl.RunOne()
+					}
+					if err != nil && !errors.Is(err, drtm.ErrRetry) && !errors.Is(err, drtm.ErrNodeDown) {
+						violations.Store(err)
+						return
+					}
+				}
+			}(n, cl, checker)
+		}
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	db.Crash(victim)
+	rep := db.Failover(victim)
+	if !rep.Promoted {
+		t.Fatalf("failover did not promote: %+v", rep)
+	}
+	time.Sleep(25 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != nil {
+		t.Fatal(v.(error))
+	}
+	if checks.Load() == 0 {
+		t.Fatal("checker lanes never ran")
+	}
+	if db.Stats().MVCCReads == 0 {
+		t.Fatal("checker lane never resolved a snapshot read over the chains")
+	}
+	db.ClearFaults()
+	if err := w.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,6 +49,18 @@ func benchRemoteTxn(e *Executor, spec bool) error {
 	})
 }
 
+func benchMVCCROTxn(e *Executor) error {
+	// Key 1 lives on node 1 (remote), key 2 on node 0 (local): one snapshot
+	// RO resolving both against their version chains at the read stamp.
+	return e.ExecRO(func(ro *RO) error {
+		if _, err := ro.Read(tblAccounts, 1); err != nil {
+			return err
+		}
+		_, err := ro.Read(tblAccounts, 2)
+		return err
+	})
+}
+
 func BenchmarkExecLocal(b *testing.B) {
 	rt, stop := newRig(b, 1, 1, 4, nil)
 	defer stop()
@@ -84,6 +96,20 @@ func BenchmarkExecRemoteSpec(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := benchRemoteTxn(e, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecROMVCC(b *testing.B) {
+	rt, stop := newRig(b, 2, 1, 8, nil)
+	defer stop()
+	rt.ReadPolicy = PolicyMVCC
+	e := rt.Executor(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := benchMVCCROTxn(e); err != nil {
 			b.Fatal(err)
 		}
 	}

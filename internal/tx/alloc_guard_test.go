@@ -39,4 +39,23 @@ func TestExecAllocSteadyState(t *testing.T) {
 	if remote > 25 {
 		t.Errorf("remote spec txn allocates %.0f objects, budget 25", remote)
 	}
+
+	// The snapshot RO path (one remote + one local chain-resolved read)
+	// measured 11 objects/op when introduced — the entry image, the value
+	// copies, and the verb round-trip. Budget 15 so a regression that starts
+	// allocating per-slot or per-attempt scratch trips the guard.
+	rt.ReadPolicy = PolicyMVCC
+	for i := 0; i < 16; i++ {
+		if err := benchMVCCROTxn(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mvcc := testing.AllocsPerRun(50, func() {
+		if err := benchMVCCROTxn(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if mvcc > 15 {
+		t.Errorf("mvcc RO allocates %.0f objects, budget 15", mvcc)
+	}
 }

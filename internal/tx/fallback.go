@@ -32,6 +32,13 @@ type fbRec struct {
 	erase   bool
 	val     []uint64
 	inc     uint32
+
+	// Version-chain state, captured at fetch under our lock (write records of
+	// chained tables): the store's chain depth, the entry's tail stamp, and a
+	// pristine copy of the pre-commit value (the body mutates buf in place).
+	depth    int
+	prevTail uint64
+	prevVal  []uint64
 }
 
 // fallbackCtx carries the state of a fallback execution.
@@ -181,6 +188,11 @@ func (t *Tx) runFallback(fn func(lc *Local) error) error {
 		t.lastAbort = obs.CauseScan
 		return ErrRetry
 	}
+
+	// Seal the commit's uniform chain stamp before replication and publish
+	// consume it (same rule as sealChains on the HTM path: one stamp per
+	// commit, above every written entry's previous tail stamp).
+	t.sealFallbackChains(fb)
 
 	// Log ahead of in-place updates (Section 6.2, last paragraph).
 	if rt.C.Config().Durability {
@@ -413,15 +425,34 @@ func (fb *fallbackCtx) unlockSelf(r *fbRec) {
 	}
 }
 
-// fetch loads the record's value and version into the private buffer.
+// fetch loads the record's value and version into the private buffer, plus —
+// for write records of chained tables — the tail stamp and a pristine value
+// copy the publish-time chain retire needs (all stable under our lock).
 func (fb *fallbackCtx) fetch(r *fbRec) error {
 	t := fb.t
 	vw := t.e.rt.Meta(r.table).ValueWords
+	if r.write {
+		r.depth = t.e.chainDepthAt(r.node, r.region)
+	}
 	if r.insert {
 		// The locked dead slot has no meaningful value; the body reads the
 		// declared insert value. version/inc were set by verifyOrdered.
 		r.buf = append([]uint64(nil), r.val...)
 		r.dirty = true
+		if r.depth > 0 {
+			tailOff := kvs.TailOffset(r.off, vw, r.depth) + kvs.TailStampWord
+			if r.node == t.e.w.Node.ID {
+				r.prevTail = fb.arenaOf(r).LoadWord(tailOff)
+			} else {
+				tw := make([]uint64, 1)
+				if err := t.e.verbRetry(func() error {
+					return t.e.w.QP.TryRead(r.node, r.region, tailOff, tw)
+				}); err != nil {
+					return ErrNodeDown
+				}
+				r.prevTail = tw[0]
+			}
+		}
 		return nil
 	}
 	r.buf = make([]uint64, vw)
@@ -429,18 +460,26 @@ func (fb *fallbackCtx) fetch(r *fbRec) error {
 		arena := fb.arenaOf(r)
 		arena.Read(r.buf, kvs.ValueOffset(r.off))
 		r.version = kvs.Version(arena.LoadWord(kvs.IncVerOffset(r.off)))
+		if r.depth > 0 {
+			r.prevTail = arena.LoadWord(kvs.TailOffset(r.off, vw, r.depth) + kvs.TailStampWord)
+			r.prevVal = append([]uint64(nil), r.buf...)
+		}
 		t.e.charge(int64(vw+1) * t.e.model().HTMPerReadNS)
 		return nil
 	}
-	words := make([]uint64, kvs.EntryValueWord+vw)
+	words := make([]uint64, kvs.EntryImageWords(vw, r.depth))
 	err := t.e.verbRetry(func() error {
 		return t.e.w.QP.TryRead(r.node, r.region, r.off, words)
 	})
 	if err != nil {
 		return ErrNodeDown
 	}
-	copy(r.buf, words[kvs.EntryValueWord:])
+	copy(r.buf, words[kvs.EntryValueWord:kvs.EntryValueWord+vw])
 	r.version = kvs.Version(words[kvs.EntryIncVerWord])
+	if r.depth > 0 {
+		r.prevTail = words[int(kvs.TailOffset(0, vw, r.depth))+kvs.TailStampWord]
+		r.prevVal = append([]uint64(nil), r.buf...)
+	}
 	return nil
 }
 
@@ -470,11 +509,49 @@ func (fb *fallbackCtx) write(table int, key uint64, val []uint64) error {
 	return nil
 }
 
+// sealFallbackChains computes the fallback commit's uniform chain stamp —
+// above the bracket soft-time and every locked write record's previous tail
+// stamp — before replicateFallback and publish consume it.
+func (t *Tx) sealFallbackChains(fb *fallbackCtx) {
+	s := t.stampBase
+	for _, r := range fb.recs {
+		if r.write && r.depth > 0 && r.prevTail >= s {
+			s = r.prevTail + 1
+		}
+	}
+	if s == 0 {
+		s = 1
+	}
+	t.commitStamp = s
+}
+
 // publish applies dirty buffers in place and releases all exclusive locks.
 // The unlock is carried by the same WRITE that updates version + state for
-// single-line entries, value-first then unlock for larger ones.
+// single-line entries, value-first then unlock for larger ones. On chained
+// tables each written entry's retire precedes its value/head writes in the
+// tail-first order of layout.go: tail pair (dirty marker), retired slot,
+// value, then head+state — each a synchronous mustWrite, so the ordering the
+// one-READ snapshot protocol needs holds trivially.
 func (fb *fallbackCtx) publish() {
 	t := fb.t
+	chain := func(r *fbRec, newIncVer, prevHead uint64, withVal bool) {
+		if r.depth <= 0 {
+			return
+		}
+		vw := len(r.buf)
+		t.e.mustWrite(r.node, r.region, kvs.TailOffset(r.off, vw, r.depth),
+			[]uint64{t.commitStamp, newIncVer})
+		if r.prevTail == 0 {
+			return
+		}
+		slot := []uint64{r.prevTail, prevHead}
+		if withVal {
+			slot = append(slot, r.prevVal...)
+		}
+		t.e.mustWrite(r.node, r.region,
+			kvs.ChainSlotOffset(r.off, vw, kvs.ChainSlotIndex(r.version, r.depth)), slot)
+		t.e.w.Obs.Inc(obs.EvChainRetire)
+	}
 	for _, r := range fb.recs {
 		if !r.write {
 			continue // leases expire on their own
@@ -484,9 +561,11 @@ func (fb *fallbackCtx) publish() {
 		incverOff := kvs.IncVerOffset(r.off)
 		if r.erase {
 			// Flip to dead and unlock; the value stays for the dead entry
-			// (physical removal is deferred to applyRemovals).
+			// (physical removal is deferred until no snapshot can need it).
+			deadIncVer := kvs.PackIncVer(inc+1, r.version+1)
+			chain(r, deadIncVer, kvs.PackIncVer(inc, r.version), true)
 			t.e.mustWrite(r.node, r.region, incverOff,
-				[]uint64{kvs.PackIncVer(inc+1, r.version+1), clock.Init})
+				[]uint64{deadIncVer, clock.Init})
 			continue
 		}
 		if !r.dirty {
@@ -497,6 +576,9 @@ func (fb *fallbackCtx) publish() {
 		if r.insert {
 			newIncVer = kvs.PackIncVer(inc+1, r.version+1) // dead → live
 		}
+		// An insert retires the staged DEAD entry as a 2-word slot (no value):
+		// snapshots older than the insert resolve the key to not-found.
+		chain(r, newIncVer, kvs.PackIncVer(inc, r.version), !r.insert)
 		span := 2 + len(r.buf)
 		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
 			words := make([]uint64, span)

@@ -51,6 +51,9 @@ const (
 	msgRangeScan = 5
 	// msgRemoveDead physically unlinks a committed erase's dead entry.
 	msgRemoveDead = 6
+	// msgMVCCScan runs a snapshot-stamped range resolution on the host
+	// (the MVCC read arm's remote scan; see mvcc.go).
+	msgMVCCScan = 7
 )
 
 type orderedLookupMsg struct {
@@ -97,6 +100,9 @@ type removeDeadMsg struct {
 	Table  int
 	Part   int
 	Key    uint64
+	// DeadIncVer is the erased entry's expected incarnation|version (see
+	// removalOp); 0 accepts any dead entry (legacy callers).
+	DeadIncVer uint64
 }
 
 func clusterMsg(typ int, body any) cluster.Msg { return cluster.Msg{Type: typ, Body: body} }
@@ -119,12 +125,19 @@ type structOp struct {
 }
 
 // removalOp schedules the post-commit physical removal of an erased entry.
+// deadIncVer is the exact incarnation|version the erase's flip published:
+// the unlink verifies it so that a removal deferred behind the MVCC
+// snapshot floor can never unlink a LATER death of the same key — one whose
+// stamp exceeds the floor the op was admitted under, and whose chain an
+// in-flight snapshot read may still owe. (A re-insert between queue and
+// drain bumps the incarnation, so a stale op simply no-ops.)
 type removalOp struct {
-	node   int
-	region int
-	table  int
-	part   int
-	key    uint64
+	node       int
+	region     int
+	table      int
+	part       int
+	key        uint64
+	deadIncVer uint64
 }
 
 // installOrderedHandlers wires the ordered-store verbs handlers on every
@@ -157,6 +170,10 @@ func (rt *Runtime) installOrderedHandlers() {
 			m := body.(removeDeadMsg)
 			rt.execRemoveDead(n, m)
 			return nil
+		})
+		n.Handle(msgMVCCScan, func(from int, body any) any {
+			m := body.(mvccScanMsg)
+			return rt.execMVCCScan(n, m)
 		})
 	}
 }
@@ -252,7 +269,7 @@ func (rt *Runtime) execRemoveDead(n *cluster.Node, m removeDeadMsg) {
 		rt.redoMu.Lock()
 		defer rt.redoMu.Unlock()
 	}
-	if !removeDeadEntry(o, m.Key, uint8(n.ID)) {
+	if !removeDeadEntry(o, m.Key, uint8(n.ID), m.DeadIncVer) {
 		return
 	}
 	if repl {
@@ -272,18 +289,21 @@ func (rt *Runtime) execRemoveDead(n *cluster.Node, m removeDeadMsg) {
 				if kvs.Live(kvs.Incarnation(rep.Arena().LoadWord(kvs.IncVerOffset(roff)))) {
 					rep.Delete(m.Key)
 				} else {
-					removeDeadEntry(rep, m.Key, uint8(b))
+					removeDeadEntry(rep, m.Key, uint8(b), m.DeadIncVer)
 				}
 			}
 		}
 	}
 }
 
-// removeDeadEntry locks, re-verifies and unlinks one dead entry. The freed
-// slot's state word is intentionally left write-locked — an ABA guard
-// against in-flight one-sided CASes aimed at the old occupant; Insert and
-// EnsureDead re-initialize the state word when the slot is reused.
-func removeDeadEntry(o *kvs.Ordered, key uint64, owner uint8) bool {
+// removeDeadEntry locks, re-verifies and unlinks one dead entry. A nonzero
+// want pins the unlink to one specific death: the entry must still carry
+// exactly that incarnation|version, so a stale (queued) removal op can
+// never unlink a later death of the same key. The freed slot's state word
+// is intentionally left write-locked — an ABA guard against in-flight
+// one-sided CASes aimed at the old occupant; Insert and EnsureDead
+// re-initialize the state word when the slot is reused.
+func removeDeadEntry(o *kvs.Ordered, key uint64, owner uint8, want uint64) bool {
 	off, ok := o.Lookup(key)
 	if !ok {
 		return false
@@ -293,7 +313,8 @@ func removeDeadEntry(o *kvs.Ordered, key uint64, owner uint8) bool {
 		return false
 	}
 	incver := arena.LoadWord(kvs.IncVerOffset(off))
-	if arena.LoadWord(off+kvs.EntryKeyWord) != key || kvs.Live(kvs.Incarnation(incver)) {
+	if arena.LoadWord(off+kvs.EntryKeyWord) != key || kvs.Live(kvs.Incarnation(incver)) ||
+		(want != 0 && incver != want) {
 		arena.StoreWord(kvs.StateOffset(off), clock.Init)
 		return false
 	}
@@ -426,7 +447,8 @@ func (t *Tx) declareLocalErase(table, region, part int, key uint64) ([]uint64, e
 		key: key, off: off, inc: kvs.Incarnation(incver), ver: kvs.Version(incver),
 		val: vals})
 	t.removals = append(t.removals, removalOp{node: e.w.Node.ID, region: region,
-		table: table, part: part, key: key})
+		table: table, part: part, key: key,
+		deadIncVer: kvs.PackIncVer(kvs.Incarnation(incver)+1, kvs.Version(incver)+1)})
 	return vals, nil
 }
 
@@ -478,11 +500,27 @@ func (t *Tx) stageOrderedInsert(table, node, region, part int, key uint64, val [
 		e.mustUnlock(node, region, kvs.StateOffset(off))
 		return kvs.ErrExists
 	}
+	// Chained tables: capture the locked slot's tail stamp so the commit can
+	// retire the dead pre-insert version and raise its stamp above it.
+	var prevTail uint64
+	if depth := e.chainDepthAt(node, region); depth > 0 {
+		vw := e.rt.Meta(table).ValueWords
+		tw := make([]uint64, 1)
+		if err := e.verbRetry(func() error {
+			return e.w.QP.TryRead(node, region,
+				kvs.TailOffset(off, vw, depth)+kvs.TailStampWord, tw)
+		}); err != nil {
+			e.mustUnlock(node, region, kvs.StateOffset(off))
+			return t.nodeDown()
+		}
+		prevTail = tw[0]
+	}
 	r := e.getRec()
 	r.table, r.node, r.key = table, node, key
 	r.region, r.part = region, part
 	r.off, r.write, r.dirty = off, true, true
 	r.ordered, r.insert = true, true
+	r.prevTail = prevTail
 	r.inc, r.version = kvs.Incarnation(hdr[1]), kvs.Version(hdr[1])
 	r.buf = append(r.buf[:0], val...)
 	t.rIndex[refKey{table, key}] = r
@@ -510,7 +548,10 @@ func (t *Tx) stageOrderedErase(table, node, region, part int, key uint64) ([]uin
 		return nil, t.remoteConflict()
 	}
 	vw := e.rt.Meta(table).ValueWords
-	words := make([]uint64, kvs.EntryValueWord+vw)
+	// Chained tables fetch the full entry image: the extra words carry the
+	// tail stamp the commit's retire needs, in the same post-lock READ.
+	depth := e.chainDepthAt(node, region)
+	words := make([]uint64, kvs.EntryImageWords(vw, depth))
 	if err := e.verbRetry(func() error {
 		return e.w.QP.TryRead(node, region, off, words)
 	}); err != nil {
@@ -526,18 +567,22 @@ func (t *Tx) stageOrderedErase(table, node, region, part int, key uint64) ([]uin
 		e.mustUnlock(node, region, kvs.StateOffset(off))
 		return nil, ErrNotFound
 	}
-	val := append([]uint64(nil), words[kvs.EntryValueWord:]...)
+	val := append([]uint64(nil), words[kvs.EntryValueWord:kvs.EntryValueWord+vw]...)
 	r := e.getRec()
 	r.table, r.node, r.key = table, node, key
 	r.region, r.part = region, part
 	r.off, r.write = off, true
 	r.ordered, r.erase = true, true
+	if depth > 0 {
+		r.prevTail = words[int(kvs.TailOffset(0, vw, depth))+kvs.TailStampWord]
+	}
 	r.inc, r.version = kvs.Incarnation(incver), kvs.Version(incver)
 	r.buf = append(r.buf[:0], val...)
 	t.rIndex[refKey{table, key}] = r
 	t.remotes = append(t.remotes, r)
 	t.removals = append(t.removals, removalOp{node: node, region: region,
-		table: table, part: part, key: key})
+		table: table, part: part, key: key,
+		deadIncVer: kvs.PackIncVer(r.inc+1, r.version+1)})
 	return val, nil
 }
 
@@ -581,7 +626,13 @@ func (t *Tx) stageOrderedPoint(table int, key uint64, node, region, part int, wr
 	}
 	spec := !write && t.policy == PolicySpeculative
 	vw := e.rt.Meta(table).ValueWords
-	words := make([]uint64, kvs.EntryValueWord+vw)
+	// Write stages on chained tables read the full image (the tail stamp
+	// feeds the commit-time retire); read stages keep the narrow READ.
+	depth := 0
+	if write {
+		depth = e.chainDepthAt(node, region)
+	}
+	words := make([]uint64, kvs.EntryImageWords(vw, depth))
 	var leaseEnd uint64
 	if !spec {
 		end, won, aerr := t.acquireOrderedState(node, region, off, write)
@@ -630,8 +681,11 @@ func (t *Tx) stageOrderedPoint(table int, key uint64, node, region, part int, wr
 	r.off, r.write, r.spec = off, write, spec
 	r.ordered = true
 	r.leaseEnd = leaseEnd
+	if depth > 0 {
+		r.prevTail = words[int(kvs.TailOffset(0, vw, depth))+kvs.TailStampWord]
+	}
 	r.inc, r.version = kvs.Incarnation(incver), kvs.Version(incver)
-	r.buf = append(r.buf[:0], words[kvs.EntryValueWord:]...)
+	r.buf = append(r.buf[:0], words[kvs.EntryValueWord:kvs.EntryValueWord+vw]...)
 	t.rIndex[refKey{table, key}] = r
 	t.remotes = append(t.remotes, r)
 	return nil
@@ -706,7 +760,10 @@ func (t *Tx) upgradeOrdered(r *remoteRec) error {
 	}
 	e.w.Obs.Inc(obs.EvLockUpgrade)
 	vw := e.rt.Meta(r.table).ValueWords
-	words := make([]uint64, kvs.EntryValueWord+vw)
+	// The post-upgrade re-fetch is a write stage: on chained tables it reads
+	// the full image so the commit-time retire knows the tail stamp.
+	depth := e.chainDepthAt(r.node, r.region)
+	words := make([]uint64, kvs.EntryImageWords(vw, depth))
 	if rerr := e.verbRetry(func() error {
 		return e.w.QP.TryRead(r.node, r.region, r.off, words)
 	}); rerr != nil {
@@ -717,9 +774,12 @@ func (t *Tx) upgradeOrdered(r *remoteRec) error {
 	if words[kvs.EntryKeyWord] != r.key || !kvs.Live(kvs.Incarnation(words[kvs.EntryIncVerWord])) {
 		return t.fail() // releaseLocks covers the fresh lock
 	}
+	if depth > 0 {
+		r.prevTail = words[int(kvs.TailOffset(0, vw, depth))+kvs.TailStampWord]
+	}
 	r.inc = kvs.Incarnation(words[kvs.EntryIncVerWord])
 	r.version = kvs.Version(words[kvs.EntryIncVerWord])
-	r.buf = append(r.buf[:0], words[kvs.EntryValueWord:]...)
+	r.buf = append(r.buf[:0], words[kvs.EntryValueWord:kvs.EntryValueWord+vw]...)
 	return nil
 }
 
@@ -766,6 +826,12 @@ func (t *Tx) flipStructural(htx *htm.Txn, o *kvs.Ordered, op *structOp, insert b
 		}
 		htx.Write(arena, kvs.StateOffset(op.off), clock.Init)
 	}
+	// Retire the superseded version — the dead pre-insert slot or the live
+	// pre-erase row — into the ring before the flip; sealChains publishes the
+	// tail pair with the commit's uniform stamp.
+	if depth := o.ChainDepth(); depth > 0 {
+		t.retireLocalChain(htx, arena, op.off, o.ValueWords(), depth)
+	}
 	htx.Write(arena, kvs.IncVerOffset(op.off), kvs.PackIncVer(op.inc+1, op.ver+1))
 	if insert {
 		htx.WriteN(arena, kvs.ValueOffset(op.off), op.val)
@@ -783,14 +849,27 @@ func (t *Tx) flipStructural(htx *htm.Txn, o *kvs.Ordered, op *structOp, insert b
 // applyRemovals physically unlinks every committed erase's dead entry after
 // all locks have dropped: directly for local shards, via verbs otherwise; a
 // crashed host's removal parks for recovery like any post-commit effect.
+// Under MVCC (ChainDepth > 0) the unlink is instead queued behind the
+// snapshot floor — a snapshot read below the erase's commit stamp must still
+// resolve the dead version from the chain — and drained opportunistically on
+// every commit.
 func (t *Tx) applyRemovals() {
+	mvcc := t.e.rt.C.Config().MVCCDepth > 0
 	for _, op := range t.removals {
-		t.e.applyRemoveDead(op)
+		if mvcc {
+			t.e.rt.queueRemoval(op, t.commitStamp)
+		} else {
+			t.e.applyRemoveDead(op)
+		}
+	}
+	if mvcc {
+		t.e.rt.drainRemovals(t.e)
 	}
 }
 
 func (e *Executor) applyRemoveDead(op removalOp) {
-	m := removeDeadMsg{Region: op.region, Table: op.table, Part: op.part, Key: op.key}
+	m := removeDeadMsg{Region: op.region, Table: op.table, Part: op.part, Key: op.key,
+		DeadIncVer: op.deadIncVer}
 	e.w.Obs.Inc(obs.EvRemoveDead)
 	if op.node == e.w.Node.ID {
 		e.rt.execRemoveDead(e.w.Node, m)

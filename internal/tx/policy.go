@@ -49,6 +49,13 @@ const (
 	PolicyAdaptive
 	// PolicyExclusive locks remote reads exclusively (ablation arm).
 	PolicyExclusive
+	// PolicyMVCC serves read-only transactions from version chains at a
+	// cluster-wide snapshot stamp: one entry+chain READ per key, no lease
+	// CAS, no confirm wave (see mvcc.go). Read-write transactions under
+	// PolicyMVCC use the lease arm — chains only serve reads. Requires
+	// cluster.Config.MVCCDepth > 0; with chains disabled the RO layer runs
+	// the confirm-wave scheme instead.
+	PolicyMVCC
 )
 
 func (p ReadPolicy) String() string {
@@ -63,13 +70,15 @@ func (p ReadPolicy) String() string {
 		return "adaptive"
 	case PolicyExclusive:
 		return "exclusive"
+	case PolicyMVCC:
+		return "mvcc"
 	}
 	return fmt.Sprintf("ReadPolicy(%d)", int(p))
 }
 
 // Valid reports whether p is one of the defined policies.
 func (p ReadPolicy) Valid() bool {
-	return p >= PolicyDefault && p <= PolicyExclusive
+	return p >= PolicyDefault && p <= PolicyMVCC
 }
 
 // PolicyConfig tunes PolicyAdaptive's heat table. The zero value of any
@@ -100,11 +109,26 @@ type PolicyConfig struct {
 	// default 4096 slots ≈ 32 KiB). kvs buckets hash onto slots; colliding
 	// buckets merge their heat, erring toward the conservative lease arm.
 	HeatSlots int
+
+	// MVCCScanFanout is the read-only Scan fanout (requested row count) at
+	// which PolicyAdaptive routes the whole transaction to the MVCC
+	// snapshot arm instead of the confirm-wave scheme (default 32): wide
+	// scans amortize the one entry+chain READ per row against the
+	// confirm wave's per-row re-validation READ plus its abort-retry tail.
+	// Point reads and narrow scans keep the speculative arm.
+	MVCCScanFanout int
+
+	// MVCCHotFanout replaces MVCCScanFanout when the scanned range's heat
+	// slot is classified hot (default 8): on a write-hot range the
+	// confirm-wave scan keeps failing validation, so snapshot isolation
+	// pays off at much smaller fanouts.
+	MVCCHotFanout int
 }
 
 // DefaultPolicyConfig returns the adaptive tuning defaults.
 func DefaultPolicyConfig() PolicyConfig {
-	return PolicyConfig{EWMAHalfLife: 64, HotThreshold: 8.0, Hysteresis: 0.5, HeatSlots: 4096}
+	return PolicyConfig{EWMAHalfLife: 64, HotThreshold: 8.0, Hysteresis: 0.5, HeatSlots: 4096,
+		MVCCScanFanout: 32, MVCCHotFanout: 8}
 }
 
 // normalized fills zero fields with defaults and clamps nonsense.
@@ -121,6 +145,12 @@ func (c PolicyConfig) normalized() PolicyConfig {
 	}
 	if c.HeatSlots <= 0 {
 		c.HeatSlots = d.HeatSlots
+	}
+	if c.MVCCScanFanout <= 0 {
+		c.MVCCScanFanout = d.MVCCScanFanout
+	}
+	if c.MVCCHotFanout <= 0 {
+		c.MVCCHotFanout = d.MVCCHotFanout
 	}
 	return c
 }

@@ -39,6 +39,17 @@ type RO struct {
 	// confirm make that instant the serialization point).
 	scans    []scanRec
 	scanVals []uint64
+
+	// mvcc marks this attempt as running the snapshot arm: every read
+	// resolves against version chains at stamp snap and skips lease and
+	// confirm entirely (see mvcc.go). Entered up front under PolicyMVCC, or
+	// by the first wide Scan under PolicyAdaptive — never after a
+	// confirm-wave read has been collected, so one attempt always has a
+	// single serialization point (snap for MVCC attempts, the confirm
+	// instant otherwise).
+	mvcc   bool
+	snap   uint64
+	noMVCC bool // a prior attempt's chain fallback poisons adaptive MVCC entry
 }
 
 type roRec struct {
@@ -68,6 +79,11 @@ type roRec struct {
 
 // ExecRO runs a read-only transaction to completion with retries.
 func (e *Executor) ExecRO(build func(ro *RO) error) error {
+	// chainFellBack poisons the MVCC arm for the rest of this Exec once a
+	// chain proved unresolvable (truncated below the snapshot, or a torn
+	// image): re-reading the same chain would mostly re-truncate, so later
+	// attempts run the confirm-wave scheme instead.
+	chainFellBack := false
 	for attempt := 0; attempt < e.rt.MaxAttempts; attempt++ {
 		ro := &RO{
 			e:      e,
@@ -75,10 +91,27 @@ func (e *Executor) ExecRO(build func(ro *RO) error) error {
 			index:  make(map[refKey]*roRec),
 			policy: e.resolvePolicy(),
 		}
+		if ro.policy == PolicyMVCC {
+			if chainFellBack || !ro.enterMVCC() {
+				// Chains unavailable or already proven unresolvable: the
+				// confirm-wave speculative arm is the MVCC arm's fallback.
+				ro.policy = PolicySpeculative
+			}
+		} else if chainFellBack {
+			ro.noMVCC = true // keep an adaptive Scan from re-entering MVCC
+		}
 		err := build(ro)
+		if ro.mvcc {
+			e.w.EndSnapshotRead()
+		}
 		if err == nil && ro.confirm() {
 			e.w.Obs.Inc(obs.EvROCommit)
 			return nil
+		}
+		if errors.Is(err, errMVCCFallback) {
+			e.w.Obs.Inc(obs.EvMVCCFallback)
+			chainFellBack = true
+			err = ErrRetry
 		}
 		if err != nil && err != ErrRetry {
 			if errors.Is(err, ErrNodeDown) {
@@ -243,6 +276,7 @@ func (ro *RO) confirmScans() bool {
 			for k := range sc.segs {
 				if words[k] != sc.stamps[k] {
 					sh.Inc(obs.EvScanValidateFail)
+					ro.feedScanHeat(sc)
 					return false
 				}
 			}
@@ -250,6 +284,7 @@ func (ro *RO) confirmScans() bool {
 			for k, r := range sc.rows {
 				if rowWords[k] != r.incver {
 					sh.Inc(obs.EvScanValidateFail)
+					ro.feedScanHeat(sc)
 					return false
 				}
 			}
@@ -259,6 +294,7 @@ func (ro *RO) confirmScans() bool {
 		for k, s := range sc.segs {
 			if arena.LoadWord(kvs.SegStampOffset(s)) != sc.stamps[k] {
 				sh.Inc(obs.EvScanValidateFail)
+				ro.feedScanHeat(sc)
 				return false
 			}
 		}
@@ -266,6 +302,7 @@ func (ro *RO) confirmScans() bool {
 			if arena.LoadWord(kvs.IncVerOffset(r.off)) != r.incver ||
 				clock.IsWriteLocked(arena.LoadWord(kvs.StateOffset(r.off))) {
 				sh.Inc(obs.EvScanValidateFail)
+				ro.feedScanHeat(sc)
 				return false
 			}
 		}
@@ -290,9 +327,12 @@ func (ro *RO) Scan(table int, lo, hi uint64, limit int) ([]ScanRow, error) {
 			"partition scans by the routing attribute", lo, hi, table, node, nodeHi))
 	}
 	ro.stampView(part)
+	if ro.mvcc || ro.routeScanMVCC(node, table, lo, hi, limit) {
+		return ro.mvccScan(table, node, region, lo, hi, limit)
+	}
 	sh := ro.e.w.Obs
 	sstart := int64(ro.e.w.VClock.Now())
-	rec := scanRec{table: table, node: node, region: region}
+	rec := scanRec{table: table, node: node, region: region, lo: lo}
 	var out []ScanRow
 	if node == ro.e.w.Node.ID {
 		o := ro.e.w.Node.Ordered(region)
@@ -400,11 +440,15 @@ func (ro *RO) stampView(part int) {
 	}
 }
 
-// Read leases and fetches a record by key.
+// Read leases and fetches a record by key (or, on the MVCC arm, resolves it
+// against its version chain at the snapshot stamp with one READ).
 func (ro *RO) Read(table int, key uint64) ([]uint64, error) {
 	k := refKey{table, key}
 	if r, ok := ro.index[k]; ok {
 		return r.buf, nil
+	}
+	if ro.mvcc {
+		return ro.mvccRead(table, key)
 	}
 	node, region, part := ro.e.route(table, key)
 	ro.stampView(part)

@@ -41,6 +41,7 @@ func (t *Tx) replicate() error {
 			ups = append(ups, nvram.RedoUpdate{
 				Part: u.part, Epoch: cluster.ViewEpoch(w), Table: u.ltable,
 				Key: u.key, Version: u.version, Inc: u.inc, Val: u.val,
+				Stamp: t.commitStamp,
 			})
 		}
 	}
@@ -52,6 +53,7 @@ func (t *Tx) replicate() error {
 			u := nvram.RedoUpdate{
 				Part: r.part, Epoch: cluster.ViewEpoch(w), Table: r.table,
 				Key: r.key, Version: r.version + 1, Val: r.buf,
+				Stamp: t.commitStamp,
 			}
 			switch {
 			case r.insert, r.erase:
@@ -93,6 +95,7 @@ func (t *Tx) replicateFallback(fb *fallbackCtx) error {
 			u := nvram.RedoUpdate{
 				Part: r.part, Epoch: cluster.ViewEpoch(w), Table: r.table,
 				Key: r.key, Version: r.version + 1, Val: r.buf,
+				Stamp: t.commitStamp,
 			}
 			switch {
 			case r.insert, r.erase:
@@ -349,6 +352,11 @@ func (rt *Runtime) applyRedoOrdered(o *kvs.Ordered, u nvram.RedoUpdate) bool {
 	if kvs.Live(u.Inc) != kvs.Live(newInc) {
 		newInc++
 	}
+	// Retire the superseded replica version into the copy's own chain (under
+	// redoMu; tail-first, value and head after) so a promoted backup keeps
+	// serving snapshot reads across failover.
+	kvs.RetireLocal(arena, off, o.ValueWords(), o.ChainDepth(),
+		u.Stamp, kvs.PackIncVer(newInc, u.Version))
 	if len(u.Val) > 0 {
 		arena.Write(kvs.ValueOffset(off), u.Val)
 	}
@@ -371,6 +379,10 @@ func (rt *Runtime) applyRedoTo(host *kvs.Table, u nvram.RedoUpdate) bool {
 	if kvs.Version(cur) >= u.Version {
 		return false
 	}
+	// Retire the superseded replica version into the copy's own chain (under
+	// redoMu; tail-first, value and head after).
+	kvs.RetireLocal(arena, off, host.ValueWords(), host.ChainDepth(),
+		u.Stamp, kvs.PackIncVer(kvs.Incarnation(cur), u.Version))
 	arena.Write(kvs.ValueOffset(off), u.Val)
 	arena.Write(kvs.IncVerOffset(off),
 		[]uint64{kvs.PackIncVer(kvs.Incarnation(cur), u.Version)})

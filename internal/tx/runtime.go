@@ -207,6 +207,67 @@ type Runtime struct {
 	redoMu sync.Mutex
 	delGen map[delKey]uint64
 	bkScr  []int
+
+	// Stamp-gated removal queue (MVCC only). Physical unlink of a dead entry
+	// is deferred until the cluster's snapshot floor passes the commit stamp
+	// that killed it — an in-flight or future snapshot read below that stamp
+	// must still resolve the dead version from the chain (see
+	// cluster.MinActiveSnapshot). remQ is ordered by stamp (commit stamps on
+	// one runtime are taken in commit order per worker, and the drain
+	// re-checks every head, so strict global order is not required).
+	remMu sync.Mutex
+	remQ  []gatedRemoval
+}
+
+// gatedRemoval is a dead-entry unlink waiting for the snapshot floor to pass
+// the stamp of the commit that erased it.
+type gatedRemoval struct {
+	op    removalOp
+	stamp uint64
+}
+
+// queueRemoval defers a dead-entry unlink until drainRemovals observes a
+// snapshot floor ≥ stamp.
+func (rt *Runtime) queueRemoval(op removalOp, stamp uint64) {
+	rt.remMu.Lock()
+	rt.remQ = append(rt.remQ, gatedRemoval{op: op, stamp: stamp})
+	rt.remMu.Unlock()
+}
+
+// drainRemovals applies every queued removal whose death stamp has been
+// passed by the snapshot floor: no current or future snapshot read can still
+// need the dead version, so the entry may leave the chain.
+func (rt *Runtime) drainRemovals(e *Executor) {
+	rt.remMu.Lock()
+	empty := len(rt.remQ) == 0
+	rt.remMu.Unlock()
+	if empty {
+		return
+	}
+	// Order matters: the published-stamp read MUST precede the active-reader
+	// scan. enterMVCC registers before taking its snapshot from a second
+	// stamp read, so a reader this scan misses will take a snapshot at or
+	// above the stamp read below — and every removal gated by this floor
+	// died at or below it. See enterMVCC.
+	floor := rt.C.SnapshotStamp()
+	if m := rt.C.MinActiveSnapshot(); m < floor {
+		floor = m
+	}
+	var ready []removalOp
+	rt.remMu.Lock()
+	keep := rt.remQ[:0]
+	for _, g := range rt.remQ {
+		if g.stamp <= floor {
+			ready = append(ready, g.op)
+		} else {
+			keep = append(keep, g)
+		}
+	}
+	rt.remQ = keep
+	rt.remMu.Unlock()
+	for _, op := range ready {
+		e.applyRemoveDead(op)
+	}
 }
 
 // delKey identifies a logical record for delete-generation tracking.

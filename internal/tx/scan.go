@@ -55,11 +55,14 @@ type scanRowRec struct {
 	incver uint64
 }
 
-// scanRec records one collected range scan.
+// scanRec records one collected range scan. lo keys the range's heat slot
+// (RO confirm failures heat it so the adaptive footprint router lowers its
+// MVCC threshold for this range).
 type scanRec struct {
 	table  int
 	node   int
 	region int
+	lo     uint64
 	segs   []int
 	stamps []uint64
 	rows   []scanRowRec

@@ -129,6 +129,7 @@ type stageReq struct {
 	cache kvs.Cache
 	r     *remoteRec
 	vw    int // value words, for the entry-read buffer
+	depth int // host's version-chain depth (0 = chains off)
 
 	// upgrade marks a record already staged with a shared lease (or a
 	// speculative read) that now needs an exclusive lock: the pipeline CASes
@@ -180,6 +181,26 @@ func (s *stageReq) entryBuf(n int) []uint64 {
 	return s.ebuf[:n]
 }
 
+// rdWords is the span of the record's entry READ: write stages on chained
+// tables fetch the full image — the extra words carry the tail stamp the
+// commit-time retire needs — in the same post-lock READ; everything else
+// keeps the narrow header+value read. Computed at post time, after Stage's
+// dedup pass may have strengthened s.write.
+func (s *stageReq) rdWords() int {
+	if s.write && s.depth > 0 {
+		return kvs.EntryImageWords(s.vw, s.depth)
+	}
+	return kvs.EntryValueWord + s.vw
+}
+
+// captureTail records the previous tail stamp out of a full-image READ
+// (no-op for narrow reads).
+func (s *stageReq) captureTail(words []uint64) {
+	if s.write && s.depth > 0 {
+		s.r.prevTail = words[int(kvs.TailOffset(0, s.vw, s.depth))+kvs.TailStampWord]
+	}
+}
+
 // gatherRemote dedupes one remote access against the staged set and builds
 // its pipeline request; a nil request means the access is already satisfied.
 func (t *Tx) gatherRemote(table int, key uint64, node, region, part int, write bool) (*stageReq, error) {
@@ -200,6 +221,7 @@ func (t *Tx) gatherRemote(table int, key uint64, node, region, part int, write b
 		s.host = t.e.rt.C.Node(r.node).Unordered(r.region)
 		s.cache = t.e.cacheFor(r.node, r.region)
 		s.r, s.upgrade, s.fromSpec, s.vw = r, true, r.spec, meta.ValueWords
+		s.depth = s.host.ChainDepth()
 		return s, nil
 	}
 	if meta.Kind == Ordered {
@@ -215,6 +237,7 @@ func (t *Tx) gatherRemote(table int, key uint64, node, region, part int, write b
 	s.spec = !write && t.e.routeRead(t.policy, s.host, node, table, key)
 	s.cache = t.e.cacheFor(node, region)
 	s.vw = meta.ValueWords
+	s.depth = s.host.ChainDepth()
 	return s, nil
 }
 
@@ -314,7 +337,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 			// Speculatively prefetch the entry in the same wave: the READ
 			// executes after the CAS in post order, so a won CAS's image is
 			// already covered by the lock/lease it installed.
-			s.fuseWR = s.host.PostEntryReadBuf(sq, s.loc, s.entryBuf(kvs.EntryValueWord+s.vw))
+			s.fuseWR = s.host.PostEntryReadBuf(sq, s.loc, s.entryBuf(s.rdWords()))
 		}
 		sq.Poll()
 		next := active[:0]
@@ -353,6 +376,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 					s.r.buf = append(s.r.buf[:0], e.Value...)
 					s.r.version = e.Version
 					s.r.inc = e.Incarnation
+					s.captureTail(fuse.Dst)
 					s.needFetch = false
 				}
 				// Decode failure means a stale location: leave needFetch set
@@ -376,7 +400,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 	fetches := 0
 	for _, s := range reqs {
 		if s.needFetch {
-			s.entryWR = s.host.PostEntryReadBuf(sq, s.loc, s.entryBuf(kvs.EntryValueWord+s.vw))
+			s.entryWR = s.host.PostEntryReadBuf(sq, s.loc, s.entryBuf(s.rdWords()))
 			fetches++
 		}
 	}
@@ -416,6 +440,7 @@ func (t *Tx) stageBatch(reqs []*stageReq) error {
 		s.r.buf = append(s.r.buf[:0], e.Value...)
 		s.r.version = e.Version
 		s.r.inc = e.Incarnation
+		s.captureTail(wr.Dst)
 	}
 	sh.Observe(obs.PhasePrefetchRemote, int64(t.e.w.VClock.Now())-pstart)
 	if down {

@@ -25,8 +25,8 @@ const (
 // remoteRec is a staged remote record.
 type remoteRec struct {
 	table, node int
-	region      int           // storage region on node (replica region after failover)
-	part        int           // home partition (for replication; -1 if replicated table)
+	region      int // storage region on node (replica region after failover)
+	part        int // home partition (for replication; -1 if replicated table)
 	key         uint64
 	off         memory.Offset // entry offset in the owner's arena
 	lossy       uint64        // lossy incarnation from the locator (staleness check)
@@ -45,6 +45,11 @@ type remoteRec struct {
 	ordered bool
 	insert  bool
 	erase   bool
+
+	// prevTail is the entry's tail stamp observed post-lock (write records
+	// of chained tables only): commitRemotes retires the superseded version
+	// at this stamp, and the commit stamp is raised above it (sealChains).
+	prevTail uint64
 }
 
 // localRec is a declared local record (needed for the fallback handler,
@@ -154,6 +159,17 @@ type Tx struct {
 	redoDst []int
 	redoBk  []int
 
+	// Version-chain commit state (MVCC snapshot reads; see kvs layout.go).
+	// stampBase is the bracketed soft-time from Worker.BeginCommitStamp;
+	// commitStamp the commit's uniform chain stamp, computed inside the HTM
+	// region above every written entry's previous tail stamp — ONE stamp per
+	// commit is what makes multi-row commits atomic under snapshot reads.
+	// chainFix collects the locally written chained entries whose tail pairs
+	// sealChains publishes in a fix-up pass just before XEND.
+	stampBase   uint64
+	commitStamp uint64
+	chainFix    []chainFixRec
+
 	// lcScratch is the Local handed to the transaction body, reused across
 	// attempts (the body must not retain it past Execute).
 	lcScratch Local
@@ -168,6 +184,74 @@ type Tx struct {
 type refKey struct {
 	table int
 	key   uint64
+}
+
+// chainFixRec is one locally written chained entry awaiting its tail-pair
+// publish (sealChains): the ring slot was filled at write time, the tail
+// (uniform commit stamp, final head) lands in the pre-XEND fix-up pass.
+type chainFixRec struct {
+	arena    *memory.Arena
+	off      memory.Offset
+	vw       int
+	depth    int
+	prevTail uint64
+}
+
+// retireLocalChain retires a locally written entry's current version into
+// its ring slot — once per entry per transaction: a second write to the same
+// entry must not expose its own intermediate version as a resolvable slot —
+// and queues the tail fix-up for sealChains.
+func (t *Tx) retireLocalChain(htx *htm.Txn, arena *memory.Arena, off memory.Offset, vw, depth int) {
+	for i := range t.chainFix {
+		if t.chainFix[i].arena == arena && t.chainFix[i].off == off {
+			return
+		}
+	}
+	prev := kvs.RetireSlotTx(htx, arena, off, vw, depth)
+	t.chainFix = append(t.chainFix, chainFixRec{arena: arena, off: off, vw: vw,
+		depth: depth, prevTail: prev})
+	t.e.w.Obs.Inc(obs.EvChainRetire)
+}
+
+// sealChains computes the commit's uniform chain stamp — above the bracket
+// soft-time and above every written entry's previous tail stamp, local and
+// remote — and publishes each locally written chained entry's tail pair
+// inside the HTM region. Per-entry clamping instead would let two entries of
+// one commit carry different stamps, and a snapshot between them would
+// observe half the commit.
+func (t *Tx) sealChains(htx *htm.Txn) {
+	s := t.stampBase
+	for _, r := range t.remotes {
+		if r.write && r.prevTail >= s {
+			s = r.prevTail + 1
+		}
+	}
+	for i := range t.chainFix {
+		if f := &t.chainFix[i]; f.prevTail >= s {
+			s = f.prevTail + 1
+		}
+	}
+	if s == 0 {
+		s = 1
+	}
+	t.commitStamp = s
+	for i := range t.chainFix {
+		f := &t.chainFix[i]
+		head := htx.Read(f.arena, kvs.IncVerOffset(f.off))
+		tailOff := kvs.TailOffset(f.off, f.vw, f.depth)
+		htx.Write(f.arena, tailOff+kvs.TailStampWord, s)
+		htx.Write(f.arena, tailOff+kvs.TailIncVerWord, head)
+	}
+}
+
+// chainDepthAt returns the version-chain depth of the store backing a
+// storage region on a node (0 when chains are disabled).
+func (e *Executor) chainDepthAt(node, region int) int {
+	n := e.rt.C.Node(node)
+	if o, ok := n.OrderedRegion(region); ok {
+		return o.ChainDepth()
+	}
+	return n.Unordered(region).ChainDepth()
 }
 
 func (e *Executor) newTx() *Tx {
@@ -341,6 +425,13 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 	cfg := rt.C.Config()
 	model := t.e.model()
 
+	// MVCC commit-stamp bracket: the soft-time read lower-bounds this
+	// commit's chain stamp, and the published active word pins the cluster
+	// snapshot stamp below any stamp the commit can still choose, so no
+	// snapshot reader's stamp can land between our entries (snapshot.go).
+	t.stampBase = t.e.w.BeginCommitStamp()
+	defer t.e.w.EndCommitStamp()
+
 	// Durability: chopping info and the lock-ahead log are written before
 	// entering the HTM region (Figure 7, left).
 	if cfg.Durability {
@@ -355,6 +446,7 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 		}
 		t.walLocal = t.walLocal[:0]
 		t.deferred = t.deferred[:0]
+		t.chainFix = t.chainFix[:0]
 		lc := &t.lcScratch
 		*lc = Local{t: t}
 		hstart := int64(t.e.w.VClock.Now())
@@ -371,6 +463,7 @@ func (t *Tx) Execute(fn func(lc *Local) error) error {
 			// incver words of entries the scans recorded.
 			t.validateScans(htx)
 			t.applyLocalStructural(htx)
+			t.sealChains(htx)
 			if cfg.Durability {
 				t.logWALTx(htx)
 			}
@@ -542,17 +635,49 @@ func (t *Tx) commitRemotes() {
 	}
 	sq := t.e.sendq()
 	var value, release []commitOp
+	// chainOps appends the version-chain write-back of one chained write
+	// record to the value phase: the tail pair FIRST (the dirty marker), then
+	// the retired slot with the superseded triple. The simulated fabric
+	// applies a wave's side effects in post order, and the head word flips
+	// only in the release phase after the value-phase poll, so a concurrent
+	// one-READ snapshot sees either the old quiescent image or a head/tail
+	// mismatch (layout.go ordering protocol). A prevTail of zero means the
+	// entry was never stamped: the tail starts the chain, no slot to retire.
+	chainOps := func(r *remoteRec, newIncVer, prevHead uint64, oldVal []uint64) {
+		vw := len(r.buf)
+		depth := t.e.chainDepthAt(r.node, r.region)
+		if depth <= 0 {
+			return
+		}
+		value = append(value, commitOp{r: r, off: kvs.TailOffset(r.off, vw, depth),
+			data: []uint64{t.commitStamp, newIncVer}})
+		if r.prevTail == 0 {
+			return
+		}
+		slotOff := kvs.ChainSlotOffset(r.off, vw,
+			kvs.ChainSlotIndex(kvs.Version(prevHead), depth))
+		slot := append([]uint64{r.prevTail, prevHead}, oldVal...)
+		value = append(value, commitOp{r: r, off: slotOff, data: slot})
+		t.e.w.Obs.Inc(obs.EvChainRetire)
+	}
+	wi := 0
 	for _, r := range t.remotes {
 		if !r.write {
 			continue
 		}
+		// The pristine pre-commit value, from the same snapshot restoreWriteBufs
+		// rolls back to (the body mutates r.buf in place for dirty records).
+		oldVal := t.wsnap[wi : wi+len(r.buf)]
+		wi += len(r.buf)
 		incverOff := kvs.IncVerOffset(r.off)
 		if r.erase {
 			// Transactional erase: flip the entry dead (incarnation+1 → even)
 			// and unlock in one release-phase write. Physical removal of the
-			// dead entry is deferred to applyRemovals, after all locks drop.
+			// dead entry is deferred until no snapshot can still need it.
+			deadIncVer := kvs.PackIncVer(r.inc+1, r.version+1)
+			chainOps(r, deadIncVer, kvs.PackIncVer(r.inc, r.version), oldVal)
 			release = append(release, commitOp{r: r, off: incverOff,
-				data: []uint64{kvs.PackIncVer(r.inc+1, r.version+1), clock.Init}})
+				data: []uint64{deadIncVer, clock.Init}})
 			continue
 		}
 		if !r.dirty {
@@ -569,6 +694,14 @@ func (t *Tx) commitRemotes() {
 			newInc = t.readIncarnation(r)
 		}
 		newIncVer := kvs.PackIncVer(newInc, r.version+1)
+		if r.insert {
+			// The superseded version is the staged DEAD entry: retire it as a
+			// 2-word slot (stamp, dead incver) with no value, so a snapshot
+			// older than the insert resolves the key to not-found.
+			chainOps(r, newIncVer, kvs.PackIncVer(r.inc, r.version), nil)
+		} else {
+			chainOps(r, newIncVer, kvs.PackIncVer(newInc, r.version), oldVal)
+		}
 		span := 2 + len(r.buf) // incver, state, value...
 		if memory.LineOf(incverOff) == memory.LineOf(incverOff+memory.Offset(span-1)) {
 			words := make([]uint64, span)

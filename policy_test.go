@@ -3,6 +3,7 @@ package drtm
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestOptionsPolicyValidation pins the deprecated-knob migration: the old
@@ -21,6 +22,7 @@ func TestOptionsPolicyValidation(t *testing.T) {
 	}{
 		{"default is adaptive", Options{}, PolicyAdaptive, ""},
 		{"explicit lease", Options{ReadPolicy: PolicyLease}, PolicyLease, ""},
+		{"explicit mvcc", Options{ReadPolicy: PolicyMVCC}, PolicyMVCC, ""},
 		{"deprecated SpeculativeReads", Options{SpeculativeReads: true}, PolicySpeculative, ""},
 		{"deprecated NoReadLease", Options{NoReadLease: true}, PolicyExclusive, ""},
 		{"redundant alias ok", Options{SpeculativeReads: true, ReadPolicy: PolicySpeculative}, PolicySpeculative, ""},
@@ -28,6 +30,35 @@ func TestOptionsPolicyValidation(t *testing.T) {
 		{"bool vs policy conflict", Options{SpeculativeReads: true, ReadPolicy: PolicyLease}, 0, "conflicts with"},
 		{"NoReadLease vs policy conflict", Options{NoReadLease: true, ReadPolicy: PolicyAdaptive}, 0, "conflicts with"},
 		{"unknown policy", Options{ReadPolicy: ReadPolicy(99)}, 0, "unknown"},
+		{"mvcc needs chains", Options{ReadPolicy: PolicyMVCC, MVCCDepth: -1}, 0, "version chains"},
+	}
+	// Every alias × explicit-policy combination goes through the same rule:
+	// the matching policy is redundant-but-legal, any other explicit policy
+	// conflicts, and the unset policy resolves to the alias's policy.
+	aliases := []struct {
+		name   string
+		set    func(*Options)
+		policy ReadPolicy
+	}{
+		{"SpeculativeReads", func(o *Options) { o.SpeculativeReads = true }, PolicySpeculative},
+		{"NoReadLease", func(o *Options) { o.NoReadLease = true }, PolicyExclusive},
+	}
+	for _, a := range aliases {
+		for _, p := range []ReadPolicy{PolicyAdaptive, PolicyLease,
+			PolicySpeculative, PolicyExclusive, PolicyMVCC} {
+			in := Options{ReadPolicy: p}
+			a.set(&in)
+			c := struct {
+				name    string
+				in      Options
+				want    ReadPolicy
+				wantErr string
+			}{name: a.name + " x " + p.String(), in: in, want: p}
+			if p != a.policy {
+				c.wantErr = "conflicts with"
+			}
+			cases = append(cases, c)
+		}
 	}
 	for _, c := range cases {
 		got, err := norm(c.in)
@@ -241,5 +272,69 @@ func TestAdaptiveStatsAndTrace(t *testing.T) {
 	if toHot != s.ArmSwitchesToLease || toCold != s.ArmSwitchesToSpec {
 		t.Fatalf("traced %d/%d arm switches, counters say %d/%d",
 			toHot, toCold, s.ArmSwitchesToLease, s.ArmSwitchesToSpec)
+	}
+}
+
+// TestMVCCPolicyE2E: PolicyMVCC through the public API — Options.MVCCDepth
+// builds the version chains, ExecROWith(PolicyMVCC) resolves a consistent
+// snapshot with no lease traffic, and the Stats MVCC counters move.
+func TestMVCCPolicyE2E(t *testing.T) {
+	db := MustOpen(Options{Nodes: 2, WorkersPerNode: 1, MVCCDepth: 4},
+		func(table int, key uint64) int { return int(key) % 2 })
+	defer db.Close()
+	db.CreateHashTable(tblAcct, 1024, 1)
+	for k := uint64(1); k <= 4; k++ {
+		if err := db.Load(tblAcct, k, []uint64{100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite key 1 so a version gets retired into its chain.
+	if err := db.ExecWith(0, 0, PolicyLease, func(tx *Tx) error {
+		if err := tx.W(tblAcct, 1); err != nil {
+			return err
+		}
+		return tx.Execute(func(lc *Local) error {
+			return lc.Write(tblAcct, 1, []uint64{250})
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot stamp trails the soft clock by a tick; let it pass the
+	// write so the RO sees the new value.
+	time.Sleep(time.Millisecond)
+
+	before := db.Stats()
+	var got []uint64
+	if err := db.ExecROWith(0, 0, PolicyMVCC, func(ro *RO) error {
+		v, err := ro.Read(tblAcct, 1) // remote: node 1
+		if err != nil {
+			return err
+		}
+		got = append(got[:0], v...)
+		_, err = ro.Read(tblAcct, 2) // local
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 250 {
+		t.Fatalf("snapshot read = %v, want [250]", got)
+	}
+	d := db.Stats().Delta(before)
+	if d.MVCCReads < 2 {
+		t.Fatalf("MVCCReads = %d, want >= 2", d.MVCCReads)
+	}
+	if d.LeaseGrants != 0 || d.SpecReads != 0 {
+		t.Fatalf("MVCC RO took a confirm-wave arm: leases=%d specs=%d",
+			d.LeaseGrants, d.SpecReads)
+	}
+	s := db.Stats()
+	if s.ChainRetires == 0 {
+		t.Fatal("overwrite retired no version into the chain")
+	}
+	if s.MVCCROLatency.Count == 0 {
+		t.Fatal("no mvcc-ro phase latency recorded")
+	}
+	if !strings.Contains(s.String(), "mvcc:") {
+		t.Fatal("Stats.String missing the mvcc row")
 	}
 }
